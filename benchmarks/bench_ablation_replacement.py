@@ -1,0 +1,76 @@
+"""Ablation — outlier replacement in the online median filter.
+
+The paper's replacement strategy "decreases the influence of severe
+outliers on signals … At the same time it minimizes the effects of a
+large number of faults hitting the same signal for a larger period of
+time."  This ablation runs the same fault storm through the dual-window
+detector (raw + corrected history) and through a raw-history-only
+variant, and counts how much of the storm each one flags: without
+replacement the storm drags the median up and the detector goes blind
+mid-storm.
+"""
+
+import numpy as np
+from conftest import save_report
+
+from repro.signals.filtering import RollingMedian
+from repro.signals.outliers import OnlineOutlierDetector
+
+
+class _NoReplacementDetector:
+    """Median over raw history only (the ablated variant)."""
+
+    def __init__(self, threshold: float, window: int) -> None:
+        self.threshold = threshold
+        self._median = RollingMedian(window)
+
+    def process_array(self, x: np.ndarray) -> np.ndarray:
+        flags = np.zeros(x.size, dtype=bool)
+        for i, v in enumerate(x):
+            self._median.push(float(v))
+            med = self._median.median()
+            flags[i] = i > 16 and abs(v - med) > self.threshold
+        return flags
+
+
+def _storm_signal(n=4000, storm=(1000, 1300), seed=0):
+    # Storm length sits between the raw-only blind point (window/2) and
+    # the dual-window blind point (~window): the replacement variant
+    # stays alert for the whole storm, the raw-only variant flips its
+    # median mid-storm.  (Beyond ~window samples even replacement cannot
+    # help — the paper's two-month window makes that regime unreachable
+    # for any realistic fault storm.)
+    rng = np.random.default_rng(seed)
+    x = rng.poisson(2.0, n).astype(float)
+    x[storm[0]:storm[1]] += 40.0
+    return x, storm
+
+
+def test_ablation_outlier_replacement(benchmark):
+    x, (s0, s1) = _storm_signal()
+    threshold = 10.0
+    window = 400  # shorter than paper's two months; storm-length scale
+
+    def with_replacement():
+        det = OnlineOutlierDetector(threshold=threshold, window=window)
+        return det.process_array(x).flags
+
+    flags_repl = benchmark.pedantic(with_replacement, rounds=3, iterations=1)
+    flags_raw = _NoReplacementDetector(threshold, window).process_array(x)
+
+    storm_len = s1 - s0
+    caught_repl = flags_repl[s0:s1].sum() / storm_len
+    caught_raw = flags_raw[s0:s1].sum() / storm_len
+
+    text = (
+        f"storm: +40 counts for {storm_len} consecutive samples\n"
+        f"storm samples flagged with replacement   : {caught_repl:.1%}\n"
+        f"storm samples flagged without replacement: {caught_raw:.1%}\n"
+        f"\nwithout replacement the storm contaminates the median window "
+        f"and the\ndetector goes blind halfway through — the paper's "
+        f"rationale for keeping\nboth the initial and the replaced value.\n"
+    )
+    save_report("ablation_replacement", text)
+
+    assert caught_repl > 0.95
+    assert caught_raw < caught_repl - 0.2

@@ -1,0 +1,56 @@
+"""Ablation — detector window length (the paper's two-month N).
+
+Section III.B.1 uses N = two months of samples for the causal window.
+This ablation sweeps the window length on a drifting noise signal: short
+windows chase the drift (missing level-shift anomalies), very long
+windows anchor too far back; the false/true flag counts show the
+trade-off that motivates a long window plus replacement.
+"""
+
+import numpy as np
+from conftest import save_report
+
+from repro.signals.outliers import OnlineOutlierDetector
+
+
+def _drifting_signal(n=12000, seed=1):
+    rng = np.random.default_rng(seed)
+    drift = np.linspace(0.0, 6.0, n)  # slow level drift
+    x = rng.poisson(3.0 + drift).astype(float)
+    spikes = rng.choice(np.arange(200, n), 30, replace=False)
+    x[spikes] += 50.0
+    return x, np.sort(spikes)
+
+
+def test_ablation_window_length(benchmark):
+    x, spikes = _drifting_signal()
+    threshold = 12.0
+    spike_set = set(spikes.tolist())
+
+    def sweep():
+        out = {}
+        for window in (60, 600, 6000):
+            det = OnlineOutlierDetector(threshold=threshold, window=window)
+            res = det.process_array(x)
+            hits = sum(1 for i in res.indices if i in spike_set)
+            out[window] = (hits, res.n_outliers - hits)
+        return out
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    lines = [f"{'window (samples)':>16} {'spikes caught':>14} "
+             f"{'false flags':>12}"]
+    for window, (hits, false) in results.items():
+        lines.append(f"{window:>16} {hits:>10}/{len(spikes):<3} {false:>12}")
+    lines.append("")
+    lines.append("paper: N = two months (518400 samples at 10s); long "
+                 "windows plus replacement\nkeep the reference stable "
+                 "without chasing drifts")
+    save_report("ablation_window", "\n".join(lines))
+
+    # Every window length catches the bulk of hard spikes …
+    for hits, _ in results.values():
+        assert hits >= len(spikes) * 0.8
+    # … and no configuration floods the stream with false flags.
+    for _, false in results.values():
+        assert false < 0.02 * x.size

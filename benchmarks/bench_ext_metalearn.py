@@ -1,0 +1,56 @@
+"""Extension — dynamic meta-learning over the three methods.
+
+Related work [31] (Gu et al.) proposes switching between prediction
+methods dynamically.  This bench runs the self-supervised ensemble of
+:mod:`repro.prediction.metalearn` over the same stream as Table III and
+shows the expected ensemble shape: recall at or above the best base
+method (union of complementary detections), precision between the bases,
+unreliable rules silenced after probation.
+"""
+
+from conftest import save_report
+
+from repro import evaluate_predictions
+from repro.prediction.metalearn import MetaPredictor
+
+
+def test_ext_metalearning(bg, elsa_bg, stream_bg, method_runs, benchmark):
+    bases = {
+        "hybrid": elsa_bg.hybrid_predictor(),
+        "signal": elsa_bg.signal_predictor(),
+        "datamining": elsa_bg.datamining_predictor(bg.records),
+    }
+    meta = MetaPredictor(bases)
+    meta_preds = benchmark.pedantic(
+        meta.run, args=(stream_bg,), rounds=1, iterations=1
+    )
+    meta_res = evaluate_predictions(meta_preds, bg.test_faults)
+
+    lines = [f"{'method':<12} {'precision':>10} {'recall':>8}"]
+    best_recall = 0.0
+    for name in ("hybrid", "signal", "datamining"):
+        res = method_runs[name][2]
+        best_recall = max(best_recall, res.recall)
+        lines.append(f"{name:<12} {res.precision:>10.1%} {res.recall:>8.1%}")
+    lines.append(
+        f"{'meta':<12} {meta_res.precision:>10.1%} {meta_res.recall:>8.1%}"
+    )
+    lines.append("")
+    lines.append(
+        f"rules learned: {len(meta.rule_stats)}, predictions gated out "
+        f"after failed probation: {meta.n_suppressed}"
+    )
+    weakest = sorted(
+        meta.reliability_table().items(), key=lambda kv: kv[1]
+    )[:3]
+    for (method, anchor), rel in weakest:
+        name = elsa_bg.model.event_name(anchor)[:36]
+        lines.append(
+            f"  silenced rule: {method} anchored on '{name}' "
+            f"(reliability {rel:.0%})"
+        )
+    save_report("ext_metalearn", "\n".join(lines))
+
+    assert meta_res.recall >= best_recall - 0.03
+    assert meta_res.precision > 0.6
+    assert meta.n_suppressed > 0

@@ -1,0 +1,67 @@
+"""Extension — checkpointing vs migration as the avoidance action.
+
+Section II cites proactive process-level live migration [30] and the
+checkpointing-vs-migration analysis [34] as the alternative use of a
+predictor; section VI.B models only the checkpoint action.  This bench
+extends Table IV with the migration column: for the same measured
+(precision, recall) pairs, it compares checkpoint-on-prediction against
+migrate-on-prediction across migration costs, exposing the analytical
+break-even M* = C + P·(R + D).
+"""
+
+import pytest
+from conftest import save_report
+
+from repro.checkpoint import (
+    CheckpointParams,
+    waste_no_prediction_min,
+    waste_with_prediction,
+)
+from repro.checkpoint.migration import (
+    MigrationParams,
+    breakeven_migration_time,
+    waste_with_migration,
+)
+
+
+def test_ext_migration_vs_checkpoint(benchmark):
+    base = CheckpointParams(checkpoint_time=1.0, mttf=1440.0)
+    P, N = 0.92, 0.45
+
+    def sweep():
+        rows = []
+        for m_cost in (0.17, 0.5, 1.0, 3.0, 6.0, 9.0):
+            mp = MigrationParams(base=base, migration_time=m_cost)
+            rows.append(
+                (m_cost, waste_with_migration(mp, N, P))
+            )
+        return rows
+
+    rows = benchmark(sweep)
+
+    w_none = waste_no_prediction_min(base)
+    w_ckpt = waste_with_prediction(base, N, P)
+    m_star = breakeven_migration_time(base, P)
+
+    lines = [
+        f"C = 1 min, R = 5 min, D = 1 min, MTTF = 1 day, "
+        f"P = {P:.0%}, N = {N:.0%}",
+        f"waste, no prediction            : {w_none:.4f}",
+        f"waste, checkpoint-on-prediction : {w_ckpt:.4f}",
+        "",
+        f"{'M (min)':>8} {'waste (migrate)':>16} {'beats checkpoint?':>18}",
+    ]
+    for m_cost, w_mig in rows:
+        verdict = "yes" if w_mig < w_ckpt else "no"
+        lines.append(f"{m_cost:>8.2f} {w_mig:>16.4f} {verdict:>18}")
+    lines.append("")
+    lines.append(f"analytical break-even M* = C + P(R+D) = {m_star:.2f} min")
+    save_report("ext_migration", "\n".join(lines))
+
+    for m_cost, w_mig in rows:
+        if m_cost < m_star - 1e-9:
+            assert w_mig < w_ckpt
+        elif m_cost > m_star + 1e-9:
+            assert w_mig > w_ckpt
+    # any avoidance action beats no prediction while M is sane
+    assert rows[0][1] < w_none

@@ -1,0 +1,42 @@
+"""Fig. 5 — distribution of the number of events per chain.
+
+Paper: "in general, the sequences contain a small number of event types;
+the average length of the chain is 4 for both systems.  However, some
+correlations contain more event types, 20% of them containing more than
+8 events."  (Their corpus spans months; our scaled scenarios produce the
+same small-chain bulk with a long-chain tail.)
+"""
+
+import numpy as np
+from conftest import save_report
+
+from repro.mining.grite import GriteConfig, GriteMiner
+
+
+def test_fig5_sequence_sizes(elsa_bg, elsa_mercury, benchmark):
+    def size_histogram(model):
+        sizes = [c.size for c in model.chains]
+        return np.bincount(sizes, minlength=10)
+
+    hist_bg = benchmark(size_histogram, elsa_bg.model)
+    hist_merc = size_histogram(elsa_mercury.model)
+
+    sizes_bg = [c.size for c in elsa_bg.model.chains]
+    sizes_merc = [c.size for c in elsa_mercury.model.chains]
+    lines = [f"{'size':>5} {'bluegene':>9} {'mercury':>9}"]
+    for k in range(2, max(len(hist_bg), len(hist_merc))):
+        b = hist_bg[k] if k < len(hist_bg) else 0
+        m = hist_merc[k] if k < len(hist_merc) else 0
+        if b or m:
+            lines.append(f"{k:>5} {b:>9} {m:>9}")
+    lines.append("")
+    lines.append(
+        f"mean chain size: bluegene {np.mean(sizes_bg):.1f}, "
+        f"mercury {np.mean(sizes_merc):.1f} (paper: ~4 for both)"
+    )
+    save_report("fig5_sequence_size", "\n".join(lines))
+
+    # Bulk of the mass at small sizes, mean in the paper's ballpark.
+    assert 2.0 <= np.mean(sizes_bg) <= 6.0
+    assert 2.0 <= np.mean(sizes_merc) <= 6.0
+    assert max(sizes_bg) >= 4  # some long chains exist

@@ -1,0 +1,53 @@
+"""Fig. 7 — percentage of sequences propagating across the hierarchy.
+
+Paper (Blue Gene/L): "around 75% of correlations show no propagation at
+all and only around 2.16% extend outside of a midplane."  The breakdown
+is computed from each chain's occurrence location sets against the
+machine hierarchy (racks → midplanes → node cards → nodes).
+"""
+
+from conftest import save_report
+
+from repro.location.propagation import (
+    extract_location_profiles,
+    propagation_breakdown,
+)
+from repro.simulation.topology import HierarchyLevel
+
+
+def test_fig7_propagation_breakdown(bg, elsa_bg, benchmark):
+    model = elsa_bg.model
+
+    breakdown = benchmark.pedantic(
+        propagation_breakdown,
+        args=(model.profiles, bg.machine),
+        rounds=3,
+        iterations=1,
+    )
+
+    labels = {
+        HierarchyLevel.NODE: "no propagation",
+        HierarchyLevel.NODE_CARD: "within node card",
+        HierarchyLevel.MIDPLANE: "within midplane",
+        HierarchyLevel.RACK: "within rack",
+        HierarchyLevel.GLOBAL: "across racks",
+    }
+    lines = [f"{'spread':<18} {'fraction':>9}"]
+    for level in HierarchyLevel:
+        if level in breakdown:
+            lines.append(f"{labels[level]:<18} {breakdown[level]:>9.1%}")
+    beyond_midplane = breakdown.get(HierarchyLevel.RACK, 0.0) + breakdown.get(
+        HierarchyLevel.GLOBAL, 0.0
+    )
+    lines.append("")
+    lines.append(
+        f"beyond a midplane: {beyond_midplane:.1%} (paper: ~2.16%)"
+    )
+    lines.append(
+        f"no propagation   : {breakdown.get(HierarchyLevel.NODE, 0):.1%} "
+        f"(paper: ~75%)"
+    )
+    save_report("fig7_propagation", "\n".join(lines))
+
+    assert breakdown.get(HierarchyLevel.NODE, 0.0) > 0.4
+    assert beyond_midplane < 0.35

@@ -1,0 +1,71 @@
+"""Table III — precision/recall of hybrid vs signal-only vs data-mining.
+
+Paper values (Blue Gene/L):
+
+    ELSA hybrid   precision 91.2%  recall 45.8%  seq used 62 (96.8%)  603
+    ELSA signal   precision 88.1%  recall 40.5%  seq used 117 (92.8%) 534
+    Data mining   precision 91.9%  recall 15.7%  seq used 39 (95.1%)  207
+
+Reproduction targets the *shape*: data-mining precision ≥ hybrid ≥
+signal-only; hybrid recall > signal-only ≫ data-mining; the hybrid's
+online correlation set is the smallest of the three analysis-capable
+sets; the data-mining set is compact but blind to most failures.
+"""
+
+from conftest import save_report
+
+
+def test_table3_report(method_runs, benchmark, stream_bg):
+    hybrid_predictor = method_runs["hybrid"][0]
+    # Timed artifact: one full online pass of the hybrid method.
+    benchmark.pedantic(
+        hybrid_predictor.run, args=(stream_bg,), rounds=2, iterations=1
+    )
+
+    lines = [
+        f"{'Prediction Method':<14} {'Precision':>10} {'Recall':>8} "
+        f"{'Seq Used':>16} {'Pred Failures':>14}",
+    ]
+    order = [("hybrid", "ELSA hybrid"), ("signal", "ELSA signal"),
+             ("datamining", "Data mining")]
+    for key, label in order:
+        _, preds, res, _ = method_runs[key]
+        seq = f"{res.chains_used} ({res.chains_used_fraction:.1%})"
+        lines.append(
+            f"{label:<14} {res.precision:>10.1%} {res.recall:>8.1%} "
+            f"{seq:>16} {res.n_predicted_faults:>14}"
+        )
+    lines.append("")
+    lines.append("paper:   hybrid 91.2/45.8   signal 88.1/40.5   "
+                 "mining 91.9/15.7")
+    save_report("table3_methods", "\n".join(lines))
+
+    hybrid = method_runs["hybrid"][2]
+    signal = method_runs["signal"][2]
+    mining = method_runs["datamining"][2]
+    # Shape assertions (the reproduction contract).
+    assert mining.precision >= hybrid.precision - 0.08
+    assert hybrid.precision > signal.precision
+    assert hybrid.recall > signal.recall > mining.recall
+    assert hybrid.recall > 0.35
+    assert mining.recall < 0.6 * hybrid.recall + 0.1
+
+
+def test_table3_location_ablation(method_runs, benchmark, bg):
+    """Section VI.A: 'When running our method without checking the
+    location, we obtain a precision of around 94%.'"""
+    from repro import evaluate_predictions
+
+    _, preds, with_loc, no_loc = method_runs["hybrid"]
+    benchmark.pedantic(
+        evaluate_predictions, args=(preds, bg.test_faults),
+        rounds=3, iterations=1,
+    )
+    text = (
+        f"hybrid precision with location check   : {with_loc.precision:.1%}\n"
+        f"hybrid precision without location check: {no_loc.precision:.1%}\n"
+        f"paper: 91.2% with, ~94% without\n"
+    )
+    save_report("table3_location_ablation", text)
+    assert no_loc.precision >= with_loc.precision
+    assert no_loc.precision > 0.85

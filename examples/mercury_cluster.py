@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Cross-system portability: run the same pipeline on a Mercury-like cluster.
+
+"Most modules from our framework are platform independent and so are easy
+to adapt to run on different machines" (section IV).  This example runs
+the unmodified pipeline on the flat NCSA-Mercury-like cluster scenario —
+different topology (no midplanes/racks), different template vocabulary
+(~409 event types), different fault mix (NFS outages that hit dozens of
+nodes nearly simultaneously) — and prints the same report as the Blue
+Gene quickstart.
+
+Usage::
+
+    python examples/mercury_cluster.py [seed]
+"""
+
+import sys
+
+from repro import ELSA, evaluate_predictions, mercury_scenario
+
+
+def main(seed: int = 3) -> None:
+    scenario = mercury_scenario(duration_days=5.0, seed=seed)
+    print(
+        f"mercury-like cluster: {scenario.machine.n_nodes} nodes, "
+        f"{len(scenario.records):,} records, "
+        f"{len(scenario.ground_truth)} faults"
+    )
+
+    elsa = ELSA(scenario.machine)
+    model = elsa.fit(scenario.records, t_train_end=scenario.train_end)
+    print(f"{model.n_types} event types mined "
+          f"(the real Mercury logs had 409)")
+    print(f"{len(model.predictive_chains)} predictive chains:")
+    for chain in model.predictive_chains:
+        names = " -> ".join(
+            model.event_name(t)[:34] for t in chain.event_types
+        )
+        print(f"  conf {chain.confidence:4.0%}  {names}")
+
+    predictions = elsa.predict(
+        scenario.records, scenario.train_end, scenario.t_end
+    )
+    result = evaluate_predictions(predictions, scenario.test_faults)
+    print(f"\nprecision {result.precision:.1%}  recall {result.recall:.1%}")
+    print("recall by category:")
+    for cat, stats in sorted(result.per_category.items()):
+        print(f"  {cat:<11} {stats.n_predicted:3d}/{stats.n_faults:<3d} "
+              f"({stats.recall:.0%})")
+    print(
+        "\nnote the network category: NFS outages propagate to dozens of "
+        "nodes\nnearly simultaneously, so location-aware recall collapses "
+        "there —\nexactly the behaviour the paper describes in section V."
+    )
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 3)

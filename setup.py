@@ -1,0 +1,10 @@
+"""Legacy setup shim: lets ``pip install -e .`` work offline.
+
+The environment has no network and no ``wheel`` package, so PEP 660
+editable installs (which require ``bdist_wheel``) fail; the legacy
+``setup.py develop`` path does not.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

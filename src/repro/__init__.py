@@ -1,0 +1,48 @@
+"""ELSA-Repro: hybrid fault prediction for HPC systems.
+
+A from-scratch reproduction of *"Fault prediction under the microscope: A
+closer look into HPC systems"* (Gainaru, Cappello, Snir, Kramer — SC 2012):
+signal-analysis + data-mining hybrid failure prediction over HPC event
+logs, with location-aware predictions and a checkpointing impact model.
+
+Quickstart::
+
+    from repro import bluegene_scenario, ELSA
+
+    scenario = bluegene_scenario(duration_days=4.0, seed=7)
+    elsa = ELSA(scenario.machine)
+    elsa.fit(scenario.records, t_train_end=scenario.train_end)
+    predictions = elsa.predict(
+        scenario.records, scenario.train_end, scenario.t_end
+    )
+
+Subpackages: :mod:`repro.simulation` (synthetic HPC substrate),
+:mod:`repro.helo` (template mining), :mod:`repro.signals` (signal layer),
+:mod:`repro.mining` (GRITE), :mod:`repro.location` (propagation),
+:mod:`repro.prediction` (online predictors + evaluation),
+:mod:`repro.checkpoint` (waste model), :mod:`repro.core` (pipeline).
+"""
+
+from repro.core import ELSA, AdaptiveELSA, PipelineConfig, TrainedModel
+from repro.datasets import Scenario, bluegene_scenario, mercury_scenario
+from repro.prediction import (
+    EvaluationConfig,
+    EvaluationResult,
+    evaluate_predictions,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ELSA",
+    "AdaptiveELSA",
+    "PipelineConfig",
+    "TrainedModel",
+    "Scenario",
+    "bluegene_scenario",
+    "mercury_scenario",
+    "EvaluationConfig",
+    "EvaluationResult",
+    "evaluate_predictions",
+    "__version__",
+]

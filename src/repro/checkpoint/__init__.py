@@ -1,0 +1,39 @@
+"""Checkpoint-restart waste model and simulator (section VI.B).
+
+The paper quantifies what a predictor is worth by plugging its precision
+and recall into an analytical model of coordinated checkpoint-restart
+waste (equations 1-7, building on Young's optimal interval), producing
+Table IV's "percentage waste improvement" rows.
+
+* :mod:`repro.checkpoint.model` — the closed-form waste model;
+* :mod:`repro.checkpoint.simulator` — a discrete-event checkpoint-restart
+  simulator used to validate the closed forms against sampled executions.
+"""
+
+from repro.checkpoint.model import (
+    CheckpointParams,
+    mttf_unpredicted,
+    optimal_interval_with_prediction,
+    waste_gain,
+    waste_no_prediction,
+    waste_no_prediction_min,
+    waste_with_prediction,
+    young_interval,
+)
+from repro.checkpoint.simulator import (
+    CheckpointSimulator,
+    SimulationResult,
+)
+
+__all__ = [
+    "CheckpointParams",
+    "waste_no_prediction",
+    "waste_no_prediction_min",
+    "young_interval",
+    "mttf_unpredicted",
+    "optimal_interval_with_prediction",
+    "waste_with_prediction",
+    "waste_gain",
+    "CheckpointSimulator",
+    "SimulationResult",
+]

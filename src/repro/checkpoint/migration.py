@@ -1,0 +1,106 @@
+"""Proactive-migration waste model (failure avoidance by moving work).
+
+The paper frames prediction as enabling two avoidance actions: proactive
+checkpointing (modeled in :mod:`repro.checkpoint.model`) and *task
+migration* — "for migration, only the tasks on failure-prone components
+should be migrated" — building on Cappello, Casanova & Robert's
+checkpointing-vs-migration analysis [34] and Wang et al.'s process-level
+live migration [30].
+
+The model mirrors equations (6)/(7) with migration semantics: a predicted
+failure triggers a migration costing ``M`` time units which moves the
+work *off* the failing component, so neither the rollback nor the
+restart/downtime is paid for predicted failures (migration's advantage
+over checkpoint-on-prediction, which still pays R + D).  Unpredicted
+failures fall back to periodic checkpointing; false alarms cost one
+migration each.
+
+    W_mig = sqrt(2·C·(1-N)/MTTF)            # periodic ckpt vs missed
+          + (R+D)·(1-N)/MTTF                # recovery only when missed
+          + M·N/MTTF                        # migrations for true alarms
+          + M·N·(1-P)/(P·MTTF)              # migrations for false alarms
+
+Comparing against :func:`repro.checkpoint.model.waste_with_prediction`
+yields the crossover the literature discusses: migration wins when its
+cost stays below the checkpoint cost plus the recovery it avoids.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.checkpoint.model import CheckpointParams, _check_fraction
+
+
+@dataclass(frozen=True)
+class MigrationParams:
+    """Checkpoint parameters plus the per-migration cost ``M``.
+
+    Process-level live migration of a node's workload takes seconds to
+    tens of seconds in the literature [30]; the default of half the
+    checkpoint cost reflects moving one node's state instead of a
+    system-wide coordinated checkpoint.
+    """
+
+    base: CheckpointParams
+    migration_time: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.migration_time <= 0:
+            raise ValueError("migration_time must be positive")
+
+
+def waste_with_migration(
+    params: MigrationParams, recall: float, precision: float = 1.0
+) -> float:
+    """Waste fraction of periodic checkpointing + predictive migration."""
+    _check_fraction(recall, "recall")
+    _check_fraction(precision, "precision", allow_zero=False)
+    base = params.base
+    C, M, mttf = base.checkpoint_time, params.migration_time, base.mttf
+    w = (
+        math.sqrt(2.0 * C * (1.0 - recall) / mttf)
+        + (base.restart_time + base.downtime) * (1.0 - recall) / mttf
+        + M * recall / mttf
+    )
+    if precision < 1.0:
+        w += M * recall * (1.0 - precision) / (precision * mttf)
+    return w
+
+
+def migration_advantage(
+    params: MigrationParams, recall: float, precision: float = 1.0
+) -> float:
+    """Waste saved by migrating instead of checkpoint-on-prediction.
+
+    Positive when migration beats proactive checkpointing for the same
+    predictor.  Closed form: the predicted-failure path swaps
+    ``C + (R+D)`` (checkpoint then recover) for ``M`` (move and keep
+    running), scaled by the prediction rate and the false-alarm ratio.
+    """
+    from repro.checkpoint.model import waste_with_prediction
+
+    return waste_with_prediction(params.base, recall, precision) - (
+        waste_with_migration(params, recall, precision)
+    )
+
+
+def breakeven_migration_time(
+    params: CheckpointParams, precision: float = 1.0
+) -> float:
+    """Migration cost at which migration stops beating checkpointing.
+
+    Equating the prediction-dependent terms of the two models
+    (true-alarm action + false-alarm action + avoided recovery) gives
+
+        (C − M) / P + (R + D) = 0   ⟹   M* = C + P · (R + D)
+
+    — migration may cost up to a checkpoint plus the recovery it avoids,
+    discounted by precision because false alarms pay the action cost but
+    never collect the avoided recovery.
+    """
+    _check_fraction(precision, "precision", allow_zero=False)
+    return params.checkpoint_time + precision * (
+        params.restart_time + params.downtime
+    )

@@ -1,0 +1,320 @@
+"""Command-line interface: ``elsa-repro`` (or ``python -m repro``).
+
+Subcommands mirror a real deployment workflow:
+
+* ``generate`` — build a synthetic scenario; write the log as text and the
+  ground truth as JSON;
+* ``fit``      — train the offline phase on a log file; pickle the model;
+* ``predict``  — run the online phase over a window of a log file;
+* ``evaluate`` — score a predictions file against a ground-truth file;
+* ``report``   — everything end-to-end with a human-readable summary.
+
+All files are plain text/JSON except the model, which is a pickle (the
+trained model holds numpy arrays and nested dataclasses).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pickle
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.core.elsa import ELSA
+from repro.datasets.scenarios import bluegene_scenario, mercury_scenario
+from repro.prediction.engine import Prediction
+from repro.prediction.evaluation import evaluate_predictions
+from repro.simulation.trace import FaultEvent, read_log, write_log
+
+
+# ---------------------------------------------------------------------------
+# serialization helpers
+# ---------------------------------------------------------------------------
+
+def _fault_to_dict(f: FaultEvent) -> dict:
+    return {
+        "fault_id": f.fault_id,
+        "fault_type": f.fault_type,
+        "category": f.category,
+        "onset_time": f.onset_time,
+        "fail_time": f.fail_time,
+        "locations": list(f.locations),
+    }
+
+
+def _fault_from_dict(d: dict) -> FaultEvent:
+    return FaultEvent(
+        fault_id=int(d["fault_id"]),
+        fault_type=str(d["fault_type"]),
+        category=str(d["category"]),
+        onset_time=float(d["onset_time"]),
+        fail_time=float(d["fail_time"]),
+        locations=tuple(d["locations"]),
+    )
+
+
+def _prediction_to_dict(p: Prediction) -> dict:
+    return {
+        "trigger_time": p.trigger_time,
+        "emitted_at": p.emitted_at,
+        "predicted_time": p.predicted_time,
+        "predicted_lo": p.predicted_lo,
+        "predicted_hi": p.predicted_hi,
+        "locations": list(p.locations),
+        "chain_key": [list(item) for item in p.chain_key],
+        "anchor_event": p.anchor_event,
+        "fatal_event": p.fatal_event,
+        "source": p.source,
+    }
+
+
+def _prediction_from_dict(d: dict) -> Prediction:
+    def _opt(key: str):
+        value = d.get(key)
+        return None if value is None else float(value)
+
+    return Prediction(
+        trigger_time=float(d["trigger_time"]),
+        emitted_at=float(d["emitted_at"]),
+        predicted_time=float(d["predicted_time"]),
+        locations=tuple(d["locations"]),
+        chain_key=tuple(tuple(item) for item in d["chain_key"]),
+        anchor_event=int(d["anchor_event"]),
+        fatal_event=int(d["fatal_event"]),
+        source=str(d.get("source", "hybrid")),
+        predicted_lo=_opt("predicted_lo"),
+        predicted_hi=_opt("predicted_hi"),
+    )
+
+
+def load_ground_truth(path: Path) -> List[FaultEvent]:
+    """Read a ground-truth JSON file written by ``generate``."""
+    data = json.loads(path.read_text())
+    return [_fault_from_dict(d) for d in data["faults"]]
+
+
+def load_predictions(path: Path) -> List[Prediction]:
+    """Read a predictions JSON file written by ``predict``."""
+    data = json.loads(path.read_text())
+    return [_prediction_from_dict(d) for d in data["predictions"]]
+
+
+# ---------------------------------------------------------------------------
+# subcommands
+# ---------------------------------------------------------------------------
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    """``generate``: synthesize a scenario to log + truth files."""
+    builder = bluegene_scenario if args.system == "bluegene" else mercury_scenario
+    scenario = builder(duration_days=args.days, seed=args.seed)
+    log_path = Path(args.log)
+    with log_path.open("w") as fh:
+        n = write_log(scenario.records, fh)
+    truth = {
+        "system": args.system,
+        "duration_days": args.days,
+        "seed": args.seed,
+        "train_end": scenario.train_end,
+        "t_end": scenario.t_end,
+        "faults": [_fault_to_dict(f) for f in scenario.ground_truth],
+    }
+    Path(args.truth).write_text(json.dumps(truth, indent=1))
+    print(f"wrote {n} records to {args.log}")
+    print(f"wrote {len(scenario.ground_truth)} faults to {args.truth}")
+    print(f"suggested training split: t_train_end={scenario.train_end:.0f}")
+    return 0
+
+
+def _machine_for(system: str):
+    from repro.simulation.topology import (
+        build_bluegene_machine,
+        build_cluster_machine,
+    )
+
+    if system == "bluegene":
+        return build_bluegene_machine()
+    return build_cluster_machine()
+
+
+def _read_records(path: str, fmt: str):
+    """Read a log file in the selected format."""
+    if fmt == "bgl":
+        from repro.simulation.bgl_format import read_bgl_log
+
+        with Path(path).open() as fh:
+            return read_bgl_log(fh)
+    with Path(path).open() as fh:
+        return read_log(fh)
+
+
+def cmd_fit(args: argparse.Namespace) -> int:
+    """``fit``: offline phase on a log file; pickles the pipeline."""
+    records = _read_records(args.log, args.format)
+    elsa = ELSA(_machine_for(args.system))
+    model = elsa.fit(records, t_train_end=args.train_end)
+    with Path(args.model).open("wb") as fh:
+        pickle.dump(elsa, fh)
+    print(
+        f"trained on {sum(1 for r in records if r.timestamp < args.train_end)} "
+        f"records: {model.n_types} event types, "
+        f"{len(model.predictive_chains)} predictive chains "
+        f"({len(model.info_chains)} informational discarded)"
+    )
+    for chain in model.predictive_chains:
+        names = " -> ".join(
+            model.event_name(t)[:36] for t in chain.event_types
+        )
+        print(f"  conf {chain.confidence:4.0%} span {chain.span:4d}u  {names}")
+    print(f"model saved to {args.model}")
+    return 0
+
+
+def cmd_predict(args: argparse.Namespace) -> int:
+    """``predict``: online phase over a window of a log file."""
+    with Path(args.model).open("rb") as fh:
+        elsa: ELSA = pickle.load(fh)
+    records = _read_records(args.log, args.format)
+    t_end = args.t_end if args.t_end is not None else (
+        max(r.timestamp for r in records) + 1.0
+    )
+    predictions = elsa.predict(records, args.t_start, t_end)
+    out = {"predictions": [_prediction_to_dict(p) for p in predictions]}
+    Path(args.out).write_text(json.dumps(out, indent=1))
+    print(f"{len(predictions)} predictions written to {args.out}")
+    return 0
+
+
+def cmd_evaluate(args: argparse.Namespace) -> int:
+    """``evaluate``: score a predictions file against ground truth."""
+    predictions = load_predictions(Path(args.predictions))
+    truth = json.loads(Path(args.truth).read_text())
+    faults = [_fault_from_dict(d) for d in truth["faults"]]
+    window = [
+        f for f in faults
+        if args.t_start <= f.fail_time
+        and (args.t_end is None or f.fail_time < args.t_end)
+    ]
+    result = evaluate_predictions(predictions, window)
+    print(result.summary())
+    for cat, stats in sorted(result.per_category.items()):
+        print(f"  {cat:<12} {stats.n_predicted:4d}/{stats.n_faults:<4d} "
+              f"({stats.recall:.0%})")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """``report``: end-to-end synthetic run with a summary."""
+    builder = bluegene_scenario if args.system == "bluegene" else mercury_scenario
+    scenario = builder(duration_days=args.days, seed=args.seed)
+    elsa = ELSA(scenario.machine)
+    model = elsa.fit(scenario.records, t_train_end=scenario.train_end)
+    predictions = elsa.predict(
+        scenario.records, scenario.train_end, scenario.t_end
+    )
+    result = evaluate_predictions(predictions, scenario.test_faults)
+    print(f"system      : {scenario.name}")
+    print(f"records     : {len(scenario.records)}")
+    print(f"event types : {model.n_types}")
+    print(f"chains      : {len(model.chains)} "
+          f"({len(model.predictive_chains)} predictive)")
+    print(f"precision   : {result.precision:.1%}")
+    print(f"recall      : {result.recall:.1%}")
+    for cat, stats in sorted(result.per_category.items()):
+        print(f"  {cat:<12} {stats.n_predicted:4d}/{stats.n_faults:<4d} "
+              f"({stats.recall:.0%})")
+    return 0
+
+
+def cmd_reproduce(args: argparse.Namespace) -> int:
+    """``reproduce``: the headline paper tables as a markdown report."""
+    from repro.reporting import full_reproduction_report
+
+    report = full_reproduction_report(duration_days=args.days,
+                                      seed=args.seed)
+    if args.out:
+        Path(args.out).write_text(report + "\n")
+        print(f"report written to {args.out}")
+    else:
+        print(report)
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# parser
+# ---------------------------------------------------------------------------
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``elsa-repro`` argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="elsa-repro",
+        description="Hybrid HPC fault prediction (SC'12 reproduction).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("generate", help="generate a synthetic scenario")
+    p.add_argument("--system", choices=("bluegene", "mercury"),
+                   default="bluegene")
+    p.add_argument("--days", type=float, default=3.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--log", required=True, help="output log file")
+    p.add_argument("--truth", required=True, help="output ground-truth JSON")
+    p.set_defaults(func=cmd_generate)
+
+    p = sub.add_parser("fit", help="train the offline phase on a log file")
+    p.add_argument("--system", choices=("bluegene", "mercury"),
+                   default="bluegene")
+    p.add_argument("--log", required=True)
+    p.add_argument("--format", choices=("text", "bgl"), default="text",
+                   help="'bgl' reads the public Blue Gene/L RAS format")
+    p.add_argument("--train-end", type=float, required=True,
+                   dest="train_end")
+    p.add_argument("--model", required=True, help="output model pickle")
+    p.set_defaults(func=cmd_fit)
+
+    p = sub.add_parser("predict", help="run the online phase")
+    p.add_argument("--model", required=True)
+    p.add_argument("--log", required=True)
+    p.add_argument("--format", choices=("text", "bgl"), default="text")
+    p.add_argument("--t-start", type=float, required=True, dest="t_start")
+    p.add_argument("--t-end", type=float, default=None, dest="t_end")
+    p.add_argument("--out", required=True, help="output predictions JSON")
+    p.set_defaults(func=cmd_predict)
+
+    p = sub.add_parser("evaluate", help="score predictions vs ground truth")
+    p.add_argument("--predictions", required=True)
+    p.add_argument("--truth", required=True)
+    p.add_argument("--t-start", type=float, default=0.0, dest="t_start")
+    p.add_argument("--t-end", type=float, default=None, dest="t_end")
+    p.set_defaults(func=cmd_evaluate)
+
+    p = sub.add_parser("report", help="end-to-end synthetic run")
+    p.add_argument("--system", choices=("bluegene", "mercury"),
+                   default="bluegene")
+    p.add_argument("--days", type=float, default=3.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser(
+        "reproduce",
+        help="regenerate the headline paper results (Table III, Fig. 9, "
+             "Table IV) as markdown",
+    )
+    p.add_argument("--days", type=float, default=7.0)
+    p.add_argument("--seed", type=int, default=11)
+    p.add_argument("--out", default=None,
+                   help="write the report here instead of stdout")
+    p.set_defaults(func=cmd_reproduce)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

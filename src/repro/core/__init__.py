@@ -1,0 +1,19 @@
+"""ELSA core: the offline/online pipeline facade (Fig. 2).
+
+:class:`repro.core.elsa.ELSA` wires the substrates together exactly as
+the paper's methodology overview does:
+
+offline — raw log → HELO templates → per-event signals → normal-behaviour
+characterization → offline outlier detection → cross-correlation seeding →
+GRITE chain mining → severity filtering → location profiles;
+
+online — stream classification (online HELO) → causal outlier detection →
+chain triggering → location prediction → prediction windows.
+"""
+
+from repro.core.config import PipelineConfig
+from repro.core.model import TrainedModel
+from repro.core.elsa import ELSA
+from repro.core.adaptive import AdaptiveELSA
+
+__all__ = ["PipelineConfig", "TrainedModel", "ELSA", "AdaptiveELSA"]

@@ -1,0 +1,31 @@
+"""Pipeline configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.helo.miner import MinerConfig
+from repro.mining.grite import GriteConfig
+from repro.prediction.engine import PredictorConfig
+
+
+@dataclass
+class PipelineConfig:
+    """End-to-end knobs of the ELSA pipeline.
+
+    ``sampling_period`` is the paper's 10-second unit.
+    ``use_mined_templates`` switches between HELO-mined event types (the
+    production path) and the generator's ground-truth ids (useful for
+    ablating template-mining error out of downstream results).
+    ``online_keep_seconds`` bounds the online signal history ("we keep
+    only the last two months in the on-line module"); scaled scenarios
+    keep proportionally less.
+    """
+
+    sampling_period: float = 10.0
+    use_mined_templates: bool = True
+    online_keep_seconds: float = 14 * 86400.0
+    miner: MinerConfig = field(default_factory=MinerConfig)
+    grite: GriteConfig = field(default_factory=GriteConfig)
+    predictor: PredictorConfig = field(default_factory=PredictorConfig)

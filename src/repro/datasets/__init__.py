@@ -1,0 +1,15 @@
+"""Canned scenarios: one call from nothing to records + ground truth."""
+
+from repro.datasets.scenarios import (
+    Scenario,
+    bluegene_scenario,
+    mercury_scenario,
+    tiny_scenario,
+)
+
+__all__ = [
+    "Scenario",
+    "bluegene_scenario",
+    "mercury_scenario",
+    "tiny_scenario",
+]

@@ -1,0 +1,172 @@
+"""Scenario builders mirroring the paper's two systems.
+
+The paper trains on the first ~3 of 7–10 months of logs; the scaled
+default here trains on the first ~30 % of a multi-day scenario.  All
+randomness is seeded, so a (builder, seed) pair is a reproducible
+dataset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.simulation.faults import (
+    FaultCatalog,
+    bluegene_fault_catalog,
+    mercury_fault_catalog,
+)
+from repro.simulation.generator import GeneratorConfig, LogGenerator
+from repro.simulation.templates import (
+    TemplateCatalog,
+    bluegene_templates,
+    mercury_templates,
+)
+from repro.simulation.topology import (
+    Machine,
+    build_bluegene_machine,
+    build_cluster_machine,
+)
+from repro.simulation.trace import GroundTruth, LogRecord
+from repro.simulation.workload import PeriodicEmitter, WorkloadConfig
+
+
+@dataclass
+class Scenario:
+    """A generated dataset: machine + records + ground truth + split."""
+
+    name: str
+    machine: Machine
+    templates: TemplateCatalog
+    faults: FaultCatalog
+    records: List[LogRecord]
+    ground_truth: GroundTruth
+    train_end: float
+    t_end: float
+
+    @property
+    def train_records(self) -> List[LogRecord]:
+        """Records inside the training window."""
+        return [r for r in self.records if r.timestamp < self.train_end]
+
+    @property
+    def test_records(self) -> List[LogRecord]:
+        """Records inside the test window."""
+        return [r for r in self.records if r.timestamp >= self.train_end]
+
+    @property
+    def test_faults(self):
+        """Ground-truth faults whose failure lands in the test window."""
+        return self.ground_truth.in_window(self.train_end, self.t_end)
+
+
+def bluegene_scenario(
+    duration_days: float = 7.0,
+    train_fraction: float = 0.3,
+    seed: int = 0,
+    fault_rate_scale: float = 1.0,
+    base_rate_per_sec: float = 0.5,
+    latent_fault_day: Optional[float] = None,
+) -> Scenario:
+    """Blue Gene/L-like scenario (hierarchical machine, BG fault mix).
+
+    Defaults give ~150k records and ~900 faults over a week — large
+    enough for stable Table III statistics, small enough for a laptop.
+    ``latent_fault_day`` switches on the fan-degradation phase shift at
+    that day (see :func:`repro.simulation.faults.bluegene_fault_catalog`),
+    for evaluating online correlation adaptation.
+    """
+    machine = build_bluegene_machine()
+    templates = bluegene_templates()
+    faults = bluegene_fault_catalog(latent_start_day=latent_fault_day)
+    workload = WorkloadConfig(
+        base_rate_per_sec=base_rate_per_sec,
+        burst_templates=("info.app_output",),
+        burst_rate_per_day=1.5,
+        # Noise floors under cache/network precursors: benign correctable
+        # blips drown the real symptoms, reproducing the low cache and
+        # network recall of Fig. 9.
+        ambient_error_rates={
+            "cache.parity_corrected": 0.02,
+            "net.torus_retrans": 0.0065,
+            # Rare benign occurrences of otherwise fault-only precursors:
+            # they cap chain confidence below 1 and produce the ~9 % of
+            # false predictions the paper's 91.2 % precision implies.
+            "mem.correctable_dir": 2e-5,
+            "io.ciod_strm": 2e-5,
+            "net.rx_crc": 2e-5,
+            "card.bit_sparing": 1e-5,
+            "cache.dcache_parity": 4e-5,
+        },
+        # Fast service-node heartbeat: its *absence* is the node-crash
+        # syndrome, so the beat must be quick relative to the crash lead.
+        extra_emitters=[PeriodicEmitter("info.heartbeat", period=60.0)],
+    )
+    cfg = GeneratorConfig(
+        duration_days=duration_days,
+        seed=seed,
+        fault_rate_scale=fault_rate_scale,
+        workload=workload,
+    )
+    records, gt = LogGenerator(machine, templates, faults, cfg).generate()
+    return Scenario(
+        name="bluegene-like",
+        machine=machine,
+        templates=templates,
+        faults=faults,
+        records=records,
+        ground_truth=gt,
+        train_end=duration_days * 86400.0 * train_fraction,
+        t_end=duration_days * 86400.0,
+    )
+
+
+def mercury_scenario(
+    duration_days: float = 7.0,
+    train_fraction: float = 0.3,
+    seed: int = 0,
+    fault_rate_scale: float = 1.0,
+    base_rate_per_sec: float = 0.5,
+    n_nodes: int = 256,
+) -> Scenario:
+    """Mercury-like scenario (flat cluster, NFS-heavy fault mix)."""
+    machine = build_cluster_machine(n_nodes=n_nodes)
+    templates = mercury_templates()
+    faults = mercury_fault_catalog()
+    workload = WorkloadConfig(
+        base_rate_per_sec=base_rate_per_sec,
+        burst_templates=("info.sshd",),
+        burst_rate_per_day=1.0,
+    )
+    cfg = GeneratorConfig(
+        duration_days=duration_days,
+        seed=seed,
+        fault_rate_scale=fault_rate_scale,
+        workload=workload,
+    )
+    records, gt = LogGenerator(machine, templates, faults, cfg).generate()
+    return Scenario(
+        name="mercury-like",
+        machine=machine,
+        templates=templates,
+        faults=faults,
+        records=records,
+        ground_truth=gt,
+        train_end=duration_days * 86400.0 * train_fraction,
+        t_end=duration_days * 86400.0,
+    )
+
+
+def tiny_scenario(seed: int = 0) -> Scenario:
+    """A minutes-long Blue Gene-like scenario for fast tests.
+
+    One day of simulated time, reduced background, boosted fault rates so
+    every category appears; end-to-end pipeline runs in a few seconds.
+    """
+    return bluegene_scenario(
+        duration_days=1.0,
+        train_fraction=0.4,
+        seed=seed,
+        fault_rate_scale=1.5,
+        base_rate_per_sec=0.2,
+    )

@@ -1,0 +1,31 @@
+"""HELO — Hierarchical Event Log Organizer (template mining).
+
+The paper preprocesses raw logs with HELO [15]: an initial pass clusters
+syntactically similar message lines into *templates* (regular expressions
+over the constant tokens), which define the system's event types; an
+online variant keeps the template set current as software updates change
+the message vocabulary (section III.A).
+
+This package is a from-scratch reimplementation of that functionality:
+
+* :mod:`repro.helo.tokenizer` — message tokenization with variable-token
+  heuristics (numbers, hex words, paths);
+* :mod:`repro.helo.template` — the mined-template model (constant tokens
+  with ``*`` wildcards) and matching;
+* :mod:`repro.helo.miner` — the offline hierarchical miner;
+* :mod:`repro.helo.online` — the online matcher/updater.
+"""
+
+from repro.helo.tokenizer import tokenize, is_variable_token
+from repro.helo.template import MinedTemplate, TemplateTable
+from repro.helo.miner import HELOMiner
+from repro.helo.online import OnlineHELO
+
+__all__ = [
+    "tokenize",
+    "is_variable_token",
+    "MinedTemplate",
+    "TemplateTable",
+    "HELOMiner",
+    "OnlineHELO",
+]

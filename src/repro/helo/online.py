@@ -1,0 +1,171 @@
+"""Online template matching and incremental vocabulary updates.
+
+In the online phase "we use HELO on-line to keep the set of templates
+updated and relevant to the output of the system" (section III.A):
+software upgrades and configuration changes introduce new message shapes
+over a system's lifetime, so the matcher must absorb unseen messages
+without a full re-mine.
+
+:class:`OnlineHELO` classifies each incoming message against the current
+:class:`~repro.helo.template.TemplateTable`.  Misses go to a buffer; when
+the buffer holds enough same-length, same-shape evidence the updater
+either *generalizes* an existing template (one constant position becomes a
+wildcard) or mints a new one.  Every message therefore gets an id
+eventually, and ids are stable — existing signals never need re-keying.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.helo.miner import HELOMiner, MinerConfig
+from repro.helo.template import MinedTemplate, TemplateTable
+from repro.helo.tokenizer import normalize_tokens, tokenize
+
+
+@dataclass
+class OnlineConfig:
+    """Online updater knobs.
+
+    ``new_template_min_evidence``: distinct normalized shapes required in
+    the miss buffer before a new template is minted.
+    ``generalize_max_mismatch``: a miss within this many constant-position
+    disagreements of an existing template generalizes it instead of
+    becoming new evidence.
+    ``buffer_cap``: misses kept per token-length bucket before the oldest
+    evidence is dropped (bounds memory on hostile input).
+    """
+
+    new_template_min_evidence: int = 3
+    generalize_max_mismatch: int = 1
+    buffer_cap: int = 512
+
+
+class OnlineHELO:
+    """Streaming classifier over an evolving template table."""
+
+    def __init__(
+        self,
+        table: Optional[TemplateTable] = None,
+        config: Optional[OnlineConfig] = None,
+    ) -> None:
+        self.table = table if table is not None else TemplateTable()
+        self.config = config or OnlineConfig()
+        self._miss_buffer: Dict[int, List[Tuple[str, ...]]] = defaultdict(list)
+        #: ids of templates created or generalized online (observability).
+        self.updated_ids: List[int] = []
+
+    # -- classification ---------------------------------------------------
+
+    def observe(self, message: str) -> Optional[int]:
+        """Classify one message; may update the table on a miss.
+
+        Returns the template id, or ``None`` while evidence for a brand
+        new template is still accumulating.
+        """
+        norm = tuple(normalize_tokens(tokenize(message)))
+        if not norm:
+            return None
+        tid = self.table.classify_tokens(list(norm))
+        if tid is not None:
+            return tid
+        return self._handle_miss(norm)
+
+    def observe_many(self, messages: List[str]) -> List[Optional[int]]:
+        """Classify a batch, applying updates as they trigger."""
+        return [self.observe(m) for m in messages]
+
+    # -- miss handling ------------------------------------------------------
+
+    def _handle_miss(self, norm: Tuple[str, ...]) -> Optional[int]:
+        near = self._nearest_template(norm)
+        if near is not None:
+            tid, mismatches = near
+            if mismatches <= self.config.generalize_max_mismatch:
+                self._generalize(tid, norm)
+                return tid
+        buf = self._miss_buffer[len(norm)]
+        buf.append(norm)
+        if len(buf) > self.config.buffer_cap:
+            del buf[0]
+        return self._try_mint(norm)
+
+    def _nearest_template(
+        self, norm: Tuple[str, ...]
+    ) -> Optional[Tuple[int, int]]:
+        """Closest same-length template: (id, constant mismatches)."""
+        best: Optional[Tuple[int, int]] = None
+        for tpl in self.table:
+            if tpl.n_tokens != len(norm):
+                continue
+            mism = 0
+            for mine, theirs in zip(tpl.tokens, norm):
+                if mine is not None and mine != theirs:
+                    mism += 1
+            # Require some shared constant so we never generalize an
+            # unrelated template into mush.
+            shared = sum(
+                1
+                for mine, theirs in zip(tpl.tokens, norm)
+                if mine is not None and mine == theirs
+            )
+            if shared == 0:
+                continue
+            if best is None or mism < best[1]:
+                best = (tpl.template_id, mism)
+        return best
+
+    def _generalize(self, tid: int, norm: Tuple[str, ...]) -> None:
+        """Wildcard the disagreeing positions of template ``tid``."""
+        tpl = self.table[tid]
+        merged = tuple(
+            mine if (mine is not None and mine == theirs) else
+            (mine if mine is None or mine == theirs else None)
+            for mine, theirs in zip(tpl.tokens, norm)
+        )
+        self.table.replace(
+            tid,
+            MinedTemplate(tokens=merged, support=tpl.support + 1),
+        )
+        self.updated_ids.append(tid)
+
+    def _try_mint(self, norm: Tuple[str, ...]) -> Optional[int]:
+        """Mint a new template once the buffer shows stable evidence.
+
+        Evidence = buffered shapes that agree with ``norm`` on at least
+        half of their constant positions; ``new_template_min_evidence``
+        of them (including duplicates) trigger the mint.
+        """
+        buf = self._miss_buffer[len(norm)]
+        kin = [b for b in buf if self._kinship(b, norm)]
+        if len(kin) < self.config.new_template_min_evidence:
+            return None
+        tokens: List[Optional[str]] = []
+        for pos in range(len(norm)):
+            values = {b[pos] for b in kin}
+            if len(values) == 1 and "*" not in values:
+                tokens.append(norm[pos])
+            else:
+                tokens.append(None)
+        stored = self.table.add(
+            MinedTemplate(tokens=tuple(tokens), support=len(kin))
+        )
+        self._miss_buffer[len(norm)] = [b for b in buf if b not in kin]
+        self.updated_ids.append(stored.template_id)
+        return stored.template_id
+
+    @staticmethod
+    def _kinship(a: Tuple[str, ...], b: Tuple[str, ...]) -> bool:
+        """Do two same-length shapes agree on >= half their tokens?"""
+        agree = sum(1 for x, y in zip(a, b) if x == y)
+        return agree * 2 >= len(a)
+
+
+def bootstrap_online(
+    messages: List[str], miner_config: Optional[MinerConfig] = None
+) -> OnlineHELO:
+    """Convenience: offline-mine a corpus, return the online matcher."""
+    miner = HELOMiner(miner_config)
+    return OnlineHELO(table=miner.fit(messages))

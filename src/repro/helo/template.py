@@ -1,0 +1,148 @@
+"""Mined template model: constant token skeletons with wildcards.
+
+A mined template is the recovered analogue of
+:class:`repro.simulation.templates.Template`: a sequence of tokens where
+variable positions hold ``None`` (rendered as ``*``).  Templates match a
+message when every constant position agrees; this is the regular
+expression semantics the paper describes ("templates represent regular
+expressions that describe a set of syntactically related messages").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.helo.tokenizer import normalize_tokens, tokenize
+
+
+@dataclass(frozen=True)
+class MinedTemplate:
+    """One recovered event type.
+
+    ``tokens`` holds the constant token at each position, or ``None`` for
+    a wildcard.  ``template_id`` is assigned by the owning
+    :class:`TemplateTable`; ``support`` counts training messages that
+    matched during mining.
+    """
+
+    tokens: Tuple[Optional[str], ...]
+    template_id: int = -1
+    support: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.tokens:
+            raise ValueError("empty template")
+
+    @property
+    def n_tokens(self) -> int:
+        """Number of token positions."""
+        return len(self.tokens)
+
+    @property
+    def n_wildcards(self) -> int:
+        """Number of variable positions."""
+        return sum(1 for t in self.tokens if t is None)
+
+    def matches_tokens(self, tokens: Sequence[str]) -> bool:
+        """Token-wise match: equal length, constants agree."""
+        if len(tokens) != len(self.tokens):
+            return False
+        for mine, theirs in zip(self.tokens, tokens):
+            if mine is not None and mine != theirs:
+                return False
+        return True
+
+    def matches(self, message: str) -> bool:
+        """Match a raw message string (after token normalization)."""
+        return self.matches_tokens(normalize_tokens(tokenize(message)))
+
+    def skeleton(self) -> str:
+        """Human-readable form with ``*`` wildcards (paper notation)."""
+        return " ".join("*" if t is None else t for t in self.tokens)
+
+    def specificity(self) -> float:
+        """Fraction of constant positions (1.0 = fully constant)."""
+        return 1.0 - self.n_wildcards / self.n_tokens
+
+    def merge(self, other: "MinedTemplate") -> "MinedTemplate":
+        """Generalize two same-length templates into their union.
+
+        Positions that disagree become wildcards.  Used by the online
+        updater when a new message is one variable field away from an
+        existing template.
+        """
+        if self.n_tokens != other.n_tokens:
+            raise ValueError("cannot merge templates of different lengths")
+        merged = tuple(
+            a if a == b else None for a, b in zip(self.tokens, other.tokens)
+        )
+        return MinedTemplate(
+            tokens=merged,
+            template_id=self.template_id,
+            support=self.support + other.support,
+        )
+
+
+class TemplateTable:
+    """Indexed collection of mined templates with fast lookup.
+
+    Lookup buckets templates by token count, then scans the bucket for a
+    token-wise match.  Buckets hold at most a few dozen templates on real
+    catalogs, so :meth:`classify` is effectively O(message length).
+    """
+
+    def __init__(self, templates: Iterable[MinedTemplate] = ()) -> None:
+        self._templates: List[MinedTemplate] = []
+        self._buckets: Dict[int, List[int]] = {}
+        for t in templates:
+            self.add(t)
+
+    def __len__(self) -> int:
+        return len(self._templates)
+
+    def __iter__(self):
+        return iter(self._templates)
+
+    def __getitem__(self, tid: int) -> MinedTemplate:
+        return self._templates[tid]
+
+    def add(self, template: MinedTemplate) -> MinedTemplate:
+        """Register a template, assigning the next dense id."""
+        tid = len(self._templates)
+        stored = MinedTemplate(
+            tokens=template.tokens, template_id=tid, support=template.support
+        )
+        self._templates.append(stored)
+        self._buckets.setdefault(stored.n_tokens, []).append(tid)
+        return stored
+
+    def replace(self, tid: int, template: MinedTemplate) -> MinedTemplate:
+        """Swap the template stored at ``tid`` (id is preserved).
+
+        Bucket membership may change when constants become wildcards; the
+        index is updated accordingly.
+        """
+        old = self._templates[tid]
+        if template.n_tokens != old.n_tokens:
+            raise ValueError("replacement must preserve token count")
+        stored = MinedTemplate(
+            tokens=template.tokens, template_id=tid, support=template.support
+        )
+        self._templates[tid] = stored
+        return stored
+
+    def classify_tokens(self, tokens: Sequence[str]) -> Optional[int]:
+        """Template id matching the tokens, or ``None``."""
+        for tid in self._buckets.get(len(tokens), ()):
+            if self._templates[tid].matches_tokens(tokens):
+                return tid
+        return None
+
+    def classify(self, message: str) -> Optional[int]:
+        """Template id matching a raw message, or ``None``."""
+        return self.classify_tokens(normalize_tokens(tokenize(message)))
+
+    def skeletons(self) -> List[str]:
+        """All template skeletons, in id order."""
+        return [t.skeleton() for t in self._templates]

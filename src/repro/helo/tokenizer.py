@@ -1,0 +1,86 @@
+"""Message tokenization and variable-token heuristics.
+
+Real log-template miners first normalize obviously variable fields —
+numbers, hexadecimal words, file paths, IP-ish tokens — because treating
+every distinct number as a distinct word explodes the vocabulary.  The
+same heuristics appear in HELO and in most published log parsers.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Tuple
+
+_HEX_RE = re.compile(r"^(0x)?[0-9a-fA-F]+$")
+_NUM_RE = re.compile(r"^[+-]?\d+(\.\d+)?$")
+_PATH_RE = re.compile(r"^(/[\w.\-]+)+/?$")
+_KV_RE = re.compile(r"^([A-Za-z_]+[.:=])((0x)?[0-9a-fA-F]*\d[0-9a-fA-F]*|\d+(\.\d+)?)$")
+
+
+def is_variable_token(token: str) -> bool:
+    """Heuristic: is this token almost certainly a variable field?
+
+    Pure numbers, ``0x`` hex literals, digit-bearing hex words and
+    filesystem paths are variable.  Tokens that merely *contain* digits
+    in a non-hex shape (``1:136``) are left alone so the clustering step
+    can decide from cross-message evidence.
+    """
+    if not token:
+        return False
+    if _NUM_RE.match(token):
+        return True
+    if _HEX_RE.match(token) and (
+        token.startswith("0x")
+        or (len(token) >= 4 and any(c.isdigit() for c in token))
+    ):
+        return True
+    if _PATH_RE.match(token) and "/" in token:
+        return True
+    return False
+
+
+def tokenize(message: str) -> List[str]:
+    """Split a message into whitespace tokens, lowercased.
+
+    Lowercasing matches HELO's case-insensitive clustering; the paper's
+    template listings are all lowercase for the same reason.
+    """
+    return message.lower().split()
+
+
+def normalize_token(token: str) -> str:
+    """Canonical form of one token: itself, ``*``, or ``key:*``.
+
+    Register-dump tokens like ``lr:0x5e3a91`` keep their key and
+    wildcard the value (``lr:*``) — matching the paper's own template
+    notation (``lr:* cr:* xer:* ctr:*``, ``PLB.*``).  Without this, every
+    render of a key:value field is a distinct shape and the containing
+    token-length group becomes unsplittable.
+    """
+    if is_variable_token(token):
+        return "*"
+    m = _KV_RE.match(token)
+    if m:
+        return m.group(1) + "*"
+    return token
+
+
+def normalize_tokens(tokens: List[str]) -> List[str]:
+    """Replace variable tokens with ``*`` (or ``key:*``) wildcards."""
+    return [normalize_token(t) for t in tokens]
+
+
+def signature(tokens: List[str]) -> Tuple[int, str]:
+    """Coarse pre-clustering key: (token count, first constant token).
+
+    Messages in the same template always share their token count (the
+    wildcards substitute single tokens in this model) and, in practice,
+    their leading constant token; keying on both keeps cluster inputs
+    small so the per-cluster mining stays cheap.
+    """
+    first = ""
+    for t in tokens:
+        if not is_variable_token(t):
+            first = t
+            break
+    return len(tokens), first

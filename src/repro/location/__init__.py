@@ -1,0 +1,27 @@
+"""Location correlation and propagation analysis (sections III.D and V).
+
+Some errors influence multiple nodes depending on their place in the
+machine; the propagation path "follows closely the way components are
+connected in the system".  Because topology is generally not available to
+a predictor, the paper extracts per-chain *location lists*: for every
+occurrence of a correlation chain, the set of unique locations where its
+events fired.  From these lists this package derives the propagation
+statistics of Fig. 7 / section V and the location-prediction heuristic
+used by the online predictor.
+"""
+
+from repro.location.propagation import (
+    ChainLocationProfile,
+    LocationIndex,
+    LocationPredictor,
+    extract_location_profiles,
+    propagation_breakdown,
+)
+
+__all__ = [
+    "LocationIndex",
+    "ChainLocationProfile",
+    "LocationPredictor",
+    "extract_location_profiles",
+    "propagation_breakdown",
+]

@@ -1,0 +1,26 @@
+"""Data-mining layer: gradual itemset mining over outlier trains.
+
+Section III.C adapts the sequential GRITE gradual-itemset algorithm [2]
+to binarized outlier signals: the first tree level is seeded with the
+2-pair correlations from the signal cross-correlation function, each item
+carries a fixed delay θ, only the ≥ (decreasing) comparison operator is
+kept, and the Mann-Whitney test decides statistical significance.
+
+* :mod:`repro.mining.correlations` — :class:`GradualItem` /
+  :class:`CorrelationChain` data model;
+* :mod:`repro.mining.mannwhitney` — from-scratch Mann-Whitney U test;
+* :mod:`repro.mining.grite` — the adapted level-wise miner.
+"""
+
+from repro.mining.correlations import CorrelationChain, GradualItem
+from repro.mining.mannwhitney import MannWhitneyResult, mann_whitney_u
+from repro.mining.grite import GriteConfig, GriteMiner
+
+__all__ = [
+    "GradualItem",
+    "CorrelationChain",
+    "MannWhitneyResult",
+    "mann_whitney_u",
+    "GriteConfig",
+    "GriteMiner",
+]

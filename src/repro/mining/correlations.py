@@ -1,0 +1,142 @@
+"""Correlation-chain data model.
+
+"Given a table set of signals S, a gradual item is a pair (Si, θi) where
+Si is an attribute in S and θi represents a delay in the signal.  A
+gradual itemset G = {(S1, θ1), ..., (Sk, θk)} is a set of gradual items of
+cardinality greater than or equal to 2." (section III.C)
+
+:class:`GradualItem` and :class:`CorrelationChain` implement exactly that,
+with delays in *samples* (multiples of the 10-second unit — the paper's
+Table I lists delays as time units for the same reason).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True, order=True)
+class GradualItem:
+    """(event type, delay) — one item of a gradual itemset.
+
+    ``delay`` is in samples relative to the chain anchor (the first
+    symptom), so the anchor itself has delay 0.
+    """
+
+    delay: int
+    event_type: int
+
+    def shifted(self, offset: int) -> "GradualItem":
+        """Item with its delay moved by ``offset`` samples."""
+        return GradualItem(delay=self.delay + offset, event_type=self.event_type)
+
+
+@dataclass(frozen=True)
+class CorrelationChain:
+    """A gradual itemset: ≥2 events with fixed relative delays.
+
+    ``support`` counts complete pattern occurrences in training;
+    ``confidence`` is the fraction of anchor outliers whose full pattern
+    completed (the paper's "similarity degree"/confidence, which drops as
+    the span grows past ~5 minutes).  ``p_value`` comes from the
+    Mann-Whitney significance test on the seeding pair correlations.
+    """
+
+    items: Tuple[GradualItem, ...]
+    support: int = 0
+    confidence: float = 0.0
+    p_value: float = 1.0
+
+    def __post_init__(self) -> None:
+        if len(self.items) < 2:
+            raise ValueError("a gradual itemset has cardinality >= 2")
+        ordered = tuple(sorted(self.items))
+        if ordered != self.items:
+            object.__setattr__(self, "items", ordered)
+        if self.items[0].delay != 0:
+            raise ValueError("chain anchor must have delay 0")
+        if len({it.event_type for it in self.items}) != len(self.items):
+            raise ValueError("duplicate event types in chain")
+
+    # -- shape -------------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """Number of events in the chain (Fig. 5's x-axis)."""
+        return len(self.items)
+
+    @property
+    def span(self) -> int:
+        """Samples between first symptom and last event (Fig. 6's x-axis)."""
+        return self.items[-1].delay
+
+    def span_seconds(self, sampling_period: float = 10.0) -> float:
+        """Span converted to seconds."""
+        return self.span * sampling_period
+
+    @property
+    def anchor(self) -> int:
+        """Event type of the first symptom."""
+        return self.items[0].event_type
+
+    @property
+    def event_types(self) -> Tuple[int, ...]:
+        """Event types in delay order."""
+        return tuple(it.event_type for it in self.items)
+
+    def delay_of(self, event_type: int) -> int:
+        """Delay of ``event_type`` within the chain (raises if absent)."""
+        for it in self.items:
+            if it.event_type == event_type:
+                return it.delay
+        raise KeyError(f"event type {event_type} not in chain")
+
+    # -- structure ---------------------------------------------------------
+
+    def contains(self, other: "CorrelationChain") -> bool:
+        """Is ``other`` a sub-itemset with consistent relative delays?
+
+        Delays are compared after re-anchoring ``other`` on its first
+        event's delay inside ``self``.
+        """
+        try:
+            base = self.delay_of(other.items[0].event_type)
+        except KeyError:
+            return False
+        for it in other.items:
+            try:
+                if self.delay_of(it.event_type) - base != it.delay:
+                    return False
+            except KeyError:
+                return False
+        return True
+
+    def prefix(self, k: int) -> Tuple[GradualItem, ...]:
+        """First ``k`` items (used for sibling joins)."""
+        return self.items[:k]
+
+    def with_stats(
+        self, support: int, confidence: float, p_value: float
+    ) -> "CorrelationChain":
+        """Copy with measured statistics attached."""
+        return replace(
+            self, support=support, confidence=confidence, p_value=p_value
+        )
+
+    def describe(self, names: Optional[Sequence[str]] = None) -> str:
+        """Human-readable rendering in the paper's Table I style."""
+        parts = []
+        for i, it in enumerate(self.items):
+            label = (
+                names[it.event_type]
+                if names is not None
+                else f"S{it.event_type}"
+            )
+            if i == 0:
+                parts.append(label)
+            else:
+                gap = it.delay - self.items[i - 1].delay
+                parts.append(f"after {gap} time unit(s): {label}")
+            # noqa: E501 - matches the paper's listing style
+        return "\n".join(parts)

@@ -1,0 +1,51 @@
+"""Online failure prediction and its evaluation (section VI).
+
+* :mod:`repro.prediction.analysis_time` — cost model of the online
+  analysis window (outlier detection + chain matching), calibrated to the
+  paper's measurements (negligible at ~5 msg/s, ~2.5 s at ~100 msg/s,
+  worst case 8.43 s);
+* :mod:`repro.prediction.engine` — the hybrid online predictor: outlier
+  detection on anchor signals, chain triggering, location attachment,
+  prediction windows;
+* :mod:`repro.prediction.baselines` — the two comparison methods of
+  Table III: pure signal analysis (prior ELSA) and pure data mining
+  (fixed-window association rules à la Zheng et al.);
+* :mod:`repro.prediction.evaluation` — precision/recall scoring against
+  ground truth with location coverage, the Fig. 9 category breakdown and
+  the section-VI window statistics.
+"""
+
+from repro.prediction.analysis_time import AnalysisTimeModel
+from repro.prediction.engine import (
+    HybridPredictor,
+    Prediction,
+    PredictorConfig,
+    TestStream,
+)
+from repro.prediction.baselines import (
+    AssociationRule,
+    DataMiningPredictor,
+    SignalOnlyPredictor,
+)
+from repro.prediction.evaluation import (
+    EvaluationConfig,
+    EvaluationResult,
+    evaluate_predictions,
+)
+from repro.prediction.metalearn import MetaConfig, MetaPredictor
+
+__all__ = [
+    "AnalysisTimeModel",
+    "Prediction",
+    "PredictorConfig",
+    "TestStream",
+    "HybridPredictor",
+    "SignalOnlyPredictor",
+    "DataMiningPredictor",
+    "AssociationRule",
+    "EvaluationConfig",
+    "EvaluationResult",
+    "evaluate_predictions",
+    "MetaConfig",
+    "MetaPredictor",
+]

@@ -1,0 +1,69 @@
+"""Signal layer: event-count signals and their characterization.
+
+Section III of the paper treats each event type as a *signal*: the number
+of occurrences sampled every 10 seconds.  Wavelets and filtering shape the
+normal behaviour of each signal; signals are classified as periodic, noise
+or silent (Fig. 1); outliers — the deviations from normality that seed all
+correlation and prediction — are detected online with a causal
+moving-median filter (Fig. 3).
+
+Modules:
+
+* :mod:`repro.signals.extraction` — records → per-event-type signals;
+* :mod:`repro.signals.wavelet` — from-scratch Haar DWT and denoising;
+* :mod:`repro.signals.characterize` — signal-class inference and
+  normal-behaviour statistics;
+* :mod:`repro.signals.filtering` — causal moving median/average filters;
+* :mod:`repro.signals.outliers` — offline and online outlier detection
+  with replacement;
+* :mod:`repro.signals.crosscorr` — lagged cross-correlation of outlier
+  trains (the seed of GRITE's first level).
+"""
+
+from repro.signals.extraction import SignalSet, extract_signals
+from repro.signals.wavelet import haar_dwt, haar_idwt, wavelet_denoise
+from repro.signals.characterize import (
+    NormalBehavior,
+    characterize_signal,
+    derive_threshold,
+    estimate_period,
+)
+from repro.signals.filtering import causal_moving_average, causal_moving_median
+from repro.signals.outliers import (
+    OnlineOutlierDetector,
+    OnlinePeriodicDetector,
+    OutlierResult,
+    detect_outliers_offline,
+    periodic_gap_outliers,
+)
+from repro.signals.crosscorr import (
+    PairCorrelation,
+    best_lag_correlation,
+    correlate_outlier_trains,
+    cross_correlation,
+    effective_tolerance,
+)
+
+__all__ = [
+    "SignalSet",
+    "extract_signals",
+    "haar_dwt",
+    "haar_idwt",
+    "wavelet_denoise",
+    "NormalBehavior",
+    "characterize_signal",
+    "derive_threshold",
+    "estimate_period",
+    "causal_moving_average",
+    "causal_moving_median",
+    "OnlineOutlierDetector",
+    "OnlinePeriodicDetector",
+    "OutlierResult",
+    "detect_outliers_offline",
+    "periodic_gap_outliers",
+    "PairCorrelation",
+    "best_lag_correlation",
+    "correlate_outlier_trains",
+    "cross_correlation",
+    "effective_tolerance",
+]

@@ -1,0 +1,85 @@
+"""Synthetic HPC system substrate.
+
+The paper analyzes logs from Blue Gene/L and NCSA Mercury.  Neither log set
+is redistributable here, so this package provides a faithful synthetic
+substitute: a machine-topology model, a catalog of message templates with
+the three signal behaviours the paper identifies (periodic, noise, silent),
+a catalog of fault syndromes with realistic inter-event delays and
+propagation scopes, and a log generator that merges background workload
+with injected faults into a time-ordered record stream plus ground truth.
+
+See DESIGN.md section 2 for the substitution rationale.
+"""
+
+from repro.simulation.trace import (
+    Severity,
+    LogRecord,
+    FaultEvent,
+    GroundTruth,
+    write_log,
+    read_log,
+)
+from repro.simulation.topology import (
+    Machine,
+    LocationCode,
+    HierarchyLevel,
+    build_bluegene_machine,
+    build_cluster_machine,
+)
+from repro.simulation.templates import (
+    SignalClass,
+    Template,
+    TemplateCatalog,
+    bluegene_templates,
+    mercury_templates,
+)
+from repro.simulation.faults import (
+    PropagationScope,
+    SyndromeStep,
+    FaultType,
+    FaultCatalog,
+    bluegene_fault_catalog,
+    mercury_fault_catalog,
+)
+from repro.simulation.workload import (
+    PeriodicEmitter,
+    NoiseEmitter,
+    RestartSequenceEmitter,
+    MultilineEmitter,
+    BurstEmitter,
+    WorkloadConfig,
+)
+from repro.simulation.generator import LogGenerator, GeneratorConfig
+
+__all__ = [
+    "Severity",
+    "LogRecord",
+    "FaultEvent",
+    "GroundTruth",
+    "write_log",
+    "read_log",
+    "Machine",
+    "LocationCode",
+    "HierarchyLevel",
+    "build_bluegene_machine",
+    "build_cluster_machine",
+    "SignalClass",
+    "Template",
+    "TemplateCatalog",
+    "bluegene_templates",
+    "mercury_templates",
+    "PropagationScope",
+    "SyndromeStep",
+    "FaultType",
+    "FaultCatalog",
+    "bluegene_fault_catalog",
+    "mercury_fault_catalog",
+    "PeriodicEmitter",
+    "NoiseEmitter",
+    "RestartSequenceEmitter",
+    "MultilineEmitter",
+    "BurstEmitter",
+    "WorkloadConfig",
+    "LogGenerator",
+    "GeneratorConfig",
+]

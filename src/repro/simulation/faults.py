@@ -1,0 +1,509 @@
+"""Fault-syndrome catalog.
+
+Section III of the paper observes that a fault trigger "does not have a
+consistent representation in the logs": a memory failure produces a burst
+of messages, a node crash produces silence, a node-card failure produces a
+slow chain of warnings stretching over an hour (Table II).  This module
+encodes those observations generatively: a :class:`FaultType` is a chain of
+:class:`SyndromeStep`\\ s — (event type, delay-after-previous) pairs — plus
+a propagation rule saying how far along the machine hierarchy the failure's
+effects spread.
+
+The delays are calibrated to the numbers the paper reports:
+
+* memory ECC chains give roughly a one-minute prediction window
+  ("after 6 time units (one minute)" in Table I);
+* node-card chains give 9 minutes to over an hour (Tables I/II);
+* CIODB job-control crashes emit everything "at the same time" (Table II),
+  leaving no usable window;
+* Mercury NFS failures hit many nodes "nearly simultaneously" (section V).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+
+from repro.simulation.topology import HierarchyLevel
+from repro.simulation.templates import TemplateCatalog
+
+
+class PropagationScope(enum.Enum):
+    """How far a fault's effects spread along the machine hierarchy."""
+
+    NONE = "none"           # confined to the origin node
+    NODE_CARD = "nodecard"  # other nodes on the same node card
+    MIDPLANE = "midplane"   # other nodes in the same midplane
+    RACK = "rack"           # other nodes in the same rack
+    GLOBAL = "global"       # anywhere in the machine (e.g. NFS outage)
+
+    def hierarchy_level(self) -> HierarchyLevel:
+        """The containment level nodes are drawn from when propagating."""
+        return {
+            PropagationScope.NONE: HierarchyLevel.NODE,
+            PropagationScope.NODE_CARD: HierarchyLevel.NODE_CARD,
+            PropagationScope.MIDPLANE: HierarchyLevel.MIDPLANE,
+            PropagationScope.RACK: HierarchyLevel.RACK,
+            PropagationScope.GLOBAL: HierarchyLevel.GLOBAL,
+        }[self]
+
+
+@dataclass(frozen=True)
+class SyndromeStep:
+    """One event of a fault syndrome.
+
+    ``delay_lo``/``delay_hi`` bound the uniform delay (seconds) after the
+    *previous* step; the first step's delay is measured from fault onset
+    and is normally ``(0, 0)``.  ``repeat`` draws that many occurrences of
+    the event in a short burst (correctable-error storms).  When
+    ``propagates`` is true the step is emitted on *every* affected node
+    (with per-node jitter), otherwise only on the origin node.
+    ``probability`` makes the step optional: real syndromes do not always
+    log every symptom, which caps the confidence of chains through the
+    flaky step (and the recall of predictions relying on it).  The fatal
+    step always fires.
+    """
+
+    template: str
+    delay_lo: float = 0.0
+    delay_hi: float = 0.0
+    repeat_lo: int = 1
+    repeat_hi: int = 1
+    propagates: bool = False
+    jitter: float = 2.0
+    probability: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.delay_lo < 0 or self.delay_hi < self.delay_lo:
+            raise ValueError("invalid delay bounds")
+        if self.repeat_lo < 1 or self.repeat_hi < self.repeat_lo:
+            raise ValueError("invalid repeat bounds")
+        if not 0.0 < self.probability <= 1.0:
+            raise ValueError("probability must be in (0, 1]")
+
+
+@dataclass(frozen=True)
+class FaultType:
+    """A failure mode: its syndrome chain and propagation behaviour.
+
+    ``rate_per_day`` is the Poisson arrival rate of instances of this
+    fault across the whole machine.  ``fatal_step`` indexes the step whose
+    record counts as *the failure* (default: the last step); everything
+    before it is precursor symptoms, and the gap between the first step
+    and the fatal step is the ground-truth lead time.
+    """
+
+    name: str
+    category: str
+    steps: Tuple[SyndromeStep, ...]
+    scope: PropagationScope = PropagationScope.NONE
+    propagate_prob: float = 0.0
+    n_affected: Tuple[int, int] = (1, 1)
+    rate_per_day: float = 1.0
+    fatal_step: int = -1
+    #: background template silenced between onset and the fatal record —
+    #: the "lack of messages in the log" syndrome of a crashing component.
+    suppresses: Optional[str] = None
+    #: pin the fault origin to a fixed node index (service-node faults
+    #: whose suppressed emitter lives at a known location).
+    fixed_origin_index: Optional[int] = None
+    #: latent fault mode: instances only arrive after this many days —
+    #: models the phase shifts the paper attributes to "software
+    #: upgrades, configuration changes, and even installation of new
+    #: components during [a system's] lifetime" (section I).
+    active_after_days: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.steps:
+            raise ValueError(f"fault {self.name!r} has no syndrome steps")
+        n = len(self.steps)
+        fatal = self.fatal_step if self.fatal_step >= 0 else n + self.fatal_step
+        if not 0 <= fatal < n:
+            raise ValueError(f"fatal_step out of range for {self.name!r}")
+        if not 0.0 <= self.propagate_prob <= 1.0:
+            raise ValueError("propagate_prob must be in [0, 1]")
+        if self.n_affected[0] < 1 or self.n_affected[1] < self.n_affected[0]:
+            raise ValueError("invalid n_affected bounds")
+        if self.active_after_days < 0:
+            raise ValueError("active_after_days must be >= 0")
+
+    @property
+    def fatal_index(self) -> int:
+        """Normalized (non-negative) index of the fatal step."""
+        return self.fatal_step if self.fatal_step >= 0 else len(self.steps) + self.fatal_step
+
+    def mean_lead_time(self) -> float:
+        """Expected seconds between fault onset and the fatal step.
+
+        Includes the first step's delay-from-onset, which carries the
+        whole lead for absence syndromes whose only *logged* event is the
+        fatal one.
+        """
+        return float(
+            sum(
+                (s.delay_lo + s.delay_hi) / 2.0
+                for s in self.steps[: self.fatal_index + 1]
+            )
+        )
+
+    def validate_against(self, catalog: TemplateCatalog) -> None:
+        """Raise if any syndrome step names an unknown template."""
+        for s in self.steps:
+            catalog.id_of(s.template)
+
+
+class FaultCatalog:
+    """All fault types of one scenario, with rate-based sampling support."""
+
+    def __init__(self, fault_types: Sequence[FaultType]) -> None:
+        names = [f.name for f in fault_types]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate fault type names")
+        self._types: List[FaultType] = list(fault_types)
+
+    def __len__(self) -> int:
+        return len(self._types)
+
+    def __iter__(self):
+        return iter(self._types)
+
+    def get(self, name: str) -> FaultType:
+        """Fault type by name."""
+        for f in self._types:
+            if f.name == name:
+                return f
+        raise KeyError(f"unknown fault type {name!r}")
+
+    @property
+    def total_rate_per_day(self) -> float:
+        """Sum of all per-type arrival rates (faults/day machine-wide)."""
+        return float(sum(f.rate_per_day for f in self._types))
+
+    def categories(self) -> List[str]:
+        """Distinct categories present, in first-seen order."""
+        seen: List[str] = []
+        for f in self._types:
+            if f.category not in seen:
+                seen.append(f.category)
+        return seen
+
+    def validate_against(self, catalog: TemplateCatalog) -> None:
+        """Check every syndrome references only known templates."""
+        for f in self._types:
+            f.validate_against(catalog)
+
+
+# ---------------------------------------------------------------------------
+# Blue Gene/L-like fault catalog
+# ---------------------------------------------------------------------------
+
+def bluegene_fault_catalog(
+    latent_start_day: Optional[float] = None,
+) -> FaultCatalog:
+    """Fault modes of the Blue Gene-like scenario.
+
+    The mix of rates is chosen so the overall shape of Table III / Fig. 9
+    is reachable: job-control (CIODB) crashes offer no window, cache
+    errors hide in background noise, node-card chains are slow and highly
+    predictable, memory chains give about a minute.
+
+    ``latent_start_day`` optionally adds the *fan-degradation* fault mode
+    that only begins occurring after that day — a phase shift no static
+    model trained earlier can know about, used to evaluate online
+    correlation adaptation (the paper's section III.C future direction).
+    """
+    latent: List[FaultType] = []
+    if latent_start_day is not None:
+        latent.append(
+            FaultType(
+                name="fan_degrade",
+                category="environment",
+                steps=(
+                    SyndromeStep("env.fan_warn", repeat_lo=1, repeat_hi=3),
+                    SyndromeStep("env.temp_rise", 60.0, 120.0),
+                    SyndromeStep("env.thermal_shutdown", 60.0, 150.0),
+                ),
+                scope=PropagationScope.NONE,
+                rate_per_day=14.0,
+                active_after_days=latent_start_day,
+            )
+        )
+    return FaultCatalog(latent + [
+        FaultType(
+            name="memory_ecc",
+            category="memory",
+            steps=(
+                SyndromeStep("mem.correctable_dir", repeat_lo=2, repeat_hi=6, probability=0.8),
+                SyndromeStep("mem.uncorrectable_dir", 55.0, 65.0),
+                SyndromeStep("mem.capture_addr", 8.0, 12.0),
+                SyndromeStep("mem.ddr_failing", 4.0, 10.0),
+                SyndromeStep("mem.plb_parity", 2.0, 8.0, propagates=True),
+            ),
+            scope=PropagationScope.MIDPLANE,
+            propagate_prob=0.25,
+            n_affected=(2, 6),
+            rate_per_day=24.0,
+        ),
+        FaultType(
+            name="ddr_storm",
+            category="memory",
+            steps=(
+                SyndromeStep("mem.ddr_corrected", repeat_lo=4, repeat_hi=10, propagates=True),
+                SyndromeStep("mem.l3_count", 20.0, 40.0),
+                SyndromeStep("mem.ddr_total", 25.0, 45.0, propagates=True),
+            ),
+            scope=PropagationScope.MIDPLANE,
+            propagate_prob=0.6,
+            n_affected=(2, 8),
+            rate_per_day=10.0,
+        ),
+        FaultType(
+            name="nodecard_fail",
+            category="nodecard",
+            steps=(
+                SyndromeStep("card.bit_sparing"),
+                SyndromeStep("card.linkcard_power", 425.0, 455.0),
+                SyndromeStep("card.service_comm", 70.0, 110.0),
+                SyndromeStep("card.prepare_service", 90.0, 150.0),
+            ),
+            scope=PropagationScope.NONE,
+            rate_per_day=6.0,
+        ),
+        FaultType(
+            name="nodecard_service",
+            category="nodecard",
+            steps=(
+                SyndromeStep("card.endservice_restart"),
+                SyndromeStep("card.vpd_mismatch", 500.0, 1000.0),
+                SyndromeStep("card.assembly_info", 300.0, 600.0),
+                SyndromeStep("card.linkcard_power", 1500.0, 2300.0),
+                SyndromeStep("card.no_power_module", 500.0, 900.0),
+                SyndromeStep("card.temp_over_limit", 300.0, 600.0),
+            ),
+            scope=PropagationScope.NONE,
+            rate_per_day=5.0,
+        ),
+        FaultType(
+            name="node_crash",
+            category="node",
+            steps=(
+                SyndromeStep("node.down", 240.0, 330.0),
+            ),
+            scope=PropagationScope.NONE,
+            rate_per_day=8.0,
+            suppresses="info.heartbeat",
+            fixed_origin_index=0,
+        ),
+        FaultType(
+            name="ciodb_crash",
+            category="jobcontrol",
+            steps=(
+                SyndromeStep("job.ciodb_abort"),
+                SyndromeStep("job.mmcs_abort", 0.0, 1.0),
+                SyndromeStep("job.timeout", 0.0, 2.0),
+            ),
+            scope=PropagationScope.NONE,
+            rate_per_day=28.0,
+            fatal_step=0,
+        ),
+        FaultType(
+            name="cache_fail",
+            category="cache",
+            steps=(
+                SyndromeStep("cache.parity_corrected", repeat_lo=2, repeat_hi=5),
+                SyndromeStep("cache.dcache_parity", 10.0, 25.0, probability=0.35),
+                SyndromeStep("cache.l3_major", 10.0, 30.0),
+            ),
+            scope=PropagationScope.NONE,
+            rate_per_day=24.0,
+        ),
+        FaultType(
+            name="cache_held",
+            category="cache",
+            steps=(
+                SyndromeStep("cache.parity_corrected", repeat_lo=1, repeat_hi=3),
+                SyndromeStep("cache.recovery_fail", 5.0, 15.0),
+            ),
+            scope=PropagationScope.NONE,
+            rate_per_day=6.0,
+        ),
+        FaultType(
+            name="torus_link",
+            category="network",
+            steps=(
+                SyndromeStep("net.torus_retrans", repeat_lo=2, repeat_hi=6),
+                SyndromeStep("net.rx_crc", 15.0, 35.0, propagates=True, probability=0.35),
+                SyndromeStep("net.link_down", 20.0, 45.0, propagates=True),
+            ),
+            scope=PropagationScope.RACK,
+            propagate_prob=0.55,
+            n_affected=(2, 10),
+            rate_per_day=12.0,
+        ),
+        FaultType(
+            name="eth_loss",
+            category="network",
+            steps=(
+                SyndromeStep("net.tree_parity", repeat_lo=1, repeat_hi=4, probability=0.5),
+                SyndromeStep("net.ncard_eth", 25.0, 50.0, propagates=True),
+            ),
+            scope=PropagationScope.NODE_CARD,
+            propagate_prob=0.5,
+            n_affected=(2, 6),
+            rate_per_day=6.0,
+        ),
+        FaultType(
+            name="io_fail",
+            category="io",
+            steps=(
+                SyndromeStep("io.ciod_strm", repeat_lo=1, repeat_hi=3, probability=0.75),
+                SyndromeStep("io.gpfs_stale", 30.0, 70.0),
+                SyndromeStep("io.fs_unavail", 60.0, 120.0, propagates=True),
+            ),
+            scope=PropagationScope.MIDPLANE,
+            propagate_prob=0.3,
+            n_affected=(2, 5),
+            rate_per_day=10.0,
+        ),
+        FaultType(
+            name="fs_outage",
+            category="io",
+            steps=(
+                SyndromeStep("io.gpfs_stale", repeat_lo=2, repeat_hi=4, propagates=True),
+                SyndromeStep("io.fs_unavail", 10.0, 30.0, propagates=True),
+            ),
+            scope=PropagationScope.GLOBAL,
+            propagate_prob=0.9,
+            n_affected=(10, 40),
+            rate_per_day=1.5,
+        ),
+    ])
+
+
+# ---------------------------------------------------------------------------
+# Mercury-like fault catalog
+# ---------------------------------------------------------------------------
+
+def mercury_fault_catalog() -> FaultCatalog:
+    """Fault modes of the Mercury-like flat-cluster scenario."""
+    return FaultCatalog([
+        FaultType(
+            name="nfs_outage",
+            category="network",
+            steps=(
+                SyndromeStep("nfs.slow_server", repeat_lo=2, repeat_hi=6, propagates=True),
+                SyndromeStep("nfs.io_error", 10.0, 30.0, propagates=True),
+                SyndromeStep("nfs.bad_reclen", 10.0, 30.0, propagates=True, jitter=4.0),
+            ),
+            scope=PropagationScope.GLOBAL,
+            propagate_prob=0.95,
+            n_affected=(15, 60),
+            rate_per_day=2.0,
+        ),
+        FaultType(
+            name="node_restart",
+            category="network",
+            steps=(
+                SyndromeStep("net.mce", repeat_lo=1, repeat_hi=3),
+                SyndromeStep("net.ifup_failed", 20.0, 60.0, propagates=True),
+            ),
+            scope=PropagationScope.GLOBAL,
+            propagate_prob=0.4,
+            n_affected=(2, 8),
+            rate_per_day=10.0,
+        ),
+        FaultType(
+            name="mem_oom",
+            category="memory",
+            steps=(
+                SyndromeStep("net.ecc", repeat_lo=3, repeat_hi=8),
+                SyndromeStep("mem.oom", 40.0, 90.0),
+            ),
+            scope=PropagationScope.NONE,
+            rate_per_day=18.0,
+        ),
+        FaultType(
+            name="disk_fail",
+            category="io",
+            steps=(
+                SyndromeStep("disk.smart", repeat_lo=2, repeat_hi=5),
+                SyndromeStep("disk.io_err", 60.0, 240.0),
+            ),
+            scope=PropagationScope.NONE,
+            rate_per_day=8.0,
+        ),
+        FaultType(
+            name="pbs_node_down",
+            category="jobcontrol",
+            steps=(
+                SyndromeStep("sched.pbs_down"),
+                SyndromeStep("sched.job_kill", 0.0, 3.0),
+            ),
+            scope=PropagationScope.NONE,
+            rate_per_day=16.0,
+            fatal_step=0,
+        ),
+        FaultType(
+            name="cpu_mce",
+            category="cache",
+            steps=(
+                SyndromeStep("net.mce", repeat_lo=2, repeat_hi=6),
+                SyndromeStep("net.mce", 10.0, 30.0, repeat_lo=1, repeat_hi=2),
+            ),
+            scope=PropagationScope.NONE,
+            rate_per_day=12.0,
+        ),
+        FaultType(
+            name="lustre_outage",
+            category="io",
+            steps=(
+                SyndromeStep("lustre.slow_reply", repeat_lo=2, repeat_hi=5,
+                             propagates=True),
+                SyndromeStep("lustre.ost_lost", 30.0, 90.0, propagates=True),
+                SyndromeStep("lustre.evicted", 60.0, 180.0, propagates=True),
+            ),
+            scope=PropagationScope.GLOBAL,
+            propagate_prob=0.8,
+            n_affected=(8, 30),
+            rate_per_day=3.0,
+        ),
+        FaultType(
+            name="switch_fail",
+            category="network",
+            steps=(
+                SyndromeStep("switch.link_flap", repeat_lo=2, repeat_hi=6),
+                SyndromeStep("switch.port_down", 40.0, 120.0),
+                SyndromeStep("switch.uplink_dead", 60.0, 180.0,
+                             propagates=True),
+            ),
+            scope=PropagationScope.GLOBAL,
+            propagate_prob=0.6,
+            n_affected=(4, 16),
+            rate_per_day=5.0,
+        ),
+        FaultType(
+            name="raid_degrade",
+            category="io",
+            steps=(
+                # The cluster's slow chain: sector remaps accumulate for
+                # the better part of an hour before the array gives up.
+                SyndromeStep("raid.sector_remap", repeat_lo=1, repeat_hi=3),
+                SyndromeStep("raid.degraded", 900.0, 1800.0),
+                SyndromeStep("raid.failed", 900.0, 2100.0),
+            ),
+            scope=PropagationScope.NONE,
+            rate_per_day=4.0,
+        ),
+        FaultType(
+            name="thermal_event",
+            category="environment",
+            steps=(
+                SyndromeStep("thermal.warn", repeat_lo=2, repeat_hi=6),
+                SyndromeStep("thermal.shutdown", 120.0, 400.0),
+            ),
+            scope=PropagationScope.NONE,
+            rate_per_day=7.0,
+        ),
+    ])

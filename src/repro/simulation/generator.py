@@ -1,0 +1,216 @@
+"""Scenario log generator: background workload + injected faults.
+
+:class:`LogGenerator` draws Poisson fault arrivals per fault type, expands
+each instance's syndrome into concrete records (with propagation to peer
+nodes where the fault type says so), merges everything with the background
+workload, and returns a time-sorted record stream plus the exact ground
+truth the evaluation layer scores against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.simulation.faults import FaultCatalog, FaultType, PropagationScope
+from repro.simulation.templates import TemplateCatalog
+from repro.simulation.topology import Machine
+from repro.simulation.trace import FaultEvent, GroundTruth, LogRecord
+from repro.simulation.workload import WorkloadConfig, build_default_emitters
+
+
+@dataclass
+class GeneratorConfig:
+    """Scenario shape.
+
+    ``duration_days`` covers both the offline-training and online-test
+    periods; the split point is the caller's business (the paper trains on
+    the first 3 of ~7–10 months; scaled scenarios use the first ~30 %).
+    ``fault_rate_scale`` multiplies every fault type's arrival rate, which
+    is how tests shrink scenarios without changing the fault mix.
+    """
+
+    duration_days: float = 7.0
+    seed: int = 0
+    fault_rate_scale: float = 1.0
+    workload: WorkloadConfig = field(default_factory=WorkloadConfig)
+
+    @property
+    def duration_seconds(self) -> float:
+        """Total scenario length in seconds."""
+        return self.duration_days * 86400.0
+
+
+class LogGenerator:
+    """Generates one scenario for a (machine, templates, faults) triple."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        templates: TemplateCatalog,
+        faults: FaultCatalog,
+        config: Optional[GeneratorConfig] = None,
+    ) -> None:
+        self.machine = machine
+        self.templates = templates
+        self.faults = faults
+        self.config = config or GeneratorConfig()
+        faults.validate_against(templates)
+
+    # -- fault expansion ----------------------------------------------------
+
+    def _affected_nodes(
+        self, ftype: FaultType, origin: str, rng: np.random.Generator
+    ) -> List[str]:
+        """Locations hit by one instance (origin always included).
+
+        Section V observes that for most propagating chains the initiating
+        node is part of the affected set; we keep that property by
+        construction.
+        """
+        if (
+            ftype.scope == PropagationScope.NONE
+            or rng.random() >= ftype.propagate_prob
+        ):
+            return [origin]
+        peers = self.machine.peers(origin, ftype.scope.hierarchy_level())
+        lo, hi = ftype.n_affected
+        n = int(rng.integers(lo, hi + 1))
+        n = min(n, len(peers))
+        others = [p for p in peers if p != origin]
+        if not others or n <= 1:
+            return [origin]
+        rng.shuffle(others)
+        return [origin] + others[: n - 1]
+
+    def _expand_instance(
+        self,
+        ftype: FaultType,
+        fault_id: int,
+        onset: float,
+        rng: np.random.Generator,
+    ) -> Tuple[List[LogRecord], FaultEvent]:
+        """Expand one fault instance into records + its ground truth."""
+        if ftype.fixed_origin_index is not None:
+            origin = self.machine.nodes[ftype.fixed_origin_index]
+        else:
+            origin = self.machine.random_node(rng)
+        affected = self._affected_nodes(ftype, origin, rng)
+        records: List[LogRecord] = []
+        t = onset
+        fail_time = onset
+        for idx, step in enumerate(ftype.steps):
+            if idx > 0 or step.delay_hi > 0:
+                t += float(rng.uniform(step.delay_lo, step.delay_hi))
+            if (
+                idx != ftype.fatal_index
+                and step.probability < 1.0
+                and rng.random() >= step.probability
+            ):
+                continue  # flaky symptom not logged this time
+            tid = self.templates.id_of(step.template)
+            tpl = self.templates[tid]
+            n_rep = int(rng.integers(step.repeat_lo, step.repeat_hi + 1))
+            targets = affected if step.propagates else [origin]
+            for loc in targets:
+                for r in range(n_rep):
+                    jitter = 0.0
+                    if loc != origin or r > 0:
+                        jitter = abs(float(rng.normal(0.0, step.jitter)))
+                    records.append(
+                        LogRecord(
+                            timestamp=t + jitter,
+                            location=loc,
+                            severity=tpl.severity,
+                            message=tpl.render(rng),
+                            event_type=tid,
+                            fault_id=fault_id,
+                        )
+                    )
+            if idx == ftype.fatal_index:
+                fail_time = t
+        event = FaultEvent(
+            fault_id=fault_id,
+            fault_type=ftype.name,
+            category=ftype.category,
+            onset_time=onset,
+            fail_time=fail_time,
+            locations=tuple(affected),
+        )
+        return records, event
+
+    # -- generation -----------------------------------------------------------
+
+    def generate(self) -> Tuple[List[LogRecord], GroundTruth]:
+        """Produce the full scenario: sorted records + ground truth."""
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed)
+        duration = cfg.duration_seconds
+
+        emitters = build_default_emitters(
+            self.templates, self.machine, cfg.workload, rng
+        )
+        records: List[LogRecord] = []
+        for em in emitters:
+            records.extend(em.generate(duration, self.templates, self.machine, rng))
+
+        faults: List[FaultEvent] = []
+        suppressions: List[Tuple[int, float, float]] = []  # (tid, t0, t1)
+        fault_id = 0
+        for ftype in self.faults:
+            t_active = min(ftype.active_after_days * 86400.0, duration)
+            active_span = duration - t_active
+            rate = ftype.rate_per_day * cfg.fault_rate_scale / 86400.0
+            n = rng.poisson(rate * active_span)
+            onsets = np.sort(
+                rng.uniform(t_active, duration, size=n)
+            )
+            for onset in onsets:
+                recs, event = self._expand_instance(
+                    ftype, fault_id, float(onset), rng
+                )
+                # Drop instances whose syndrome overruns the scenario end;
+                # a truncated chain has no fatal record to predict.
+                if recs and max(r.timestamp for r in recs) < duration:
+                    records.extend(recs)
+                    faults.append(event)
+                    fault_id += 1
+                    if ftype.suppresses is not None:
+                        suppressions.append(
+                            (
+                                self.templates.id_of(ftype.suppresses),
+                                event.onset_time,
+                                event.fail_time,
+                            )
+                        )
+
+        if suppressions:
+            records = self._apply_suppressions(records, suppressions)
+        records.sort(key=lambda r: r.timestamp)
+        return records, GroundTruth(faults)
+
+    @staticmethod
+    def _apply_suppressions(
+        records: List[LogRecord],
+        suppressions: List[Tuple[int, float, float]],
+    ) -> List[LogRecord]:
+        """Silence suppressed templates inside their fault windows.
+
+        A crashing component stops logging: its background messages
+        vanish between fault onset and the fatal record, leaving the
+        absence itself as the only symptom.
+        """
+        by_tid: dict = {}
+        for tid, t0, t1 in suppressions:
+            by_tid.setdefault(tid, []).append((t0, t1))
+        out: List[LogRecord] = []
+        for rec in records:
+            windows = by_tid.get(rec.event_type)
+            if windows is not None and rec.fault_id is None and any(
+                t0 <= rec.timestamp < t1 for t0, t1 in windows
+            ):
+                continue
+            out.append(rec)
+        return out

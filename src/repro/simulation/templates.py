@@ -1,0 +1,353 @@
+"""Message template catalog.
+
+HELO (the paper's template miner) reduces raw log lines to *templates* —
+regular expressions describing a set of syntactically related messages,
+which define the system's event types.  Blue Gene/L logs contain 207 event
+types, Mercury 409 (section IV).  This module is the generative mirror:
+each :class:`Template` owns a format string with variable fields and can
+render concrete message instances, so the synthetic logs contain the same
+constant-skeleton / variable-field structure HELO has to recover.
+
+Templates also carry the two labels the paper's analysis keys on:
+
+* ``signal_class`` — whether occurrences of the event type form a
+  periodic, noise, or silent signal (Fig. 1);
+* ``category`` — the failure category used for the recall breakdown
+  (Fig. 9): memory, nodecard, network, cache, io, jobcontrol, or the
+  non-failure ``info`` category.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.simulation.trace import Severity
+
+
+class SignalClass(enum.Enum):
+    """The three signal behaviours of section III (Fig. 1).
+
+    * ``PERIODIC`` — regular heartbeat-like messages (monitoring daemons).
+    * ``NOISE`` — bursty chatter with random rate (correctable errors,
+      application output).
+    * ``SILENT`` — event types that are absent during normal operation and
+      only appear when something unusual happens (restarts, hardware
+      service actions).  Silent signals are the majority of event types
+      and the ones plain data mining handles worst.
+    """
+
+    PERIODIC = "periodic"
+    NOISE = "noise"
+    SILENT = "silent"
+
+
+#: Failure categories used in the Fig. 9 recall breakdown, plus ``info``.
+CATEGORIES: Tuple[str, ...] = (
+    "memory",
+    "nodecard",
+    "network",
+    "cache",
+    "io",
+    "jobcontrol",
+    "node",
+    "environment",
+    "info",
+)
+
+
+@dataclass(frozen=True)
+class Template:
+    """One event type: a message skeleton with variable fields.
+
+    ``fmt`` uses ``{}``-style named placeholders drawn from a small field
+    vocabulary (``hex``, ``num``, ``word``, ``path``); :meth:`render`
+    substitutes random concrete values so the template miner sees realistic
+    variability.  Two renders of the same template always share their
+    constant tokens.
+    """
+
+    name: str
+    fmt: str
+    severity: Severity
+    category: str
+    signal_class: SignalClass
+
+    def __post_init__(self) -> None:
+        if self.category not in CATEGORIES:
+            raise ValueError(f"unknown category {self.category!r}")
+
+    def render(self, rng: np.random.Generator) -> str:
+        """Produce one concrete message instance."""
+        out = self.fmt
+        # Cheap sequential substitution; templates have few fields.
+        while True:
+            i = out.find("<")
+            if i < 0:
+                return out
+            j = out.find(">", i)
+            kind = out[i + 1 : j]
+            out = out[:i] + _render_field(kind, rng) + out[j + 1 :]
+
+    def skeleton(self) -> str:
+        """The constant part with ``*`` for every variable field.
+
+        This matches the paper's template notation (e.g. ``correctable
+        error detected in directory *``) and is what a perfect template
+        miner should recover.
+        """
+        out = self.fmt
+        while True:
+            i = out.find("<")
+            if i < 0:
+                return out
+            j = out.find(">", i)
+            out = out[:i] + "*" + out[j + 1 :]
+
+
+def _render_field(kind: str, rng: np.random.Generator) -> str:
+    """Render one variable field of the given kind."""
+    if kind == "hex":
+        return f"0x{int(rng.integers(0, 2**32)):08x}"
+    if kind == "num":
+        return str(int(rng.integers(0, 4096)))
+    if kind == "word":
+        letters = "abcdefghijklmnopqrstuvwxyz"
+        return "".join(
+            letters[int(i)] for i in rng.integers(0, 26, size=6)
+        )
+    if kind == "path":
+        return f"/bgl/{'abcdef'[int(rng.integers(0, 6))]}/log.{int(rng.integers(0, 100))}"
+    raise ValueError(f"unknown field kind {kind!r}")
+
+
+class TemplateCatalog:
+    """Registry of all event types of one machine.
+
+    Assigns dense integer ids (the ground-truth ``event_type`` of
+    generated records) and provides lookups by name and category.
+    """
+
+    def __init__(self, templates: Sequence[Template]) -> None:
+        names = [t.name for t in templates]
+        if len(set(names)) != len(names):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise ValueError(f"duplicate template names: {dupes}")
+        self._templates: List[Template] = list(templates)
+        self._by_name: Dict[str, int] = {t.name: i for i, t in enumerate(templates)}
+
+    def __len__(self) -> int:
+        return len(self._templates)
+
+    def __iter__(self) -> Iterator[Template]:
+        return iter(self._templates)
+
+    def __getitem__(self, idx: int) -> Template:
+        return self._templates[idx]
+
+    def id_of(self, name: str) -> int:
+        """Dense id of the template called ``name``."""
+        try:
+            return self._by_name[name]
+        except KeyError as exc:
+            raise KeyError(f"unknown template {name!r}") from exc
+
+    def get(self, name: str) -> Template:
+        """Template object by name."""
+        return self._templates[self.id_of(name)]
+
+    def ids_by_category(self, category: str) -> List[int]:
+        """All template ids belonging to a failure category."""
+        return [
+            i for i, t in enumerate(self._templates) if t.category == category
+        ]
+
+    def ids_by_signal_class(self, sclass: SignalClass) -> List[int]:
+        """All template ids of one signal class."""
+        return [
+            i for i, t in enumerate(self._templates) if t.signal_class == sclass
+        ]
+
+    def severity_of(self, template_id: int) -> Severity:
+        """Severity of a template id."""
+        return self._templates[template_id].severity
+
+
+# ---------------------------------------------------------------------------
+# Blue Gene/L-like catalog
+# ---------------------------------------------------------------------------
+
+def _bg_core_templates() -> List[Template]:
+    """Hand-written templates lifted from the paper's tables and figures."""
+    S, N, P = SignalClass.SILENT, SignalClass.NOISE, SignalClass.PERIODIC
+    I, W, E, F = Severity.INFO, Severity.WARNING, Severity.SEVERE, Severity.FAILURE
+    return [
+        # --- memory error chain (Table I) -------------------------------
+        Template("mem.correctable_dir", "correctable error detected in directory <hex>", W, "memory", N),
+        Template("mem.uncorrectable_dir", "uncorrectable error detected in directory <hex>", E, "memory", S),
+        Template("mem.capture_addr", "capture first directory correctable error address..0 <hex>", W, "memory", S),
+        Template("mem.ddr_failing", "DDR failing data registers: <hex> <hex>", E, "memory", S),
+        Template("mem.l3_count", "number of correctable errors detected in L3 EDRAMs.<num>", W, "memory", N),
+        Template("mem.plb_parity", "parity error in read queue PLB.<num>", F, "memory", S),
+        Template("mem.ddr_corrected", "<num> ddr errors(s) detected and corrected on rank 0, symbol <num> bit <num>", W, "memory", N),
+        Template("mem.ddr_total", "total of <num> ddr error(s) detected and corrected", F, "memory", S),
+        # --- node card chain (Tables I and II) --------------------------
+        Template("card.bit_sparing", "midplaneswitchcontroller performing bit sparing on <word> bit <num>", W, "nodecard", S),
+        Template("card.linkcard_power", "linkcard power module <word> is not accessible", E, "nodecard", S),
+        Template("card.service_comm", "problem communicating with service card, ido chip: <hex> java.io.ioexception: could not find ethernetswitch on port:address 1:136", E, "nodecard", S),
+        Template("card.prepare_service", "prepareforservice is being done on this part <word> mcardsernum(<hex>) <word> mtype(<word>) by <word>", F, "nodecard", S),
+        Template("card.endservice_restart", "endserviceaction is restarting the nodecards in midplane <word> as part of service action <num>", W, "nodecard", S),
+        Template("card.vpd_mismatch", "node card vpd check: <word> node in processor card slot <num> do not match. vpd ecid <num> found <num>", E, "nodecard", S),
+        Template("card.no_power_module", "no power module <word> found found on link card", F, "nodecard", S),
+        Template("card.temp_over_limit", "temperature Over Limit on link card", F, "nodecard", S),
+        Template("card.assembly_info", "can not get assembly information for node card", W, "nodecard", S),
+        # --- cache errors (Fig. 1) ---------------------------------------
+        Template("cache.l3_major", "L3 major internal error", F, "cache", N),
+        Template("cache.parity_corrected", "instruction cache parity error corrected", W, "cache", N),
+        Template("cache.dcache_parity", "data cache parity error detected, attempting recovery <hex>", E, "cache", N),
+        Template("cache.recovery_fail", "cache recovery failed, CPU held in reset", F, "cache", S),
+        # --- network / torus ---------------------------------------------
+        Template("net.torus_retrans", "torus link retransmission count <num> exceeded threshold", W, "network", N),
+        Template("net.rx_crc", "rx crc error on torus receiver <word> port <num>", E, "network", N),
+        Template("net.link_down", "torus link <word> has gone down unexpectedly", F, "network", S),
+        Template("net.tree_parity", "tree network packet parity error <hex>", E, "network", N),
+        Template("net.ncard_eth", "ethernet link lost on node card <word>", F, "network", S),
+        # --- I/O ----------------------------------------------------------
+        Template("io.ciod_strm", "ciod: error reading message prefix on control stream <hex>", E, "io", N),
+        Template("io.fs_unavail", "file system unavailable for rank <num>", F, "io", S),
+        Template("io.gpfs_stale", "gpfs stale file handle on <path>", E, "io", S),
+        # --- job control / CIODB chain (Table II) ------------------------
+        Template("job.ciodb_abort", "ciodb exited abnormally due to signal: aborted", F, "jobcontrol", S),
+        Template("job.mmcs_abort", "mmcs server exited abnormally due to signal: <word> <num>", F, "jobcontrol", S),
+        Template("job.timeout", "job <num> timed out. <num>", E, "jobcontrol", S),
+        # --- restart sequence (informational, Table I) --------------------
+        Template("info.idoproxy_start", "idoproxydb has been started: $name: <num> $ input parameters: -enableflush -loguserinfo db.properties bluegene1", I, "info", S),
+        Template("info.ciodb_restart", "ciodb has been restarted.", I, "info", S),
+        Template("info.bglmaster_start", "bglmaster has been started: ./bglmaster --consoleip 127.0.0.1 --consoleport 32035 --configfile bglmaster.init --autorestart y", I, "info", S),
+        Template("info.mmcs_start", "mmcs db server has been started: ./mmcs db server --usedatabase bgl --dbproperties <word> --iolog <path> --reconnect-blocks all <num>", I, "info", S),
+        # --- multiline register dump (Table I) ----------------------------
+        Template("info.gpr_header", "general purpose registers:", I, "info", S),
+        Template("info.gpr_body", "lr:<hex> cr:<hex> xer:<hex> ctr:<hex>", I, "info", S),
+        # --- environmental degradation (latent fault mode: appears only
+        # after mid-life hardware wear; exercises online adaptation) -----
+        Template("env.fan_warn", "fan module <word> speed below threshold, <num> rpm", W, "environment", S),
+        Template("env.temp_rise", "ambient temperature rising on node card, sensor <num> reads <num>", E, "environment", S),
+        Template("env.thermal_shutdown", "thermal limit exceeded, node shut down by environmental monitor", F, "environment", S),
+        # --- node crash: the failure itself; the *symptom* is the absence
+        # of heartbeat messages (Fig. 1's "lack of messages" syndrome) ----
+        Template("node.down", "no response from service node, marking node down after <num> polls", F, "node", S),
+        # --- periodic monitoring (Fig. 1c) --------------------------------
+        Template("info.ctrl_rows", "controlling BG/L rows <num>", I, "info", P),
+        Template("info.env_poll", "environment monitor polled <num> sensors ok", I, "info", P),
+        Template("info.heartbeat", "service node heartbeat seq <num>", I, "info", P),
+        # --- background noise ----------------------------------------------
+        Template("info.app_output", "application rank <num> wrote <num> bytes to <path>", I, "info", N),
+        Template("info.sched_event", "scheduler dispatched job <num> to partition <word>", I, "info", N),
+        Template("info.mmcs_poll", "mmcs polling block <word> state ok", I, "info", N),
+    ]
+
+
+def _filler_templates(
+    count: int,
+    prefix: str,
+    rng: np.random.Generator,
+) -> List[Template]:
+    """Programmatic INFO filler families to reach realistic catalog sizes.
+
+    The real systems have hundreds of event types, most of which never
+    participate in failure chains; their presence stresses HELO and the
+    signal layer exactly like real background diversity does.
+    """
+    verbs = ["initialized", "completed", "reported", "synchronized", "flushed",
+             "registered", "acknowledged", "scanned", "published", "archived"]
+    things = ["daemon", "table", "buffer", "channel", "partition", "sensor",
+              "queue", "lease", "socket", "shard"]
+    adjs = ["primary", "standby", "remote", "local", "cached", "mirrored",
+            "pinned", "batched", "deferred", "spare"]
+    max_count = len(verbs) * len(things) * len(adjs)
+    if count > max_count:
+        raise ValueError(f"at most {max_count} filler templates supported")
+    out: List[Template] = []
+    classes = [SignalClass.SILENT, SignalClass.NOISE, SignalClass.PERIODIC]
+    # Silent-heavy mix: the paper notes silent signals are the majority.
+    weights = np.array([0.6, 0.3, 0.1])
+    # Unique (verb, thing, adj) triple per filler; each word position has
+    # cardinality <= 10, so hierarchical template mining can resolve every
+    # filler into its own event type (like real message vocabularies).
+    triples = rng.permutation(max_count)[:count]
+    for i in range(count):
+        k = int(triples[i])
+        verb = verbs[k % 10]
+        thing = things[(k // 10) % 10]
+        adj = adjs[k // 100]
+        sclass = classes[int(rng.choice(3, p=weights))]
+        out.append(
+            Template(
+                name=f"{prefix}.filler{i:03d}",
+                fmt=f"{prefix} {adj} {thing} {verb} status <num> detail <hex>",
+                severity=Severity.INFO,
+                category="info",
+                signal_class=sclass,
+            )
+        )
+    return out
+
+
+def bluegene_templates(n_filler: int = 160, seed: int = 1234) -> TemplateCatalog:
+    """Blue Gene/L-like catalog (~207 event types with the default filler)."""
+    rng = np.random.default_rng(seed)
+    return TemplateCatalog(_bg_core_templates() + _filler_templates(n_filler, "bgl", rng))
+
+
+# ---------------------------------------------------------------------------
+# Mercury-like catalog
+# ---------------------------------------------------------------------------
+
+def _mercury_core_templates() -> List[Template]:
+    """Cluster-style templates, including the paper's NFS/ifup examples."""
+    S, N, P = SignalClass.SILENT, SignalClass.NOISE, SignalClass.PERIODIC
+    I, W, E, F = Severity.INFO, Severity.WARNING, Severity.SEVERE, Severity.FAILURE
+    return [
+        # NFS failure (section V): global, near-simultaneous on many nodes.
+        Template("nfs.slow_server", "nfs: server <word> not responding, still trying", W, "network", N),
+        Template("nfs.bad_reclen", "rpc: bad tcp reclen <num> (non-terminal)", F, "network", S),
+        Template("nfs.io_error", "nfs: read failed for <path>, error <num>", E, "network", N),
+        # Unexpected node restart (section V).
+        Template("net.ifup_failed", "ifup: could not get a valid interface name: -> skipped", F, "network", S),
+        Template("net.mce", "kernel: CPU <num> machine check exception <hex>", E, "cache", N),
+        Template("net.ecc", "kernel: EDAC MC<num>: CE page <hex>, offset <hex>", W, "memory", N),
+        Template("mem.oom", "kernel: Out of memory: killed process <num>", F, "memory", S),
+        Template("disk.smart", "smartd: device /dev/sd<word> <num> offline uncorrectable sectors", W, "io", N),
+        Template("disk.io_err", "kernel: end_request: I/O error, dev sd<word>, sector <num>", F, "io", S),
+        Template("sched.pbs_down", "pbs_mom: node marked down by scheduler", E, "jobcontrol", S),
+        Template("sched.job_kill", "pbs_mom: job <num> killed due to node failure", F, "jobcontrol", S),
+        # Lustre-style parallel filesystem failure chain.
+        Template("lustre.slow_reply", "lustre: slow reply on ost<num>, <num>s ago", W, "io", N),
+        Template("lustre.ost_lost", "lustre: connection to ost<num> lost, in recovery", E, "io", S),
+        Template("lustre.evicted", "lustre: client <word> evicted by ost<num>", F, "io", S),
+        # Switch failure: link flaps, then the uplink dies for a group.
+        Template("switch.link_flap", "kernel: eth0 link flap detected, renegotiating", W, "network", N),
+        Template("switch.port_down", "switch: port <num> went down on <word>", E, "network", S),
+        Template("switch.uplink_dead", "switch: uplink <word> unreachable, isolating ports", F, "network", S),
+        # RAID degradation: the slow, highly predictable chain.
+        Template("raid.sector_remap", "md: sector remapped on <word>, total <num>", W, "io", S),
+        Template("raid.degraded", "md: raid array md0 degraded, rebuilding", E, "io", S),
+        Template("raid.failed", "md: raid array md0 failed, filesystem read-only", F, "io", S),
+        # Thermal throttling chain.
+        Template("thermal.warn", "kernel: cpu<num> temperature above threshold, throttled", W, "environment", N),
+        Template("thermal.shutdown", "kernel: critical temperature reached, shutting down", F, "environment", S),
+        Template("info.cron", "crond: job <num> finished ok", I, "info", P),
+        Template("info.ntp", "ntpd: time synchronized offset <num> us", I, "info", P),
+        Template("info.sshd", "sshd: accepted publickey for user<num>", I, "info", N),
+    ]
+
+
+def mercury_templates(n_filler: int = 382, seed: int = 4321) -> TemplateCatalog:
+    """Mercury-like catalog (~409 event types with the default filler)."""
+    rng = np.random.default_rng(seed)
+    return TemplateCatalog(
+        _mercury_core_templates() + _filler_templates(n_filler, "merc", rng)
+    )

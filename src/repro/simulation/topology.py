@@ -1,0 +1,349 @@
+"""Machine topology model and location-code syntax.
+
+Large HPC systems organize nodes hierarchically; on Blue Gene machines,
+nodes sit on node cards, node cards in midplanes, midplanes in racks
+(section III.D of the paper).  Locations in Blue Gene/L logs are codes like
+``R00-M0-N0-C:J02-U01`` (a compute node), ``R22-M0-N0-I:J18-U01`` (an I/O
+node), or ``R00-M0-N0`` (a node card).  The propagation analysis in
+section V breaks correlation chains down by how far events spread along
+this hierarchy, so the topology model must answer "are these two locations
+in the same node card / midplane / rack?" cheaply.
+
+:class:`Machine` models a configurable hierarchy and exposes both code
+formatting/parsing and containment queries.  :func:`build_bluegene_machine`
+and :func:`build_cluster_machine` create the two machine shapes the paper
+evaluates (Blue Gene/L and the flat NCSA Mercury cluster).
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import networkx as nx
+import numpy as np
+
+
+class HierarchyLevel(enum.IntEnum):
+    """Containment levels, from widest to narrowest.
+
+    ``GLOBAL`` covers the whole machine (e.g. an NFS outage), ``NONE`` is
+    the pseudo-level of a non-propagating event confined to one node.
+    """
+
+    GLOBAL = 0
+    RACK = 1
+    MIDPLANE = 2
+    NODE_CARD = 3
+    NODE = 4
+
+
+_BG_NODE_RE = re.compile(
+    r"^R(?P<rack>\d{2})-M(?P<mid>\d)-N(?P<card>\d+)"
+    r"(?:-(?P<kind>[CI]):J(?P<slot>\d{2})-U(?P<unit>\d{2}))?$"
+)
+_CLUSTER_NODE_RE = re.compile(r"^(?P<prefix>[a-z\-]+)c(?P<node>\d{3,4})$")
+
+
+@dataclass(frozen=True)
+class LocationCode:
+    """A parsed Blue Gene-style location.
+
+    ``rack``, ``midplane`` and ``card`` are hierarchy coordinates;
+    ``slot``/``unit`` identify the node on its card.  ``kind`` is ``"C"``
+    for compute nodes, ``"I"`` for I/O nodes, ``None`` when the code names
+    a whole node card (e.g. ``R00-M0-N0``).
+    """
+
+    rack: int
+    midplane: int
+    card: int
+    kind: Optional[str] = None
+    slot: Optional[int] = None
+    unit: Optional[int] = None
+
+    @classmethod
+    def parse(cls, code: str) -> "LocationCode":
+        """Parse ``R00-M0-N0-C:J02-U01``-style codes."""
+        m = _BG_NODE_RE.match(code)
+        if not m:
+            raise ValueError(f"not a Blue Gene location code: {code!r}")
+        kind = m.group("kind")
+        return cls(
+            rack=int(m.group("rack")),
+            midplane=int(m.group("mid")),
+            card=int(m.group("card")),
+            kind=kind,
+            slot=int(m.group("slot")) if kind else None,
+            unit=int(m.group("unit")) if kind else None,
+        )
+
+    def format(self) -> str:
+        """Format back to the canonical code string."""
+        base = f"R{self.rack:02d}-M{self.midplane}-N{self.card}"
+        if self.kind is None:
+            return base
+        return f"{base}-{self.kind}:J{self.slot:02d}-U{self.unit:02d}"
+
+    @property
+    def is_node(self) -> bool:
+        """True when the code names an individual node (not a card)."""
+        return self.kind is not None
+
+    def ancestor(self, level: HierarchyLevel) -> str:
+        """Location code of this node's enclosing unit at ``level``."""
+        if level == HierarchyLevel.RACK:
+            return f"R{self.rack:02d}"
+        if level == HierarchyLevel.MIDPLANE:
+            return f"R{self.rack:02d}-M{self.midplane}"
+        if level == HierarchyLevel.NODE_CARD:
+            return f"R{self.rack:02d}-M{self.midplane}-N{self.card}"
+        if level == HierarchyLevel.NODE:
+            return self.format()
+        return "SYSTEM"
+
+
+class Machine:
+    """A hierarchical machine: racks → midplanes → node cards → nodes.
+
+    Parameters
+    ----------
+    name:
+        Human-readable machine name (``"bluegene-like"`` etc.).
+    n_racks, midplanes_per_rack, cards_per_midplane, nodes_per_card:
+        Shape of the hierarchy.  A flat cluster is modeled by one rack,
+        one midplane and one card per "chassis".
+    style:
+        ``"bluegene"`` formats Blue Gene location codes;
+        ``"cluster"`` formats flat ``tg-cNNN`` names (Mercury style).
+    node_prefix:
+        Prefix for cluster-style node names.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        n_racks: int,
+        midplanes_per_rack: int,
+        cards_per_midplane: int,
+        nodes_per_card: int,
+        style: str = "bluegene",
+        node_prefix: str = "tg-",
+    ) -> None:
+        if style not in ("bluegene", "cluster"):
+            raise ValueError(f"unknown machine style {style!r}")
+        if min(n_racks, midplanes_per_rack, cards_per_midplane, nodes_per_card) < 1:
+            raise ValueError("all hierarchy dimensions must be >= 1")
+        self.name = name
+        self.n_racks = n_racks
+        self.midplanes_per_rack = midplanes_per_rack
+        self.cards_per_midplane = cards_per_midplane
+        self.nodes_per_card = nodes_per_card
+        self.style = style
+        self.node_prefix = node_prefix
+        self._nodes: List[str] = self._enumerate_nodes()
+        self._index: Dict[str, int] = {c: i for i, c in enumerate(self._nodes)}
+
+    # -- construction -----------------------------------------------------
+
+    def _enumerate_nodes(self) -> List[str]:
+        nodes: List[str] = []
+        if self.style == "bluegene":
+            for r in range(self.n_racks):
+                for m in range(self.midplanes_per_rack):
+                    for c in range(self.cards_per_midplane):
+                        for u in range(self.nodes_per_card):
+                            # Alternate compute/I-O flavor like BG/L does
+                            # (one I/O node per card here).
+                            kind = "I" if u == self.nodes_per_card - 1 else "C"
+                            code = LocationCode(
+                                rack=r, midplane=m, card=c, kind=kind,
+                                slot=u // 2, unit=u % 2,
+                            )
+                            nodes.append(code.format())
+        else:
+            total = (
+                self.n_racks
+                * self.midplanes_per_rack
+                * self.cards_per_midplane
+                * self.nodes_per_card
+            )
+            nodes = [f"{self.node_prefix}c{i:03d}" for i in range(total)]
+        return nodes
+
+    # -- basic queries ----------------------------------------------------
+
+    @property
+    def n_nodes(self) -> int:
+        """Total number of node-level locations."""
+        return len(self._nodes)
+
+    @property
+    def nodes(self) -> Sequence[str]:
+        """All node location codes, in enumeration order."""
+        return tuple(self._nodes)
+
+    def node_index(self, code: str) -> int:
+        """Dense integer id of a node code (raises on unknown codes)."""
+        try:
+            return self._index[code]
+        except KeyError as exc:
+            raise KeyError(f"unknown node location {code!r}") from exc
+
+    def contains(self, code: str) -> bool:
+        """Whether ``code`` names a node of this machine."""
+        return code in self._index
+
+    def random_node(self, rng: np.random.Generator) -> str:
+        """Uniformly sample one node location."""
+        return self._nodes[int(rng.integers(0, self.n_nodes))]
+
+    # -- hierarchy --------------------------------------------------------
+
+    def coordinates(self, code: str) -> Tuple[int, int, int, int]:
+        """(rack, midplane, card, node-on-card) coordinates of a node."""
+        idx = self.node_index(code)
+        per_card = self.nodes_per_card
+        per_mid = per_card * self.cards_per_midplane
+        per_rack = per_mid * self.midplanes_per_rack
+        r, rem = divmod(idx, per_rack)
+        m, rem = divmod(rem, per_mid)
+        c, u = divmod(rem, per_card)
+        return r, m, c, u
+
+    def ancestor(self, code: str, level: HierarchyLevel) -> str:
+        """Identifier of the enclosing unit of ``code`` at ``level``."""
+        if level == HierarchyLevel.GLOBAL:
+            return self.name
+        if level == HierarchyLevel.NODE:
+            return code
+        r, m, c, _ = self.coordinates(code)
+        if level == HierarchyLevel.RACK:
+            return f"R{r:02d}"
+        if level == HierarchyLevel.MIDPLANE:
+            return f"R{r:02d}-M{m}"
+        return f"R{r:02d}-M{m}-N{c}"
+
+    def same_unit(self, a: str, b: str, level: HierarchyLevel) -> bool:
+        """Whether two node codes share the same unit at ``level``."""
+        return self.ancestor(a, level) == self.ancestor(b, level)
+
+    def peers(self, code: str, level: HierarchyLevel) -> List[str]:
+        """All nodes in the same ``level`` unit as ``code`` (inclusive).
+
+        For ``GLOBAL`` returns every node; for ``NODE`` returns ``[code]``.
+        """
+        if level == HierarchyLevel.GLOBAL:
+            return list(self._nodes)
+        if level == HierarchyLevel.NODE:
+            self.node_index(code)  # validate
+            return [code]
+        r, m, c, _ = self.coordinates(code)
+        per_card = self.nodes_per_card
+        per_mid = per_card * self.cards_per_midplane
+        per_rack = per_mid * self.midplanes_per_rack
+        if level == HierarchyLevel.RACK:
+            start, count = r * per_rack, per_rack
+        elif level == HierarchyLevel.MIDPLANE:
+            start, count = r * per_rack + m * per_mid, per_mid
+        else:  # NODE_CARD
+            start = r * per_rack + m * per_mid + c * per_card
+            count = per_card
+        return self._nodes[start : start + count]
+
+    def spread_level(self, codes: Sequence[str]) -> HierarchyLevel:
+        """Narrowest hierarchy level containing every code in ``codes``.
+
+        This is the quantity plotted in Fig. 7: a chain whose events all
+        happen on one node has spread ``NODE``; one crossing racks has
+        spread ``GLOBAL``; etc.  Raises on an empty sequence.
+        """
+        if not codes:
+            raise ValueError("spread_level of empty location set")
+        uniq = set(codes)
+        if len(uniq) == 1:
+            return HierarchyLevel.NODE
+        for level in (
+            HierarchyLevel.NODE_CARD,
+            HierarchyLevel.MIDPLANE,
+            HierarchyLevel.RACK,
+        ):
+            anc = {self.ancestor(c, level) for c in uniq}
+            if len(anc) == 1:
+                return level
+        return HierarchyLevel.GLOBAL
+
+    # -- graph view -------------------------------------------------------
+
+    def containment_graph(self) -> "nx.DiGraph":
+        """Directed containment graph (machine → racks → … → nodes).
+
+        Useful for visualization and for propagation-model extensions;
+        built on demand because large machines have many node vertices.
+        """
+        g = nx.DiGraph(name=self.name)
+        g.add_node(self.name, level="machine")
+        for code in self._nodes:
+            r, m, c, _ = self.coordinates(code)
+            rack = f"R{r:02d}"
+            mid = f"{rack}-M{m}"
+            card = f"{mid}-N{c}"
+            g.add_node(rack, level="rack")
+            g.add_node(mid, level="midplane")
+            g.add_node(card, level="nodecard")
+            g.add_node(code, level="node")
+            g.add_edge(self.name, rack)
+            g.add_edge(rack, mid)
+            g.add_edge(mid, card)
+            g.add_edge(card, code)
+        return g
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Machine({self.name!r}, racks={self.n_racks}, "
+            f"midplanes/rack={self.midplanes_per_rack}, "
+            f"cards/midplane={self.cards_per_midplane}, "
+            f"nodes/card={self.nodes_per_card}, nodes={self.n_nodes})"
+        )
+
+
+def build_bluegene_machine(
+    n_racks: int = 8,
+    midplanes_per_rack: int = 2,
+    cards_per_midplane: int = 4,
+    nodes_per_card: int = 8,
+) -> Machine:
+    """A Blue Gene/L-like machine (scaled down; shape is configurable).
+
+    The real BG/L had 64 racks × 2 midplanes × 16 node cards × 32 compute
+    nodes; the default here keeps the same hierarchy with smaller fan-outs
+    so scenarios stay laptop-sized.  Every analysis is fan-out agnostic.
+    """
+    return Machine(
+        name="bluegene-like",
+        n_racks=n_racks,
+        midplanes_per_rack=midplanes_per_rack,
+        cards_per_midplane=cards_per_midplane,
+        nodes_per_card=nodes_per_card,
+        style="bluegene",
+    )
+
+
+def build_cluster_machine(n_nodes: int = 256, node_prefix: str = "tg-") -> Machine:
+    """A Mercury-like flat cluster of ``n_nodes`` nodes.
+
+    Mercury at NCSA started with 256 compute nodes (section IV).  The flat
+    hierarchy is modeled as one rack/midplane with one node per "card",
+    so every propagating fault is effectively node-level or global.
+    """
+    return Machine(
+        name="mercury-like",
+        n_racks=1,
+        midplanes_per_rack=1,
+        cards_per_midplane=n_nodes,
+        nodes_per_card=1,
+        style="cluster",
+        node_prefix=node_prefix,
+    )

@@ -1,0 +1,170 @@
+"""Log record and ground-truth data model.
+
+Every component of the analysis pipeline consumes only the four public
+fields of :class:`LogRecord` (timestamp, location, severity, message),
+mirroring what the paper's ELSA toolkit reads from raw system logs.  The
+``event_type`` field carries the generating template id purely as ground
+truth for evaluating the HELO template miner; production analysis code
+must not read it.
+
+Timestamps are seconds since the scenario epoch (floats).  Locations are
+strings in the machine's location-code syntax (see
+:mod:`repro.simulation.topology`).
+"""
+
+from __future__ import annotations
+
+import enum
+import io
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+
+class Severity(enum.IntEnum):
+    """Message severity ladder used by Blue Gene-style logs.
+
+    The paper relies on the Blue Gene/L severity field to decide whether an
+    event type can indicate a failure in at least one context (section
+    IV.A); chains whose members are all ``INFO`` are discarded as
+    non-predictive.
+    """
+
+    INFO = 0
+    WARNING = 1
+    SEVERE = 2
+    FAILURE = 3
+
+    @classmethod
+    def parse(cls, text: str) -> "Severity":
+        """Parse a severity name, case-insensitively."""
+        try:
+            return cls[text.strip().upper()]
+        except KeyError as exc:
+            raise ValueError(f"unknown severity {text!r}") from exc
+
+
+@dataclass(frozen=True, order=True)
+class LogRecord:
+    """One log line: what the system wrote, where, when, how severe.
+
+    Ordering is by timestamp first, which makes record streams sortable
+    and mergeable with :func:`heapq.merge`.
+    """
+
+    timestamp: float
+    location: str = field(compare=False)
+    severity: Severity = field(compare=False)
+    message: str = field(compare=False)
+    #: Ground-truth template id (hidden channel for evaluation only).
+    event_type: Optional[int] = field(default=None, compare=False)
+    #: Ground-truth fault id if this record is part of a fault syndrome.
+    fault_id: Optional[int] = field(default=None, compare=False)
+
+    def format_line(self) -> str:
+        """Render as a CFDR-ish text log line."""
+        return (
+            f"{self.timestamp:.3f} {self.location} "
+            f"{self.severity.name} {self.message}"
+        )
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """Ground truth for one injected fault instance.
+
+    ``onset_time`` is when the first symptom is emitted; ``fail_time`` is
+    when the fatal (FAILURE severity) record lands, i.e. the moment a
+    perfect predictor would have to beat.  ``locations`` is the set of
+    node-level locations affected by the failure (used to score
+    location-aware predictions, section V).
+    """
+
+    fault_id: int
+    fault_type: str
+    category: str
+    onset_time: float
+    fail_time: float
+    locations: Tuple[str, ...]
+
+    @property
+    def lead_time(self) -> float:
+        """Ground-truth gap between first symptom and failure (seconds)."""
+        return self.fail_time - self.onset_time
+
+
+@dataclass
+class GroundTruth:
+    """All injected faults of a generated scenario, sorted by onset."""
+
+    faults: List[FaultEvent] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.faults.sort(key=lambda f: f.onset_time)
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def __iter__(self):
+        return iter(self.faults)
+
+    def in_window(self, start: float, end: float) -> List[FaultEvent]:
+        """Faults whose *failure* lands inside ``[start, end)``."""
+        return [f for f in self.faults if start <= f.fail_time < end]
+
+    def by_category(self) -> dict:
+        """Group faults by high-level category (memory, nodecard, ...)."""
+        out: dict = {}
+        for f in self.faults:
+            out.setdefault(f.category, []).append(f)
+        return out
+
+
+def write_log(records: Iterable[LogRecord], fh: io.TextIOBase) -> int:
+    """Serialize records as text lines; returns the number written.
+
+    The format is one record per line::
+
+        <timestamp> <location> <SEVERITY> <free-form message>
+    """
+    n = 0
+    for rec in records:
+        fh.write(rec.format_line())
+        fh.write("\n")
+        n += 1
+    return n
+
+
+def read_log(fh: io.TextIOBase) -> List[LogRecord]:
+    """Parse records previously written by :func:`write_log`.
+
+    Ground-truth side channels (``event_type``/``fault_id``) are *not*
+    round-tripped: a parsed log looks exactly like what a real system
+    would hand the pipeline.
+    """
+    records: List[LogRecord] = []
+    for line in fh:
+        line = line.rstrip("\n")
+        if not line:
+            continue
+        try:
+            ts_s, loc, sev_s, msg = line.split(" ", 3)
+        except ValueError as exc:
+            raise ValueError(f"malformed log line: {line!r}") from exc
+        records.append(
+            LogRecord(
+                timestamp=float(ts_s),
+                location=loc,
+                severity=Severity.parse(sev_s),
+                message=msg,
+            )
+        )
+    return records
+
+
+def merge_streams(*streams: Sequence[LogRecord]) -> List[LogRecord]:
+    """Merge several time-sorted record streams into one sorted list."""
+    out: List[LogRecord] = []
+    for s in streams:
+        out.extend(s)
+    out.sort(key=lambda r: r.timestamp)
+    return out

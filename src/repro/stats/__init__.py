@@ -1,0 +1,32 @@
+"""Failure statistics: MTTF estimation and distribution checks.
+
+The checkpoint model of section VI.B takes the application MTTF as an
+input and "assume[s] the failure distribution for the non-predicted
+failures remains exponential".  This package supplies the measurement
+side: inter-arrival extraction, MTTF estimation with confidence bounds,
+exponential/Weibull fits, and a goodness-of-fit check that validates the
+exponential assumption on observed failure streams (the validation the
+paper leaves implicit).
+"""
+
+from repro.stats.failures import (
+    ExponentialFit,
+    WeibullFit,
+    empirical_cdf,
+    estimate_mttf,
+    exponential_ks_test,
+    fit_exponential,
+    fit_weibull,
+    interarrival_times,
+)
+
+__all__ = [
+    "interarrival_times",
+    "estimate_mttf",
+    "fit_exponential",
+    "fit_weibull",
+    "ExponentialFit",
+    "WeibullFit",
+    "exponential_ks_test",
+    "empirical_cdf",
+]

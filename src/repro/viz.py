@@ -1,0 +1,116 @@
+"""Terminal visualization helpers for signals and distributions.
+
+The paper's figures are signal plots and bar charts; this module renders
+their closest terminal-native equivalents (sparklines, bar charts,
+histograms) so the examples and benchmark reports can *show* signals —
+e.g. a periodic heartbeat with its crash gap, or a noise signal before
+and after outlier replacement — without a plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+import numpy as np
+
+_SPARK_LEVELS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], width: Optional[int] = None) -> str:
+    """Render a series as a unicode sparkline.
+
+    ``width`` resamples the series to at most that many characters by
+    max-pooling (peaks — the interesting part of count signals — are
+    preserved).  Constant series render at mid height.
+    """
+    x = np.asarray(list(values), dtype=float)
+    if x.size == 0:
+        return ""
+    if width is not None and width > 0 and x.size > width:
+        edges = np.linspace(0, x.size, width + 1).astype(int)
+        x = np.array([
+            x[a:b].max() if b > a else x[min(a, x.size - 1)]
+            for a, b in zip(edges[:-1], edges[1:])
+        ])
+    lo, hi = float(x.min()), float(x.max())
+    if hi <= lo:
+        return _SPARK_LEVELS[4] * x.size
+    scaled = (x - lo) / (hi - lo) * (len(_SPARK_LEVELS) - 1)
+    return "".join(_SPARK_LEVELS[int(round(v))] for v in scaled)
+
+
+def bar_chart(
+    data: Mapping[str, float],
+    width: int = 40,
+    fmt: str = "{:.1%}",
+) -> str:
+    """Horizontal bar chart, one row per key, scaled to the max value."""
+    if not data:
+        return "(empty)"
+    label_w = max(len(str(k)) for k in data)
+    peak = max(data.values()) or 1.0
+    lines = []
+    for key, value in data.items():
+        bar = "█" * int(round(width * value / peak))
+        lines.append(
+            f"{str(key):<{label_w}} {fmt.format(value):>8} |{bar}"
+        )
+    return "\n".join(lines)
+
+
+def histogram(
+    values: Sequence[float],
+    bins: Sequence[float],
+    labels: Optional[Sequence[str]] = None,
+    width: int = 40,
+) -> str:
+    """Text histogram over explicit bin edges.
+
+    ``bins`` are the inner edges; values below the first edge go to the
+    first bucket, values at or above the last edge to the last bucket.
+    """
+    x = np.asarray(list(values), dtype=float)
+    edges = list(bins)
+    counts = [0] * (len(edges) + 1)
+    for v in x:
+        k = 0
+        while k < len(edges) and v >= edges[k]:
+            k += 1
+        counts[k] += 1
+    if labels is None:
+        labels = (
+            [f"< {edges[0]:g}"]
+            + [f"{a:g}-{b:g}" for a, b in zip(edges[:-1], edges[1:])]
+            + [f">= {edges[-1]:g}"]
+        )
+    if len(labels) != len(counts):
+        raise ValueError("labels must cover len(bins) + 1 buckets")
+    total = max(1, int(x.size))
+    return bar_chart(
+        {lab: n / total for lab, n in zip(labels, counts)}, width=width
+    )
+
+
+def signal_panel(
+    signal: Sequence[float],
+    title: str,
+    flags: Optional[Sequence[bool]] = None,
+    width: int = 72,
+) -> str:
+    """A Fig. 1-style panel: title, sparkline, and an outlier-marker row."""
+    spark = sparkline(signal, width=width)
+    lines = [title, spark]
+    if flags is not None:
+        f = np.asarray(list(flags), dtype=bool)
+        if f.size != len(signal):
+            raise ValueError("flags must parallel the signal")
+        if f.size > width:
+            edges = np.linspace(0, f.size, width + 1).astype(int)
+            pooled = np.array([
+                f[a:b].any() if b > a else f[min(a, f.size - 1)]
+                for a, b in zip(edges[:-1], edges[1:])
+            ])
+        else:
+            pooled = f
+        lines.append("".join("^" if v else " " for v in pooled))
+    return "\n".join(lines)

@@ -1,0 +1,110 @@
+"""Tests for online correlation adaptation (AdaptiveELSA)."""
+
+import pytest
+
+from repro import AdaptiveELSA, ELSA, evaluate_predictions
+from repro.datasets import bluegene_scenario
+
+
+@pytest.fixture(scope="module")
+def shift_scenario():
+    """Phase-shift scenario: fan degradation appears after day 1.2
+    (training covers the first 0.8 days)."""
+    return bluegene_scenario(
+        duration_days=2.5,
+        train_fraction=0.32,
+        seed=5,
+        fault_rate_scale=1.5,
+        base_rate_per_sec=0.2,
+        latent_fault_day=1.2,
+    )
+
+
+@pytest.fixture(scope="module")
+def adaptive_run(shift_scenario):
+    sc = shift_scenario
+    adaptive = AdaptiveELSA(sc.machine)
+    adaptive.fit(sc.records, t_train_end=sc.train_end)
+    preds = adaptive.predict_adaptive(
+        sc.records, sc.train_end, sc.t_end, update_interval=0.45 * 86400.0
+    )
+    return adaptive, preds
+
+
+class TestLatentFaultScenario:
+    def test_latent_fault_absent_before_activation(self, shift_scenario):
+        sc = shift_scenario
+        early = [
+            f for f in sc.ground_truth
+            if f.category == "environment" and f.onset_time < 1.2 * 86400.0
+        ]
+        assert early == []
+
+    def test_latent_fault_present_after_activation(self, shift_scenario):
+        late = [
+            f for f in shift_scenario.ground_truth
+            if f.category == "environment"
+        ]
+        assert len(late) >= 5
+
+
+class TestAdaptiveELSA:
+    def test_updates_happened(self, adaptive_run):
+        adaptive, _ = adaptive_run
+        assert len(adaptive.update_times) >= 2
+
+    def test_learns_new_failure_mode(self, shift_scenario, adaptive_run):
+        sc = shift_scenario
+        adaptive, preds = adaptive_run
+        res = evaluate_predictions(preds, sc.test_faults)
+        env = res.per_category.get("environment")
+        assert env is not None
+        assert env.recall > 0.3
+
+    def test_static_model_stays_blind(self, shift_scenario):
+        sc = shift_scenario
+        static = ELSA(sc.machine)
+        static.fit(sc.records, t_train_end=sc.train_end)
+        preds = static.predict(sc.records, sc.train_end, sc.t_end)
+        res = evaluate_predictions(preds, sc.test_faults)
+        env = res.per_category.get("environment")
+        assert env is not None and env.recall == 0.0
+
+    def test_established_chains_survive_updates(self, adaptive_run):
+        adaptive, _ = adaptive_run
+        model = adaptive.model
+        names = [
+            " ".join(model.event_name(t) for t in c.event_types)
+            for c in model.predictive_chains
+        ]
+        # the memory chain persists across re-learning
+        assert any("correctable error detected" in n for n in names)
+        # ...and the new fan chain has been learned
+        assert any("thermal limit exceeded" in n or "fan module" in n
+                   for n in names)
+
+    def test_update_window_bound(self, shift_scenario):
+        sc = shift_scenario
+        adaptive = AdaptiveELSA(sc.machine)
+        adaptive.fit(sc.records, t_train_end=sc.train_end)
+        model = adaptive.update_model(
+            sc.records, now=sc.train_end + 40000.0, keep_seconds=50000.0
+        )
+        assert model.t_train_start == pytest.approx(
+            sc.train_end + 40000.0 - 50000.0
+        )
+
+    def test_validation(self, shift_scenario):
+        sc = shift_scenario
+        adaptive = AdaptiveELSA(sc.machine)
+        adaptive.fit(sc.records, t_train_end=sc.train_end)
+        with pytest.raises(ValueError):
+            adaptive.predict_adaptive(sc.records, sc.train_end, sc.t_end,
+                                      update_interval=0.0)
+        with pytest.raises(ValueError):
+            adaptive.update_model(sc.records, now=-5.0)
+
+    def test_requires_fit(self, shift_scenario):
+        adaptive = AdaptiveELSA(shift_scenario.machine)
+        with pytest.raises(RuntimeError):
+            adaptive.predict_adaptive(shift_scenario.records, 0.0, 100.0)

@@ -1,0 +1,120 @@
+"""Tests for the public Blue Gene/L RAS log parser."""
+
+import io
+
+import pytest
+
+from repro.simulation.bgl_format import (
+    BGLLine,
+    parse_bgl_line,
+    read_bgl_alerts,
+    read_bgl_log,
+)
+from repro.simulation.trace import Severity
+
+SAMPLE = """\
+- 1117838570 2005.06.03 R02-M1-N0-C:J12-U11 2005-06-03-15.42.50.363779 R02-M1-N0-C:J12-U11 RAS KERNEL INFO instruction cache parity error corrected
+- 1117838573 2005.06.03 R02-M1-N0-C:J12-U11 2005-06-03-15.42.53.276129 R02-M1-N0-C:J12-U11 RAS KERNEL INFO generating core.2275
+KERNDTLB 1117869872 2005.06.04 R23-M0-NE-C:J05-U01 2005-06-04-00.24.32.432192 R23-M0-NE-C:J05-U01 RAS KERNEL FATAL data TLB error interrupt
+- 1117869876 2005.06.04 R24-M0-N1-C:J13-U11 2005-06-04-00.24.36.222560 R24-M0-N1-C:J13-U11 RAS KERNEL ERROR machine check register: 0x00000000
+"""
+
+
+class TestParseLine:
+    def test_non_alert_info(self):
+        line = SAMPLE.splitlines()[0]
+        parsed = parse_bgl_line(line)
+        assert parsed is not None
+        assert parsed.alert_tag is None
+        assert not parsed.is_alert
+        assert parsed.epoch == 1117838570.0
+        assert parsed.location == "R02-M1-N0-C:J12-U11"
+        assert parsed.severity == Severity.INFO
+        assert parsed.message == (
+            "instruction cache parity error corrected"
+        )
+
+    def test_alert_fatal(self):
+        line = SAMPLE.splitlines()[2]
+        parsed = parse_bgl_line(line)
+        assert parsed.alert_tag == "KERNDTLB"
+        assert parsed.is_alert
+        assert parsed.severity == Severity.FAILURE  # FATAL -> FAILURE
+
+    def test_error_maps_to_severe(self):
+        parsed = parse_bgl_line(SAMPLE.splitlines()[3])
+        assert parsed.severity == Severity.SEVERE
+
+    def test_blank_line(self):
+        assert parse_bgl_line("   \n") is None
+
+    def test_malformed_raises(self):
+        with pytest.raises(ValueError):
+            parse_bgl_line("too few fields here")
+
+    def test_bad_epoch_raises(self):
+        bad = SAMPLE.splitlines()[0].replace("1117838570", "not-a-number")
+        with pytest.raises(ValueError):
+            parse_bgl_line(bad)
+
+    def test_unknown_severity_degrades_to_info(self):
+        odd = SAMPLE.splitlines()[0].replace(" INFO ", " WEIRD ")
+        assert parse_bgl_line(odd).severity == Severity.INFO
+
+
+class TestReadLog:
+    def test_rebased_timestamps(self):
+        records = read_bgl_log(io.StringIO(SAMPLE))
+        assert len(records) == 4
+        assert records[0].timestamp == 0.0
+        assert records[1].timestamp == pytest.approx(3.0)
+        assert records[2].timestamp == pytest.approx(31302.0)
+
+    def test_explicit_origin(self):
+        records = read_bgl_log(io.StringIO(SAMPLE), t_origin=1117838000.0)
+        assert records[0].timestamp == pytest.approx(570.0)
+
+    def test_sorted_output(self):
+        shuffled = "\n".join(reversed(SAMPLE.splitlines())) + "\n"
+        records = read_bgl_log(io.StringIO(shuffled))
+        times = [r.timestamp for r in records]
+        assert times == sorted(times)
+
+    def test_skip_malformed(self):
+        noisy = SAMPLE + "garbage line\n"
+        assert len(read_bgl_log(io.StringIO(noisy))) == 4
+
+    def test_strict_mode(self):
+        noisy = SAMPLE + "garbage line\n"
+        with pytest.raises(ValueError):
+            read_bgl_log(io.StringIO(noisy), skip_malformed=False)
+
+    def test_records_feed_the_pipeline_types(self):
+        records = read_bgl_log(io.StringIO(SAMPLE))
+        for rec in records:
+            assert rec.event_type is None
+            assert rec.fault_id is None
+            assert isinstance(rec.severity, Severity)
+
+
+class TestReadAlerts:
+    def test_only_alerts(self):
+        alerts = read_bgl_alerts(io.StringIO(SAMPLE))
+        assert len(alerts) == 1
+        assert alerts[0].alert_tag == "KERNDTLB"
+
+    def test_empty(self):
+        assert read_bgl_alerts(io.StringIO("")) == []
+
+
+class TestPipelineSmoke:
+    def test_helo_mines_real_style_messages(self):
+        # Mining must handle the raw message shapes without choking.
+        from repro.helo import HELOMiner
+
+        records = read_bgl_log(io.StringIO(SAMPLE * 5))
+        table, ids = HELOMiner().fit_transform(
+            [r.message for r in records]
+        )
+        assert len(table) >= 3
+        assert all(i is not None for i in ids)

@@ -1,0 +1,108 @@
+"""Tests for signal-class inference and normal-behaviour statistics."""
+
+import numpy as np
+import pytest
+
+from repro.signals.characterize import (
+    NormalBehavior,
+    characterize_signal,
+    derive_threshold,
+    estimate_period,
+    seasonal_profile,
+)
+from repro.simulation.templates import SignalClass
+
+
+class TestEstimatePeriod:
+    def test_recovers_beat_period(self):
+        x = np.zeros(3000)
+        x[::50] = 2.0
+        assert estimate_period(x) == 50
+
+    def test_noise_has_no_period(self):
+        x = np.random.default_rng(0).poisson(2.0, 3000).astype(float)
+        assert estimate_period(x) is None
+
+    def test_constant_has_no_period(self):
+        assert estimate_period(np.full(500, 3.0)) is None
+
+    def test_too_short(self):
+        assert estimate_period(np.array([1.0, 0.0, 1.0])) is None
+
+    def test_sinusoid(self):
+        t = np.arange(2000)
+        x = np.sin(2 * np.pi * t / 40) + 1.0
+        p = estimate_period(x)
+        assert p is not None and abs(p - 40) <= 1
+
+
+class TestSeasonalProfile:
+    def test_exact_beat(self):
+        x = np.zeros(100)
+        x[::10] = 5.0
+        prof = seasonal_profile(x, 10)
+        assert prof[0] == pytest.approx(5.0)
+        assert prof[1:].sum() == pytest.approx(0.0)
+
+    def test_invalid_period(self):
+        with pytest.raises(ValueError):
+            seasonal_profile(np.zeros(10), 0)
+
+    def test_partial_tail_handled(self):
+        x = np.ones(13)
+        prof = seasonal_profile(x, 5)
+        assert prof.shape == (5,)
+        assert np.allclose(prof, 1.0)
+
+
+class TestCharacterize:
+    def test_silent(self):
+        x = np.zeros(5000)
+        x[[7, 3200]] = 1.0
+        nb = characterize_signal(x)
+        assert nb.signal_class == SignalClass.SILENT
+        assert nb.threshold == pytest.approx(0.5)
+
+    def test_noise(self):
+        x = np.random.default_rng(1).poisson(3.0, 5000).astype(float)
+        nb = characterize_signal(x)
+        assert nb.signal_class == SignalClass.NOISE
+        assert nb.period is None
+        assert nb.threshold > 1.0
+
+    def test_periodic(self):
+        x = np.zeros(5000)
+        x[::60] = 3.0
+        nb = characterize_signal(x)
+        assert nb.signal_class == SignalClass.PERIODIC
+        assert nb.period == 60
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            characterize_signal(np.array([]))
+
+    def test_stats_fields(self):
+        x = np.random.default_rng(2).poisson(4.0, 2000).astype(float)
+        nb = characterize_signal(x)
+        assert nb.median == pytest.approx(np.median(x))
+        assert nb.mean_rate == pytest.approx(x.mean())
+        assert 0 < nb.occupancy <= 1
+        assert nb.robust_sigma == pytest.approx(1.4826 * nb.mad)
+
+
+class TestDeriveThreshold:
+    def test_silent_below_one_count(self):
+        assert derive_threshold(0.0, 0.0, SignalClass.SILENT) < 1.0
+
+    def test_noise_floor(self):
+        # zero-MAD noise signals still need a floor above a single count
+        assert derive_threshold(0.0, 0.0, SignalClass.NOISE) == pytest.approx(1.5)
+
+    def test_noise_scales_with_mad(self):
+        t1 = derive_threshold(5.0, 1.0, SignalClass.NOISE)
+        t2 = derive_threshold(5.0, 2.0, SignalClass.NOISE)
+        assert t2 > t1
+
+    def test_periodic_half_level(self):
+        t = derive_threshold(4.0, 0.0, SignalClass.PERIODIC)
+        assert t == pytest.approx(2.0)

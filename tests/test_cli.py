@@ -1,0 +1,109 @@
+"""Tests for the ``elsa-repro`` command-line interface."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import (
+    build_parser,
+    load_ground_truth,
+    load_predictions,
+    main,
+)
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_args(self):
+        ns = build_parser().parse_args([
+            "generate", "--log", "x.log", "--truth", "x.json",
+            "--days", "0.5", "--seed", "3",
+        ])
+        assert ns.command == "generate"
+        assert ns.days == 0.5
+        assert ns.system == "bluegene"
+
+    def test_unknown_system_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([
+                "generate", "--system", "cray", "--log", "a", "--truth", "b",
+            ])
+
+
+@pytest.fixture(scope="module")
+def workdir(tmp_path_factory):
+    """One generate → fit → predict → evaluate round trip on disk."""
+    d = tmp_path_factory.mktemp("cli")
+    log = d / "system.log"
+    truth = d / "truth.json"
+    model = d / "model.pkl"
+    preds = d / "preds.json"
+    rc = main([
+        "generate", "--days", "1.0", "--seed", "42",
+        "--log", str(log), "--truth", str(truth),
+    ])
+    assert rc == 0
+    meta = json.loads(truth.read_text())
+    rc = main([
+        "fit", "--log", str(log),
+        "--train-end", str(meta["train_end"]),
+        "--model", str(model),
+    ])
+    assert rc == 0
+    rc = main([
+        "predict", "--model", str(model), "--log", str(log),
+        "--t-start", str(meta["train_end"]), "--out", str(preds),
+    ])
+    assert rc == 0
+    return d, log, truth, model, preds, meta
+
+
+class TestWorkflow:
+    def test_files_created(self, workdir):
+        d, log, truth, model, preds, meta = workdir
+        assert log.stat().st_size > 10000
+        assert model.stat().st_size > 1000
+        assert preds.exists()
+
+    def test_ground_truth_loads(self, workdir):
+        *_, truth, _, _, meta = (workdir[0], workdir[1], workdir[2],
+                                 workdir[3], workdir[4], workdir[5])
+        faults = load_ground_truth(workdir[2])
+        assert faults
+        assert all(f.onset_time <= f.fail_time for f in faults)
+
+    def test_predictions_load(self, workdir):
+        preds = load_predictions(workdir[4])
+        for p in preds:
+            assert p.emitted_at >= p.trigger_time
+            assert p.locations
+
+    def test_evaluate_runs(self, workdir, capsys):
+        d, log, truth, model, preds, meta = workdir
+        rc = main([
+            "evaluate", "--predictions", str(preds), "--truth", str(truth),
+            "--t-start", str(meta["train_end"]),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "precision=" in out
+
+    def test_report_runs(self, capsys):
+        rc = main(["report", "--days", "0.6", "--seed", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "precision" in out and "recall" in out
+
+    def test_reproduce_writes_markdown(self, tmp_path):
+        out = tmp_path / "repro.md"
+        rc = main(["reproduce", "--days", "1.2", "--seed", "4",
+                   "--out", str(out)])
+        assert rc == 0
+        text = out.read_text()
+        assert "## Table III" in text
+        assert "## Table IV" in text
+        assert "9.13%" in text  # the exact closed-form row

@@ -1,0 +1,60 @@
+"""Tests for canned scenario builders."""
+
+import pytest
+
+from repro.datasets import bluegene_scenario, mercury_scenario, tiny_scenario
+
+
+class TestBluegeneScenario:
+    def test_shape(self, small_scenario):
+        sc = small_scenario
+        assert sc.records
+        assert len(sc.ground_truth) > 50
+        assert 0 < sc.train_end < sc.t_end
+
+    def test_split_properties(self, small_scenario):
+        sc = small_scenario
+        assert all(r.timestamp < sc.train_end for r in sc.train_records)
+        assert all(r.timestamp >= sc.train_end for r in sc.test_records)
+        assert len(sc.train_records) + len(sc.test_records) == len(sc.records)
+
+    def test_test_faults_within_window(self, small_scenario):
+        sc = small_scenario
+        for f in sc.test_faults:
+            assert sc.train_end <= f.fail_time < sc.t_end
+
+    def test_deterministic(self):
+        a = bluegene_scenario(duration_days=0.3, seed=3)
+        b = bluegene_scenario(duration_days=0.3, seed=3)
+        assert len(a.records) == len(b.records)
+        assert len(a.ground_truth) == len(b.ground_truth)
+
+    def test_machine_contains_fault_locations(self, small_scenario):
+        sc = small_scenario
+        for f in list(sc.ground_truth)[:50]:
+            for loc in f.locations:
+                assert sc.machine.contains(loc)
+
+    def test_category_mix(self, small_scenario):
+        cats = {f.category for f in small_scenario.ground_truth}
+        assert {"memory", "cache", "jobcontrol"} <= cats
+
+
+class TestMercuryScenario:
+    def test_builds(self):
+        sc = mercury_scenario(duration_days=0.3, seed=1)
+        assert sc.machine.name == "mercury-like"
+        assert sc.records
+        assert sc.machine.n_nodes == 256
+
+    def test_nfs_fault_possible(self):
+        sc = mercury_scenario(duration_days=2.0, seed=1)
+        types = {f.fault_type for f in sc.ground_truth}
+        assert "mem_oom" in types or "pbs_node_down" in types
+
+
+class TestTinyScenario:
+    def test_fast_and_complete(self):
+        sc = tiny_scenario(seed=2)
+        assert sc.t_end == pytest.approx(86400.0)
+        assert len(sc.ground_truth) > 30

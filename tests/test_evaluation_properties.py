@@ -1,0 +1,103 @@
+"""Property-based invariants of prediction scoring."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.prediction.engine import Prediction
+from repro.prediction.evaluation import evaluate_predictions
+from repro.simulation.trace import FaultEvent
+
+NODES = [f"n{i}" for i in range(6)]
+
+
+@st.composite
+def _faults(draw):
+    n = draw(st.integers(1, 8))
+    out = []
+    t = 0.0
+    for i in range(n):
+        t += draw(st.floats(50.0, 5000.0))
+        locs = draw(st.lists(st.sampled_from(NODES), min_size=1, max_size=3,
+                             unique=True))
+        out.append(FaultEvent(i, "ft", "memory", onset_time=t - 30.0,
+                              fail_time=t, locations=tuple(locs)))
+    return out
+
+
+@st.composite
+def _predictions(draw, faults):
+    preds = []
+    for f in faults:
+        if draw(st.booleans()):
+            lead = draw(st.floats(5.0, 200.0))
+            locs = draw(st.lists(st.sampled_from(NODES), min_size=1,
+                                 max_size=4, unique=True))
+            preds.append(Prediction(
+                trigger_time=f.fail_time - lead - 1.0,
+                emitted_at=f.fail_time - lead,
+                predicted_time=f.fail_time,
+                locations=tuple(locs),
+                chain_key=((0, 0), (1, 5)),
+                anchor_event=0,
+                fatal_event=1,
+            ))
+    # plus some pure noise predictions far from any failure
+    for k in range(draw(st.integers(0, 3))):
+        t0 = 1e6 + 1000.0 * k
+        preds.append(Prediction(
+            trigger_time=t0, emitted_at=t0 + 1.0, predicted_time=t0 + 60.0,
+            locations=(draw(st.sampled_from(NODES)),),
+            chain_key=((0, 0), (1, 5)), anchor_event=0, fatal_event=1,
+        ))
+    return preds
+
+
+class TestEvaluationProperties:
+    @given(st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_metrics_bounded(self, data):
+        faults = data.draw(_faults())
+        preds = data.draw(_predictions(faults))
+        res = evaluate_predictions(preds, faults)
+        assert 0.0 <= res.precision <= 1.0
+        assert 0.0 <= res.recall <= 1.0
+        assert res.n_predicted_faults <= res.n_faults
+        assert res.n_correct_predictions <= res.n_predictions
+
+    @given(st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_location_check_never_improves_metrics(self, data):
+        faults = data.draw(_faults())
+        preds = data.draw(_predictions(faults))
+        strict = evaluate_predictions(preds, faults, check_locations=True)
+        loose = evaluate_predictions(preds, faults, check_locations=False)
+        assert loose.recall >= strict.recall - 1e-12
+        assert loose.precision >= strict.precision - 1e-12
+
+    @given(st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_adding_perfect_prediction_never_hurts_recall(self, data):
+        faults = data.draw(_faults())
+        preds = data.draw(_predictions(faults))
+        base = evaluate_predictions(preds, faults)
+        target = faults[0]
+        perfect = Prediction(
+            trigger_time=target.fail_time - 100.0,
+            emitted_at=target.fail_time - 99.0,
+            predicted_time=target.fail_time,
+            locations=tuple(target.locations),
+            chain_key=((0, 0), (1, 5)), anchor_event=0, fatal_event=1,
+        )
+        extended = evaluate_predictions(preds + [perfect], faults)
+        assert extended.recall >= base.recall - 1e-12
+        assert extended.per_category["memory"].n_predicted >= 1
+
+    @given(st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_windows_only_for_predicted_faults(self, data):
+        faults = data.draw(_faults())
+        preds = data.draw(_predictions(faults))
+        res = evaluate_predictions(preds, faults)
+        assert res.visible_windows.size <= res.n_predicted_faults
+        assert (res.visible_windows >= 0).all()

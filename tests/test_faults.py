@@ -1,0 +1,156 @@
+"""Tests for fault-syndrome definitions."""
+
+import pytest
+
+from repro.simulation.faults import (
+    FaultCatalog,
+    FaultType,
+    PropagationScope,
+    SyndromeStep,
+    bluegene_fault_catalog,
+    mercury_fault_catalog,
+)
+from repro.simulation.templates import bluegene_templates, mercury_templates
+from repro.simulation.topology import HierarchyLevel
+
+
+class TestSyndromeStep:
+    def test_defaults(self):
+        s = SyndromeStep("x")
+        assert s.delay_lo == 0.0 and s.repeat_lo == 1
+
+    def test_invalid_delays(self):
+        with pytest.raises(ValueError):
+            SyndromeStep("x", delay_lo=5.0, delay_hi=1.0)
+        with pytest.raises(ValueError):
+            SyndromeStep("x", delay_lo=-1.0, delay_hi=0.0)
+
+    def test_invalid_repeats(self):
+        with pytest.raises(ValueError):
+            SyndromeStep("x", repeat_lo=0)
+        with pytest.raises(ValueError):
+            SyndromeStep("x", repeat_lo=3, repeat_hi=2)
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            SyndromeStep("x", probability=0.0)
+        with pytest.raises(ValueError):
+            SyndromeStep("x", probability=1.5)
+
+
+class TestFaultType:
+    def _steps(self):
+        return (SyndromeStep("a"), SyndromeStep("b", 1.0, 2.0))
+
+    def test_requires_steps(self):
+        with pytest.raises(ValueError):
+            FaultType("f", "memory", steps=())
+
+    def test_fatal_index_default_last(self):
+        f = FaultType("f", "memory", steps=self._steps())
+        assert f.fatal_index == 1
+
+    def test_fatal_index_explicit(self):
+        f = FaultType("f", "memory", steps=self._steps(), fatal_step=0)
+        assert f.fatal_index == 0
+
+    def test_fatal_index_out_of_range(self):
+        with pytest.raises(ValueError):
+            FaultType("f", "memory", steps=self._steps(), fatal_step=5)
+
+    def test_invalid_propagate_prob(self):
+        with pytest.raises(ValueError):
+            FaultType("f", "memory", steps=self._steps(), propagate_prob=1.2)
+
+    def test_invalid_n_affected(self):
+        with pytest.raises(ValueError):
+            FaultType("f", "memory", steps=self._steps(), n_affected=(0, 2))
+        with pytest.raises(ValueError):
+            FaultType("f", "memory", steps=self._steps(), n_affected=(5, 2))
+
+    def test_mean_lead_time(self):
+        f = FaultType("f", "memory", steps=(
+            SyndromeStep("a"),
+            SyndromeStep("b", 10.0, 20.0),
+            SyndromeStep("c", 4.0, 6.0),
+        ))
+        assert f.mean_lead_time() == pytest.approx(20.0)
+
+    def test_mean_lead_ignores_post_fatal(self):
+        f = FaultType("f", "memory", steps=(
+            SyndromeStep("a"),
+            SyndromeStep("b", 10.0, 10.0),
+            SyndromeStep("c", 100.0, 100.0),
+        ), fatal_step=1)
+        assert f.mean_lead_time() == pytest.approx(10.0)
+
+    def test_validate_against_unknown_template(self):
+        cat = bluegene_templates()
+        f = FaultType("f", "memory", steps=(SyndromeStep("no.such"),))
+        with pytest.raises(KeyError):
+            f.validate_against(cat)
+
+
+class TestPropagationScope:
+    def test_hierarchy_mapping(self):
+        assert PropagationScope.NONE.hierarchy_level() == HierarchyLevel.NODE
+        assert (
+            PropagationScope.MIDPLANE.hierarchy_level()
+            == HierarchyLevel.MIDPLANE
+        )
+        assert PropagationScope.GLOBAL.hierarchy_level() == HierarchyLevel.GLOBAL
+
+
+class TestCatalogs:
+    def test_bluegene_validates(self):
+        bluegene_fault_catalog().validate_against(bluegene_templates())
+
+    def test_mercury_validates(self):
+        mercury_fault_catalog().validate_against(mercury_templates())
+
+    def test_duplicate_names_rejected(self):
+        f = FaultType("f", "memory", steps=(SyndromeStep("a"),))
+        with pytest.raises(ValueError):
+            FaultCatalog([f, f])
+
+    def test_get(self):
+        cat = bluegene_fault_catalog()
+        assert cat.get("memory_ecc").category == "memory"
+        with pytest.raises(KeyError):
+            cat.get("nope")
+
+    def test_total_rate(self):
+        cat = bluegene_fault_catalog()
+        assert cat.total_rate_per_day == pytest.approx(
+            sum(f.rate_per_day for f in cat)
+        )
+
+    def test_categories_cover_fig9(self):
+        cats = set(bluegene_fault_catalog().categories())
+        assert {"memory", "nodecard", "network", "cache", "io",
+                "jobcontrol", "node"} <= cats
+
+    def test_ciodb_offers_no_window(self):
+        # Table II: CIODB chains happen "at the same time".
+        f = bluegene_fault_catalog().get("ciodb_crash")
+        assert f.mean_lead_time() == pytest.approx(0.0)
+
+    def test_nodecard_long_window(self):
+        # Table II: node-card service chains exceed one hour.
+        f = bluegene_fault_catalog().get("nodecard_service")
+        assert f.mean_lead_time() > 3600.0
+
+    def test_memory_one_minute_window(self):
+        # Table I: memory chains give roughly a one-minute-plus window.
+        f = bluegene_fault_catalog().get("memory_ecc")
+        assert 60.0 <= f.mean_lead_time() <= 180.0
+
+    def test_node_crash_suppresses_heartbeat(self):
+        f = bluegene_fault_catalog().get("node_crash")
+        assert f.suppresses == "info.heartbeat"
+        assert f.fixed_origin_index == 0
+
+    def test_nfs_is_global(self):
+        f = mercury_fault_catalog().get("nfs_outage")
+        assert f.scope == PropagationScope.GLOBAL
+        assert f.propagate_prob > 0.9

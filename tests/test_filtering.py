@@ -1,0 +1,141 @@
+"""Tests for causal moving filters and the rolling median."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.signals.filtering import (
+    RollingMedian,
+    causal_moving_average,
+    causal_moving_median,
+)
+
+
+def _reference_causal_median(x, window):
+    out = np.empty_like(x, dtype=float)
+    for i in range(x.size):
+        lo = max(0, i - window + 1)
+        out[i] = np.median(x[lo : i + 1])
+    return out
+
+
+def _reference_causal_mean(x, window):
+    out = np.empty_like(x, dtype=float)
+    for i in range(x.size):
+        lo = max(0, i - window + 1)
+        out[i] = np.mean(x[lo : i + 1])
+    return out
+
+
+class TestCausalMovingMedian:
+    def test_against_reference(self):
+        x = np.random.default_rng(0).normal(size=200)
+        for w in (1, 3, 10, 50):
+            assert np.allclose(
+                causal_moving_median(x, w), _reference_causal_median(x, w)
+            )
+
+    def test_window_one_is_identity(self):
+        x = np.random.default_rng(1).normal(size=50)
+        assert np.allclose(causal_moving_median(x, 1), x)
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            causal_moving_median(np.zeros(5), 0)
+
+    @given(
+        arrays(np.float64, st.integers(1, 60), elements=st.floats(-100, 100)),
+        st.integers(1, 20),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_reference_property(self, x, w):
+        assert np.allclose(
+            causal_moving_median(x, w), _reference_causal_median(x, w)
+        )
+
+
+class TestCausalMovingAverage:
+    def test_against_reference(self):
+        x = np.random.default_rng(2).normal(size=150)
+        for w in (1, 4, 25, 149, 200):
+            assert np.allclose(
+                causal_moving_average(x, w), _reference_causal_mean(x, w)
+            )
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            causal_moving_average(np.zeros(5), -1)
+
+    @given(
+        arrays(np.float64, st.integers(1, 60), elements=st.floats(-100, 100)),
+        st.integers(1, 20),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_reference_property(self, x, w):
+        assert np.allclose(
+            causal_moving_average(x, w), _reference_causal_mean(x, w)
+        )
+
+
+class TestRollingMedian:
+    def test_grows_then_slides(self):
+        rm = RollingMedian(3)
+        rm.push(1.0)
+        assert rm.median() == 1.0
+        rm.push(5.0)
+        assert rm.median() == 3.0
+        rm.push(3.0)
+        assert rm.median() == 3.0
+        evicted = rm.push(100.0)  # evicts 1.0
+        assert evicted == 1.0
+        assert rm.median() == 5.0
+
+    def test_empty_median_raises(self):
+        with pytest.raises(IndexError):
+            RollingMedian(3).median()
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            RollingMedian(0)
+
+    def test_replace_newest(self):
+        rm = RollingMedian(3)
+        for v in (1.0, 2.0, 9.0):
+            rm.push(v)
+        rm.replace_newest(3.0)
+        assert rm.median() == 2.0
+        assert len(rm) == 3
+
+    def test_replace_on_empty_raises(self):
+        with pytest.raises(IndexError):
+            RollingMedian(2).replace_newest(1.0)
+
+    def test_quantile(self):
+        rm = RollingMedian(5)
+        for v in (10.0, 20.0, 30.0, 40.0, 50.0):
+            rm.push(v)
+        assert rm.quantile(0.0) == 10.0
+        assert rm.quantile(1.0) == 50.0
+        assert rm.quantile(0.5) == 30.0
+
+    def test_quantile_validation(self):
+        rm = RollingMedian(2)
+        rm.push(1.0)
+        with pytest.raises(ValueError):
+            rm.quantile(1.5)
+        with pytest.raises(IndexError):
+            RollingMedian(2).quantile(0.5)
+
+    @given(st.lists(st.floats(-1e3, 1e3), min_size=1, max_size=80),
+           st.integers(1, 10))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_numpy_property(self, values, cap):
+        rm = RollingMedian(cap)
+        for i, v in enumerate(values):
+            rm.push(v)
+            lo = max(0, i - cap + 1)
+            assert rm.median() == pytest.approx(
+                float(np.median(values[lo : i + 1]))
+            )

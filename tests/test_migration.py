@@ -1,0 +1,91 @@
+"""Tests for the proactive-migration waste model."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.checkpoint.migration import (
+    MigrationParams,
+    breakeven_migration_time,
+    migration_advantage,
+    waste_with_migration,
+)
+from repro.checkpoint.model import (
+    CheckpointParams,
+    waste_no_prediction_min,
+    waste_with_prediction,
+)
+
+
+def _params(M=0.5, **kw):
+    return MigrationParams(base=CheckpointParams(**kw), migration_time=M)
+
+
+class TestWasteWithMigration:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MigrationParams(base=CheckpointParams(), migration_time=0.0)
+        p = _params()
+        with pytest.raises(ValueError):
+            waste_with_migration(p, -0.1)
+        with pytest.raises(ValueError):
+            waste_with_migration(p, 0.5, 0.0)
+
+    def test_zero_recall_matches_baseline(self):
+        p = _params()
+        assert waste_with_migration(p, 0.0) == pytest.approx(
+            waste_no_prediction_min(p.base)
+        )
+
+    def test_cheap_migration_beats_checkpoint_on_prediction(self):
+        # M well below C + P(R+D): migration strictly better.
+        p = _params(M=0.2)
+        assert migration_advantage(p, 0.5, 0.92) > 0
+
+    def test_expensive_migration_loses(self):
+        # M above the break-even.
+        base = CheckpointParams()
+        m_star = breakeven_migration_time(base, 0.92)
+        p = MigrationParams(base=base, migration_time=m_star * 2)
+        assert migration_advantage(p, 0.5, 0.92) < 0
+
+    def test_breakeven_is_neutral(self):
+        base = CheckpointParams()
+        for precision in (1.0, 0.92, 0.6):
+            m_star = breakeven_migration_time(base, precision)
+            p = MigrationParams(base=base, migration_time=m_star)
+            assert migration_advantage(p, 0.4, precision) == pytest.approx(
+                0.0, abs=1e-12
+            )
+
+    def test_breakeven_formula(self):
+        base = CheckpointParams(checkpoint_time=2.0, restart_time=4.0,
+                                downtime=1.0)
+        assert breakeven_migration_time(base, 1.0) == pytest.approx(7.0)
+        assert breakeven_migration_time(base, 0.5) == pytest.approx(4.5)
+
+    def test_perfect_recall_limit(self):
+        # All failures migrated away: waste = migrations only.
+        p = _params(M=0.5)
+        w = waste_with_migration(p, 1.0)
+        assert w == pytest.approx(0.5 / p.base.mttf)
+
+    @given(st.floats(0.05, 0.95), st.floats(0.5, 1.0))
+    @settings(max_examples=50, deadline=None)
+    def test_waste_below_no_prediction(self, recall, precision):
+        # With a sub-breakeven migration cost, any predictor helps.
+        p = _params(M=0.3)
+        assert (
+            waste_with_migration(p, recall, precision)
+            <= waste_no_prediction_min(p.base) + 1e-12
+        )
+
+    @given(st.floats(0.05, 0.95))
+    @settings(max_examples=50, deadline=None)
+    def test_monotone_in_recall(self, recall):
+        p = _params(M=0.3)
+        w1 = waste_with_migration(p, recall, 0.9)
+        w2 = waste_with_migration(p, min(0.99, recall + 0.04), 0.9)
+        assert w2 <= w1 + 1e-12

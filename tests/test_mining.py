@@ -1,0 +1,233 @@
+"""Tests for the mining layer: Mann-Whitney, chains, GRITE."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy import stats as scipy_stats
+
+from repro.mining import (
+    CorrelationChain,
+    GradualItem,
+    GriteConfig,
+    GriteMiner,
+    mann_whitney_u,
+)
+
+
+class TestMannWhitney:
+    def test_clear_shift_greater(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(5, 1, 50)
+        y = rng.normal(0, 1, 50)
+        res = mann_whitney_u(x, y, "greater")
+        assert res.p_value < 1e-6
+        assert res.significant()
+
+    def test_clear_shift_less(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(0, 1, 50)
+        y = rng.normal(5, 1, 50)
+        res = mann_whitney_u(x, y, "less")
+        assert res.p_value < 1e-6
+
+    def test_wrong_direction_insignificant(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(0, 1, 50)
+        y = rng.normal(5, 1, 50)
+        assert mann_whitney_u(x, y, "greater").p_value > 0.5
+
+    def test_identical_samples(self):
+        x = [1.0, 2.0, 3.0]
+        res = mann_whitney_u(x, x, "two-sided")
+        assert res.p_value > 0.5
+
+    def test_all_ties_degenerate(self):
+        res = mann_whitney_u([1.0] * 10, [1.0] * 10)
+        assert res.p_value == 1.0
+
+    def test_empty_sample(self):
+        assert mann_whitney_u([], [1.0]).p_value == 1.0
+
+    def test_unknown_alternative(self):
+        with pytest.raises(ValueError):
+            mann_whitney_u([1.0], [2.0], "sideways")
+
+    @given(
+        st.lists(st.floats(-100, 100), min_size=5, max_size=40),
+        st.lists(st.floats(-100, 100), min_size=5, max_size=40),
+        st.sampled_from(["greater", "less", "two-sided"]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matches_scipy_property(self, x, y, alt):
+        ours = mann_whitney_u(x, y, alt)
+        theirs = scipy_stats.mannwhitneyu(
+            x, y, alternative=alt.replace("-", "-"), method="asymptotic"
+        )
+        assert ours.u_statistic == pytest.approx(float(theirs.statistic))
+        assert ours.p_value == pytest.approx(float(theirs.pvalue), abs=1e-6)
+
+
+class TestCorrelationChain:
+    def test_requires_two_items(self):
+        with pytest.raises(ValueError):
+            CorrelationChain(items=(GradualItem(0, 1),))
+
+    def test_anchor_must_be_zero_delay(self):
+        with pytest.raises(ValueError):
+            CorrelationChain(items=(GradualItem(3, 1), GradualItem(5, 2)))
+
+    def test_items_sorted(self):
+        c = CorrelationChain(items=(GradualItem(0, 1), GradualItem(0, 0)))
+        assert c.items[0].event_type == 0
+
+    def test_duplicate_event_types_rejected(self):
+        with pytest.raises(ValueError):
+            CorrelationChain(items=(GradualItem(0, 1), GradualItem(5, 1)))
+
+    def test_shape_properties(self):
+        c = CorrelationChain(items=(
+            GradualItem(0, 10), GradualItem(4, 11), GradualItem(9, 12),
+        ))
+        assert c.size == 3
+        assert c.span == 9
+        assert c.span_seconds() == pytest.approx(90.0)
+        assert c.anchor == 10
+        assert c.event_types == (10, 11, 12)
+        assert c.delay_of(11) == 4
+        with pytest.raises(KeyError):
+            c.delay_of(99)
+
+    def test_contains_subchain(self):
+        big = CorrelationChain(items=(
+            GradualItem(0, 1), GradualItem(5, 2), GradualItem(9, 3),
+        ))
+        sub = CorrelationChain(items=(GradualItem(0, 2), GradualItem(4, 3)))
+        assert big.contains(sub)
+
+    def test_contains_rejects_inconsistent_delays(self):
+        big = CorrelationChain(items=(
+            GradualItem(0, 1), GradualItem(5, 2), GradualItem(9, 3),
+        ))
+        sub = CorrelationChain(items=(GradualItem(0, 2), GradualItem(40, 3)))
+        assert not big.contains(sub)
+
+    def test_contains_rejects_foreign_events(self):
+        big = CorrelationChain(items=(GradualItem(0, 1), GradualItem(5, 2)))
+        sub = CorrelationChain(items=(GradualItem(0, 1), GradualItem(5, 9)))
+        assert not big.contains(sub)
+
+    def test_describe_with_names(self):
+        c = CorrelationChain(items=(GradualItem(0, 0), GradualItem(6, 1)))
+        text = c.describe(["first event", "second event"])
+        assert "first event" in text
+        assert "after 6 time unit(s): second event" in text
+
+    def test_gradual_item_shift(self):
+        assert GradualItem(3, 7).shifted(4) == GradualItem(7, 7)
+
+
+def _planted_trains(rng, horizon=50000, n_anchor=40, noise_types=3):
+    """Anchor chain S0 ->(5) S1 ->(12) S2 plus unrelated noise trains."""
+    anchors = np.sort(rng.choice(horizon - 100, n_anchor, replace=False))
+    trains = {
+        0: anchors,
+        1: anchors + 5,
+        2: anchors + 12,
+    }
+    for k in range(noise_types):
+        trains[10 + k] = np.sort(
+            rng.choice(horizon, 30 + 10 * k, replace=False)
+        )
+    return trains
+
+
+class TestGriteMiner:
+    def test_recovers_planted_chain(self, rng):
+        trains = _planted_trains(np.random.default_rng(7))
+        chains = GriteMiner().mine(trains)
+        top = chains[0]
+        assert top.event_types == (0, 1, 2)
+        assert top.items[1].delay == 5
+        assert top.items[2].delay == pytest.approx(12, abs=1)
+        assert top.confidence > 0.9
+
+    def test_no_chains_from_pure_noise(self):
+        rng = np.random.default_rng(8)
+        trains = {
+            k: np.sort(rng.choice(50000, 40, replace=False))
+            for k in range(6)
+        }
+        chains = GriteMiner().mine(trains)
+        assert chains == []
+
+    def test_subchains_absorbed_by_maximal(self):
+        trains = _planted_trains(np.random.default_rng(9), noise_types=0)
+        chains = GriteMiner().mine(trains)
+        assert len(chains) == 1
+
+    def test_maximal_off_keeps_subchains(self):
+        trains = _planted_trains(np.random.default_rng(10), noise_types=0)
+        cfg = GriteConfig(maximal_only=False)
+        chains = GriteMiner(cfg).mine(trains)
+        assert len(chains) > 1
+        sizes = {c.size for c in chains}
+        assert 2 in sizes and 3 in sizes
+
+    def test_delay_composition_beyond_pair_window(self):
+        # S0 ->(80) S1 ->(80) S2: total span 160 exceeds max_pair_delay
+        # 100, reachable only through join composition.
+        rng = np.random.default_rng(11)
+        anchors = np.sort(rng.choice(50000, 30, replace=False))
+        trains = {0: anchors, 1: anchors + 80, 2: anchors + 160}
+        cfg = GriteConfig(max_pair_delay=100)
+        chains = GriteMiner(cfg).mine(trains)
+        top = chains[0]
+        assert top.size == 3
+        assert top.span == pytest.approx(160, abs=5)
+
+    def test_min_support_prunes(self):
+        rng = np.random.default_rng(12)
+        anchors = np.sort(rng.choice(50000, 3, replace=False))
+        trains = {0: anchors, 1: anchors + 5}
+        cfg = GriteConfig(min_support=5)
+        assert GriteMiner(cfg).mine(trains) == []
+
+    def test_dense_trains_skipped(self):
+        rng = np.random.default_rng(13)
+        trains = {
+            0: np.arange(0, 20000),  # hyperactive signal
+            1: np.sort(rng.choice(20000, 30, replace=False)),
+        }
+        cfg = GriteConfig(max_train_size=10000)
+        chains = GriteMiner(cfg).mine(trains)
+        assert all(0 not in c.event_types for c in chains)
+
+    def test_match_anchor_times(self):
+        trains = _planted_trains(np.random.default_rng(14), noise_types=0)
+        miner = GriteMiner()
+        chains = miner.mine(trains)
+        times = miner.match_anchor_times(chains[0], trains)
+        assert set(times.tolist()) <= set(trains[0].tolist())
+        assert len(times) >= chains[0].support * 0.9
+
+    def test_seed_pairs_recorded(self):
+        trains = _planted_trains(np.random.default_rng(15), noise_types=0)
+        miner = GriteMiner()
+        miner.mine(trains)
+        srcs = {(a, b) for a, b, _ in miner.seed_pairs}
+        assert (0, 1) in srcs
+
+    def test_flaky_middle_event_caps_confidence(self):
+        rng = np.random.default_rng(16)
+        anchors = np.sort(rng.choice(50000, 60, replace=False))
+        present = rng.random(60) < 0.5
+        trains = {
+            0: anchors,
+            1: (anchors + 5)[present],
+            2: anchors + 12,
+        }
+        chains = GriteMiner().mine(trains)
+        full = [c for c in chains if c.size == 3]
+        if full:
+            assert full[0].confidence < 0.75

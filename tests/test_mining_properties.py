@@ -1,0 +1,96 @@
+"""Property-based invariants of the GRITE miner."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mining.correlations import CorrelationChain, GradualItem
+from repro.mining.grite import GriteConfig, GriteMiner
+
+
+@st.composite
+def _train_tables(draw):
+    """Random small train tables with one planted 3-chain."""
+    rng = np.random.default_rng(draw(st.integers(0, 2**31 - 1)))
+    horizon = 30000
+    n_anchor = draw(st.integers(8, 40))
+    d1 = draw(st.integers(1, 20))
+    d2 = draw(st.integers(1, 20))
+    anchors = np.sort(
+        rng.choice(horizon - 100, n_anchor, replace=False)
+    ).astype(np.int64)
+    trains = {
+        0: anchors,
+        1: anchors + d1,
+        2: anchors + d1 + d2,
+    }
+    n_noise = draw(st.integers(0, 4))
+    for k in range(n_noise):
+        trains[10 + k] = np.sort(
+            rng.choice(horizon, draw(st.integers(5, 60)), replace=False)
+        ).astype(np.int64)
+    return trains, d1, d2
+
+
+class TestGriteProperties:
+    @given(_train_tables())
+    @settings(max_examples=25, deadline=None)
+    def test_planted_chain_recovered_with_right_delays(self, table):
+        trains, d1, d2 = table
+        chains = GriteMiner().mine(trains)
+        planted = [c for c in chains if set(c.event_types) >= {0, 1, 2}]
+        if not planted:  # tiny anchor counts may fall below min_support
+            assert trains[0].size < 12
+            return
+        chain = planted[0]
+        assert chain.anchor == 0
+        assert abs(chain.delay_of(1) - d1) <= max(2, int(0.4 * d1))
+        assert abs(chain.delay_of(2) - (d1 + d2)) <= max(
+            2, int(0.4 * (d1 + d2))
+        )
+
+    @given(_train_tables())
+    @settings(max_examples=20, deadline=None)
+    def test_support_antimonotone(self, table):
+        """A chain's support never exceeds any sub-chain's support."""
+        trains, _, _ = table
+        miner = GriteMiner(GriteConfig(maximal_only=False))
+        chains = miner.mine(trains)
+        by_key = {frozenset(c.event_types): c for c in chains}
+        for c in chains:
+            for other_key, other in by_key.items():
+                if other_key < frozenset(c.event_types):
+                    if other.anchor == c.anchor:
+                        assert c.support <= other.support
+
+    @given(_train_tables())
+    @settings(max_examples=20, deadline=None)
+    def test_confidence_bounds(self, table):
+        trains, _, _ = table
+        for c in GriteMiner().mine(trains):
+            assert 0.0 <= c.confidence <= 1.0
+            assert c.support >= GriteConfig().min_support
+            assert c.items[0].delay == 0
+            delays = [it.delay for it in c.items]
+            assert delays == sorted(delays)
+
+    @given(_train_tables())
+    @settings(max_examples=15, deadline=None)
+    def test_match_anchor_times_consistent_with_support(self, table):
+        trains, _, _ = table
+        miner = GriteMiner()
+        for c in miner.mine(trains):
+            matches = miner.match_anchor_times(c, trains)
+            assert len(matches) == c.support
+
+    @given(_train_tables())
+    @settings(max_examples=15, deadline=None)
+    def test_deterministic(self, table):
+        trains, _, _ = table
+        a = GriteMiner().mine(trains)
+        b = GriteMiner().mine(trains)
+        keys = lambda cs: [
+            tuple((i.event_type, i.delay) for i in c.items) for c in cs
+        ]
+        assert keys(a) == keys(b)

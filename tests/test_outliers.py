@@ -1,0 +1,205 @@
+"""Tests for outlier detection (offline, online, periodic-gap)."""
+
+import numpy as np
+import pytest
+
+from repro.signals.characterize import characterize_signal
+from repro.signals.outliers import (
+    OnlineOutlierDetector,
+    OnlinePeriodicDetector,
+    OutlierResult,
+    detect_outliers_offline,
+    periodic_gap_outliers,
+)
+from repro.simulation.templates import SignalClass
+
+
+class TestOnlineOutlierDetector:
+    def test_flags_spikes(self):
+        rng = np.random.default_rng(0)
+        x = rng.poisson(3.0, 1000).astype(float)
+        spikes = [200, 600, 900]
+        x[spikes] += 50
+        det = OnlineOutlierDetector(threshold=8.0, window=100)
+        res = det.process_array(x)
+        for s in spikes:
+            assert res.flags[s]
+
+    def test_quiet_signal_no_flags(self):
+        x = np.full(500, 3.0)
+        det = OnlineOutlierDetector(threshold=2.0, window=50)
+        res = det.process_array(x)
+        assert res.n_outliers == 0
+        assert np.allclose(res.corrected, x)
+
+    def test_replacement_is_median(self):
+        x = np.full(100, 5.0)
+        x[50] = 100.0
+        det = OnlineOutlierDetector(threshold=3.0, window=20)
+        res = det.process_array(x)
+        assert res.flags[50]
+        assert res.corrected[50] == pytest.approx(5.0)
+
+    def test_warmup_suppresses_early_flags(self):
+        x = np.zeros(50)
+        x[0] = 100.0  # first sample is wild but within warmup
+        det = OnlineOutlierDetector(threshold=1.0, window=20, warmup=5)
+        res = det.process_array(x)
+        assert not res.flags[0]
+
+    def test_silent_signal_occurrence_is_outlier(self):
+        x = np.zeros(200)
+        x[100] = 1.0
+        det = OnlineOutlierDetector(threshold=0.5, window=50)
+        res = det.process_array(x)
+        assert res.indices.tolist() == [100]
+
+    def test_replacement_resists_outlier_runs(self):
+        # A long run of faulty values must not capture the median (the
+        # paper's replacement strategy: corrected values anchor it).
+        x = np.full(300, 2.0)
+        x[100:140] = 50.0
+        det = OnlineOutlierDetector(threshold=5.0, window=200)
+        res = det.process_array(x)
+        assert res.flags[100:140].sum() >= 35
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            OnlineOutlierDetector(threshold=0.0, window=10)
+
+    def test_result_indices(self):
+        flags = np.array([False, True, False, True])
+        res = OutlierResult(flags=flags, corrected=np.zeros(4))
+        assert res.indices.tolist() == [1, 3]
+        assert res.n_outliers == 2
+
+
+class TestPeriodicGapOutliers:
+    def _beats(self, n=600, period=10, amp=2.0):
+        x = np.zeros(n)
+        x[::period] = amp
+        return x
+
+    def test_clean_beats_no_outliers(self):
+        res = periodic_gap_outliers(self._beats(), period=10)
+        assert res.n_outliers == 0
+
+    def test_missing_beats_flagged_once_per_gap(self):
+        x = self._beats()
+        x[200:260] = 0.0  # kill ~6 beats
+        res = periodic_gap_outliers(x, period=10)
+        assert res.n_outliers == 1
+        assert 200 <= res.indices[0] <= 215
+
+    def test_two_gaps_two_outliers(self):
+        x = self._beats()
+        x[100:140] = 0.0
+        x[400:440] = 0.0
+        res = periodic_gap_outliers(x, period=10)
+        assert res.n_outliers == 2
+
+    def test_burst_flagged(self):
+        x = self._beats(amp=2.0)
+        x[300] = 50.0
+        res = periodic_gap_outliers(x, period=10)
+        assert res.flags[300]
+        assert res.corrected[300] == pytest.approx(2.0)
+
+    def test_empty_signal(self):
+        res = periodic_gap_outliers(np.zeros(100), period=10)
+        assert res.n_outliers == 0
+
+    def test_invalid_period(self):
+        with pytest.raises(ValueError):
+            periodic_gap_outliers(np.zeros(10), period=0)
+
+    def test_jittered_beats_tolerated(self):
+        rng = np.random.default_rng(3)
+        x = np.zeros(1000)
+        for k in range(0, 990, 10):
+            x[k + int(rng.integers(0, 2))] = 1.0
+        res = periodic_gap_outliers(x, period=10)
+        assert res.n_outliers == 0
+
+
+class TestOnlinePeriodicDetector:
+    def test_absence_detected_once(self):
+        det = OnlinePeriodicDetector(period=5, amplitude=1.0)
+        flags = []
+        stream = ([1.0] + [0.0] * 4) * 10 + [0.0] * 30 + ([1.0] + [0.0] * 4) * 4
+        for v in stream:
+            out, _ = det.process(v)
+            flags.append(out)
+        total = sum(flags)
+        assert total == 1
+        first = flags.index(True)
+        assert 50 <= first <= 65  # shortly after the silence exceeds 1.8p
+
+    def test_beats_resume_rearms(self):
+        det = OnlinePeriodicDetector(period=5, amplitude=1.0)
+        stream = (
+            ([1.0] + [0.0] * 4) * 6 + [0.0] * 25
+            + ([1.0] + [0.0] * 4) * 6 + [0.0] * 25
+        )
+        flags = [det.process(v)[0] for v in stream]
+        assert sum(flags) == 2
+
+    def test_burst_flagged(self):
+        det = OnlinePeriodicDetector(period=5, amplitude=1.0,
+                                     burst_factor=2.5)
+        out, corr = det.process(10.0)
+        assert out
+        assert corr == pytest.approx(1.0)
+
+    def test_no_flags_before_first_beat(self):
+        det = OnlinePeriodicDetector(period=5, amplitude=1.0)
+        flags = [det.process(0.0)[0] for _ in range(50)]
+        assert not any(flags)
+
+    def test_process_array_equivalent(self):
+        x = np.zeros(200)
+        x[::10] = 1.0
+        x[100:150] = 0.0
+        a = OnlinePeriodicDetector(period=10).process_array(x)
+        det = OnlinePeriodicDetector(period=10)
+        b = np.array([det.process(float(v))[0] for v in x])
+        assert (a.flags == b).all()
+
+    def test_invalid_period(self):
+        with pytest.raises(ValueError):
+            OnlinePeriodicDetector(period=0)
+
+
+class TestOfflineDetection:
+    def test_silent_signal(self):
+        x = np.zeros(2000)
+        x[[100, 900]] = 1.0
+        nb = characterize_signal(x)
+        res = detect_outliers_offline(x, nb)
+        assert set(res.indices.tolist()) == {100, 900}
+
+    def test_noise_signal_spikes_only(self):
+        rng = np.random.default_rng(4)
+        x = rng.poisson(4.0, 4000).astype(float)
+        x[[500, 2500]] = 60.0
+        nb = characterize_signal(x)
+        res = detect_outliers_offline(x, nb)
+        assert {500, 2500} <= set(res.indices.tolist())
+        assert res.n_outliers < 40  # few false flags
+
+    def test_periodic_signal_gap(self):
+        x = np.zeros(3000)
+        x[::50] = 2.0
+        x[1000:1200] = 0.0
+        nb = characterize_signal(x)
+        assert nb.signal_class == SignalClass.PERIODIC
+        res = detect_outliers_offline(x, nb)
+        assert res.n_outliers >= 1
+        assert any(1000 <= i <= 1100 for i in res.indices)
+
+    def test_corrected_replaces_outliers(self):
+        x = np.zeros(1000)
+        x[500] = 9.0
+        nb = characterize_signal(x)
+        res = detect_outliers_offline(x, nb)
+        assert res.corrected[500] == pytest.approx(nb.median)

@@ -1,0 +1,69 @@
+"""Tests for the process-parallel GRITE seeding."""
+
+import numpy as np
+import pytest
+
+from repro.mining.grite import GriteConfig, GriteMiner
+from repro.mining.parallel import ParallelGriteMiner
+
+
+def _trains(seed=0, n_noise=30):
+    rng = np.random.default_rng(seed)
+    trains = {}
+    for k in range(n_noise):
+        trains[k] = np.sort(
+            rng.choice(50000, 20 + (k % 25), replace=False)
+        ).astype(np.int64)
+    anchors = np.sort(rng.choice(50000, 40, replace=False)).astype(np.int64)
+    trains[100] = anchors
+    trains[101] = anchors + 4
+    trains[102] = anchors + 9
+    return trains
+
+
+def _keys(chains):
+    return {
+        tuple((it.event_type, it.delay) for it in c.items) for c in chains
+    }
+
+
+class TestParallelGriteMiner:
+    def test_identical_to_sequential(self):
+        trains = _trains()
+        seq = GriteMiner().mine(trains)
+        par = ParallelGriteMiner(n_jobs=2).mine(trains)
+        assert _keys(seq) == _keys(par)
+        assert {c.support for c in seq} == {c.support for c in par}
+
+    def test_seed_pairs_match(self):
+        trains = _trains(seed=1)
+        seq_miner = GriteMiner()
+        par_miner = ParallelGriteMiner(n_jobs=2)
+        seq_miner.mine(trains)
+        par_miner.mine(trains)
+        seq_pairs = {(a, b, pc.delay) for a, b, pc in seq_miner.seed_pairs}
+        par_pairs = {(a, b, pc.delay) for a, b, pc in par_miner.seed_pairs}
+        assert seq_pairs == par_pairs
+
+    def test_single_job_uses_sequential_path(self):
+        trains = _trains(seed=2)
+        miner = ParallelGriteMiner(n_jobs=1)
+        chains = miner.mine(trains)
+        assert _keys(chains) == _keys(GriteMiner().mine(trains))
+
+    def test_small_inputs_skip_pool(self):
+        # fewer than 8 trains: the pool would cost more than it saves
+        rng = np.random.default_rng(3)
+        anchors = np.sort(rng.choice(9000, 20, replace=False)).astype(np.int64)
+        trains = {0: anchors, 1: anchors + 3}
+        chains = ParallelGriteMiner(n_jobs=4).mine(trains)
+        assert len(chains) == 1
+
+    def test_invalid_jobs(self):
+        with pytest.raises(ValueError):
+            ParallelGriteMiner(n_jobs=0)
+
+    def test_respects_config(self):
+        trains = _trains(seed=4)
+        cfg = GriteConfig(min_support=10**6)  # nothing can survive
+        assert ParallelGriteMiner(cfg, n_jobs=2).mine(trains) == []

@@ -1,0 +1,54 @@
+"""Tests for the programmatic reproduction reports."""
+
+import pytest
+
+from repro.reporting import (
+    PAPER_TABLE3,
+    TABLE4_ROWS,
+    render_fig9,
+    render_table3,
+    render_table4,
+    run_methods,
+)
+
+
+class TestRenderTable4:
+    def test_exact_rows_present(self):
+        text = render_table4()
+        assert "9.13%" in text
+        assert "17.33%" in text
+        assert "21.74%" in text
+
+    def test_all_rows_rendered(self):
+        text = render_table4()
+        assert text.count("|---") == 6  # header separator cells
+        assert len(text.splitlines()) == 2 + len(TABLE4_ROWS)
+
+
+class TestMethodsAndRendering:
+    @pytest.fixture(scope="class")
+    def methods(self, small_scenario, fitted_elsa):
+        return run_methods(small_scenario, fitted_elsa)
+
+    def test_three_methods(self, methods):
+        assert {m.name for m in methods} == set(PAPER_TABLE3)
+
+    def test_table3_markdown(self, methods):
+        text = render_table3(methods)
+        assert text.startswith("| method |")
+        for name in PAPER_TABLE3:
+            assert f"| {name} |" in text
+        # paper values are rendered alongside
+        assert "91.2%" in text
+
+    def test_fig9_bars(self, methods):
+        hybrid = next(m for m in methods if m.name == "hybrid")
+        chart = render_fig9(hybrid.result)
+        assert "memory" in chart
+        assert "|" in chart
+
+    def test_method_quality_sane(self, methods):
+        for m in methods:
+            assert 0.0 <= m.result.precision <= 1.0
+            assert 0.0 <= m.result.recall <= 1.0
+            assert m.n_chains > 0

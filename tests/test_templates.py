@@ -1,0 +1,127 @@
+"""Tests for the message-template catalog."""
+
+import numpy as np
+import pytest
+
+from repro.simulation.templates import (
+    CATEGORIES,
+    SignalClass,
+    Template,
+    TemplateCatalog,
+    bluegene_templates,
+    mercury_templates,
+)
+from repro.simulation.trace import Severity
+
+
+class TestTemplate:
+    def test_render_substitutes_fields(self, rng):
+        t = Template("t", "error at <hex> count <num>", Severity.INFO,
+                     "info", SignalClass.NOISE)
+        msg = t.render(rng)
+        assert "<hex>" not in msg and "<num>" not in msg
+        assert msg.startswith("error at 0x")
+
+    def test_render_constant_part_stable(self, rng):
+        t = Template("t", "fan speed <num> rpm", Severity.WARNING,
+                     "nodecard", SignalClass.NOISE)
+        msgs = {t.render(rng) for _ in range(5)}
+        for m in msgs:
+            assert m.startswith("fan speed ")
+            assert m.endswith(" rpm")
+
+    def test_skeleton(self):
+        t = Template("t", "a <hex> b <num> c", Severity.INFO, "info",
+                     SignalClass.SILENT)
+        assert t.skeleton() == "a * b * c"
+
+    def test_unknown_category_rejected(self):
+        with pytest.raises(ValueError):
+            Template("t", "x", Severity.INFO, "quantum", SignalClass.NOISE)
+
+    def test_unknown_field_kind(self, rng):
+        t = Template("t", "x <frobnicator>", Severity.INFO, "info",
+                     SignalClass.NOISE)
+        with pytest.raises(ValueError):
+            t.render(rng)
+
+    def test_word_field_has_high_cardinality(self, rng):
+        t = Template("t", "module <word> down", Severity.INFO, "info",
+                     SignalClass.NOISE)
+        rendered = {t.render(rng) for _ in range(50)}
+        assert len(rendered) > 40  # variable fields must look variable
+
+
+class TestTemplateCatalog:
+    def test_duplicate_names_rejected(self):
+        t = Template("same", "x", Severity.INFO, "info", SignalClass.NOISE)
+        with pytest.raises(ValueError):
+            TemplateCatalog([t, t])
+
+    def test_id_lookup(self):
+        cat = bluegene_templates()
+        tid = cat.id_of("mem.correctable_dir")
+        assert cat[tid].name == "mem.correctable_dir"
+
+    def test_unknown_name(self):
+        cat = bluegene_templates()
+        with pytest.raises(KeyError):
+            cat.id_of("no.such.template")
+
+    def test_get(self):
+        cat = bluegene_templates()
+        assert cat.get("cache.l3_major").category == "cache"
+
+    def test_ids_by_category_partition(self):
+        cat = bluegene_templates()
+        all_ids = set()
+        for c in CATEGORIES:
+            ids = set(cat.ids_by_category(c))
+            assert not ids & all_ids
+            all_ids |= ids
+        assert all_ids == set(range(len(cat)))
+
+    def test_ids_by_signal_class_partition(self):
+        cat = bluegene_templates()
+        all_ids = set()
+        for sc in SignalClass:
+            ids = set(cat.ids_by_signal_class(sc))
+            assert not ids & all_ids
+            all_ids |= ids
+        assert all_ids == set(range(len(cat)))
+
+    def test_severity_of(self):
+        cat = bluegene_templates()
+        tid = cat.id_of("mem.plb_parity")
+        assert cat.severity_of(tid) == Severity.FAILURE
+
+
+class TestCatalogSizes:
+    def test_bluegene_near_paper_count(self):
+        # Blue Gene/L logs contain 207 event types (section IV).
+        assert abs(len(bluegene_templates()) - 207) < 15
+
+    def test_mercury_near_paper_count(self):
+        # Mercury logs contain 409 event types (section IV).
+        assert abs(len(mercury_templates()) - 409) < 15
+
+    def test_silent_majority(self):
+        # "silent signals represent the majority of event types" (sec III)
+        cat = bluegene_templates()
+        n_silent = len(cat.ids_by_signal_class(SignalClass.SILENT))
+        assert n_silent > len(cat) / 2
+
+    def test_filler_templates_distinct_skeletons(self):
+        cat = bluegene_templates()
+        skels = [t.skeleton() for t in cat]
+        assert len(set(skels)) == len(skels)
+
+    def test_filler_count_cap(self):
+        with pytest.raises(ValueError):
+            bluegene_templates(n_filler=1001)
+
+    def test_deterministic(self):
+        a = bluegene_templates(seed=7)
+        b = bluegene_templates(seed=7)
+        assert [t.name for t in a] == [t.name for t in b]
+        assert [t.signal_class for t in a] == [t.signal_class for t in b]

@@ -1,0 +1,211 @@
+"""Tests for the machine-topology model and location codes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simulation.topology import (
+    HierarchyLevel,
+    LocationCode,
+    Machine,
+    build_bluegene_machine,
+    build_cluster_machine,
+)
+
+
+class TestLocationCode:
+    def test_parse_compute_node(self):
+        code = LocationCode.parse("R00-M0-N0-C:J02-U01")
+        assert code.rack == 0
+        assert code.midplane == 0
+        assert code.card == 0
+        assert code.kind == "C"
+        assert code.slot == 2
+        assert code.unit == 1
+
+    def test_parse_io_node(self):
+        code = LocationCode.parse("R22-M0-N0-I:J18-U01")
+        assert code.rack == 22
+        assert code.kind == "I"
+        assert code.slot == 18
+
+    def test_parse_node_card(self):
+        code = LocationCode.parse("R00-M0-N0")
+        assert code.kind is None
+        assert not code.is_node
+
+    def test_roundtrip(self):
+        for text in ("R00-M0-N0-C:J02-U01", "R22-M1-N3-I:J18-U01", "R07-M1-N2"):
+            assert LocationCode.parse(text).format() == text
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            LocationCode.parse("not-a-location")
+
+    def test_parse_rejects_cluster_style(self):
+        with pytest.raises(ValueError):
+            LocationCode.parse("tg-c001")
+
+    def test_ancestors(self):
+        code = LocationCode.parse("R03-M1-N2-C:J00-U00")
+        assert code.ancestor(HierarchyLevel.RACK) == "R03"
+        assert code.ancestor(HierarchyLevel.MIDPLANE) == "R03-M1"
+        assert code.ancestor(HierarchyLevel.NODE_CARD) == "R03-M1-N2"
+        assert code.ancestor(HierarchyLevel.NODE) == code.format()
+
+    @given(
+        rack=st.integers(0, 99),
+        mid=st.integers(0, 9),
+        card=st.integers(0, 9),
+        slot=st.integers(0, 99),
+        unit=st.integers(0, 99),
+    )
+    def test_roundtrip_property(self, rack, mid, card, slot, unit):
+        code = LocationCode(rack, mid, card, "C", slot, unit)
+        assert LocationCode.parse(code.format()) == code
+
+
+class TestMachine:
+    def test_bluegene_default_size(self):
+        m = build_bluegene_machine()
+        assert m.n_nodes == 8 * 2 * 4 * 8
+
+    def test_nodes_unique(self):
+        m = build_bluegene_machine(n_racks=2)
+        assert len(set(m.nodes)) == m.n_nodes
+
+    def test_node_index_roundtrip(self):
+        m = build_bluegene_machine(n_racks=2)
+        for i in (0, 1, m.n_nodes // 2, m.n_nodes - 1):
+            assert m.node_index(m.nodes[i]) == i
+
+    def test_unknown_code_raises(self):
+        m = build_bluegene_machine(n_racks=1)
+        with pytest.raises(KeyError):
+            m.node_index("R99-M0-N0-C:J00-U00")
+
+    def test_contains(self):
+        m = build_bluegene_machine(n_racks=1)
+        assert m.contains(m.nodes[0])
+        assert not m.contains("nonsense")
+
+    def test_coordinates_consistent_with_enumeration(self):
+        m = build_bluegene_machine(n_racks=2, midplanes_per_rack=2,
+                                   cards_per_midplane=3, nodes_per_card=4)
+        for idx in range(0, m.n_nodes, 7):
+            r, mm, c, u = m.coordinates(m.nodes[idx])
+            per_card = 4
+            per_mid = per_card * 3
+            per_rack = per_mid * 2
+            assert idx == r * per_rack + mm * per_mid + c * per_card + u
+
+    def test_peers_node_card(self):
+        m = build_bluegene_machine()
+        node = m.nodes[0]
+        peers = m.peers(node, HierarchyLevel.NODE_CARD)
+        assert node in peers
+        assert len(peers) == m.nodes_per_card
+
+    def test_peers_midplane(self):
+        m = build_bluegene_machine()
+        peers = m.peers(m.nodes[0], HierarchyLevel.MIDPLANE)
+        assert len(peers) == m.cards_per_midplane * m.nodes_per_card
+
+    def test_peers_rack(self):
+        m = build_bluegene_machine()
+        peers = m.peers(m.nodes[0], HierarchyLevel.RACK)
+        assert len(peers) == (
+            m.midplanes_per_rack * m.cards_per_midplane * m.nodes_per_card
+        )
+
+    def test_peers_global(self):
+        m = build_bluegene_machine(n_racks=1)
+        assert len(m.peers(m.nodes[0], HierarchyLevel.GLOBAL)) == m.n_nodes
+
+    def test_peers_node(self):
+        m = build_bluegene_machine(n_racks=1)
+        assert m.peers(m.nodes[3], HierarchyLevel.NODE) == [m.nodes[3]]
+
+    def test_same_unit(self):
+        m = build_bluegene_machine()
+        a, b = m.nodes[0], m.nodes[1]
+        assert m.same_unit(a, b, HierarchyLevel.NODE_CARD)
+        far = m.nodes[-1]
+        assert not m.same_unit(a, far, HierarchyLevel.RACK)
+
+    def test_spread_level_single_node(self):
+        m = build_bluegene_machine()
+        assert m.spread_level([m.nodes[0]]) == HierarchyLevel.NODE
+
+    def test_spread_level_same_card(self):
+        m = build_bluegene_machine()
+        assert (
+            m.spread_level([m.nodes[0], m.nodes[1]])
+            == HierarchyLevel.NODE_CARD
+        )
+
+    def test_spread_level_cross_rack(self):
+        m = build_bluegene_machine()
+        assert (
+            m.spread_level([m.nodes[0], m.nodes[-1]]) == HierarchyLevel.GLOBAL
+        )
+
+    def test_spread_level_empty_raises(self):
+        m = build_bluegene_machine(n_racks=1)
+        with pytest.raises(ValueError):
+            m.spread_level([])
+
+    def test_spread_level_midplane(self):
+        m = build_bluegene_machine()
+        card_size = m.nodes_per_card
+        a = m.nodes[0]
+        b = m.nodes[card_size]  # next card, same midplane
+        assert m.spread_level([a, b]) == HierarchyLevel.MIDPLANE
+
+    def test_random_node_in_machine(self):
+        m = build_bluegene_machine(n_racks=1)
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            assert m.contains(m.random_node(rng))
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            Machine("x", 0, 1, 1, 1)
+
+    def test_invalid_style(self):
+        with pytest.raises(ValueError):
+            Machine("x", 1, 1, 1, 1, style="hexagonal")
+
+    def test_containment_graph(self):
+        m = build_bluegene_machine(n_racks=1, midplanes_per_rack=1,
+                                   cards_per_midplane=2, nodes_per_card=2)
+        g = m.containment_graph()
+        # machine + 1 rack + 1 midplane + 2 cards + 4 nodes
+        assert g.number_of_nodes() == 1 + 1 + 1 + 2 + 4
+        # every node-level vertex has in-degree 1 (its card)
+        for code in m.nodes:
+            assert g.in_degree(code) == 1
+
+
+class TestClusterMachine:
+    def test_size(self):
+        m = build_cluster_machine(n_nodes=64)
+        assert m.n_nodes == 64
+
+    def test_node_names(self):
+        m = build_cluster_machine(n_nodes=4, node_prefix="tg-")
+        assert m.nodes[0] == "tg-c000"
+        assert m.nodes[3] == "tg-c003"
+
+    def test_flat_hierarchy_spread(self):
+        m = build_cluster_machine(n_nodes=8)
+        # two distinct nodes in a flat cluster sit in the same midplane
+        # (single rack/midplane), so spread reports the narrowest level
+        # containing both
+        level = m.spread_level([m.nodes[0], m.nodes[5]])
+        assert level in (HierarchyLevel.MIDPLANE, HierarchyLevel.GLOBAL)
+
+    def test_ancestor_global(self):
+        m = build_cluster_machine(n_nodes=4)
+        assert m.ancestor(m.nodes[0], HierarchyLevel.GLOBAL) == m.name

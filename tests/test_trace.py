@@ -1,0 +1,155 @@
+"""Tests for the log-record and ground-truth data model."""
+
+import io
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.simulation.trace import (
+    FaultEvent,
+    GroundTruth,
+    LogRecord,
+    Severity,
+    merge_streams,
+    read_log,
+    write_log,
+)
+
+
+class TestSeverity:
+    def test_order(self):
+        assert Severity.INFO < Severity.WARNING < Severity.SEVERE < Severity.FAILURE
+
+    @pytest.mark.parametrize("text,expected", [
+        ("info", Severity.INFO),
+        ("WARNING", Severity.WARNING),
+        (" severe ", Severity.SEVERE),
+        ("Failure", Severity.FAILURE),
+    ])
+    def test_parse(self, text, expected):
+        assert Severity.parse(text) == expected
+
+    def test_parse_unknown(self):
+        with pytest.raises(ValueError):
+            Severity.parse("catastrophic")
+
+
+class TestLogRecord:
+    def test_ordering_by_timestamp(self):
+        a = LogRecord(1.0, "n0", Severity.INFO, "a")
+        b = LogRecord(2.0, "n1", Severity.INFO, "b")
+        assert a < b
+        assert sorted([b, a]) == [a, b]
+
+    def test_format_line(self):
+        rec = LogRecord(12.5, "R00-M0-N0", Severity.SEVERE, "bad things")
+        assert rec.format_line() == "12.500 R00-M0-N0 SEVERE bad things"
+
+
+class TestLogIO:
+    def test_roundtrip(self):
+        records = [
+            LogRecord(0.0, "n0", Severity.INFO, "hello world"),
+            LogRecord(1.25, "n1", Severity.FAILURE, "it broke: code 7"),
+        ]
+        buf = io.StringIO()
+        n = write_log(records, buf)
+        assert n == 2
+        buf.seek(0)
+        parsed = read_log(buf)
+        assert len(parsed) == 2
+        assert parsed[0].message == "hello world"
+        assert parsed[1].severity == Severity.FAILURE
+        assert parsed[1].timestamp == pytest.approx(1.25)
+
+    def test_ground_truth_channels_not_roundtripped(self):
+        rec = LogRecord(0.0, "n0", Severity.INFO, "x", event_type=4, fault_id=2)
+        buf = io.StringIO()
+        write_log([rec], buf)
+        buf.seek(0)
+        parsed = read_log(buf)[0]
+        assert parsed.event_type is None
+        assert parsed.fault_id is None
+
+    def test_read_skips_blank_lines(self):
+        buf = io.StringIO("0.000 n0 INFO hi\n\n1.000 n1 INFO bye\n")
+        assert len(read_log(buf)) == 2
+
+    def test_read_rejects_malformed(self):
+        with pytest.raises(ValueError):
+            read_log(io.StringIO("garbage\n"))
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(0, 1e6, allow_nan=False),
+                st.sampled_from(list(Severity)),
+                st.text(
+                    alphabet=st.characters(
+                        whitelist_categories=("Ll", "Lu", "Nd"),
+                    ),
+                    min_size=1,
+                    max_size=30,
+                ),
+            ),
+            max_size=20,
+        )
+    )
+    def test_roundtrip_property(self, rows):
+        records = [
+            LogRecord(ts, "node0", sev, msg) for ts, sev, msg in rows
+        ]
+        buf = io.StringIO()
+        write_log(records, buf)
+        buf.seek(0)
+        parsed = read_log(buf)
+        assert len(parsed) == len(records)
+        for orig, back in zip(records, parsed):
+            assert back.severity == orig.severity
+            assert back.message == orig.message
+            assert back.timestamp == pytest.approx(orig.timestamp, abs=1e-3)
+
+
+class TestGroundTruth:
+    def _faults(self):
+        return [
+            FaultEvent(0, "a", "memory", onset_time=10.0, fail_time=20.0,
+                       locations=("n0",)),
+            FaultEvent(1, "b", "network", onset_time=5.0, fail_time=50.0,
+                       locations=("n1", "n2")),
+            FaultEvent(2, "a", "memory", onset_time=30.0, fail_time=35.0,
+                       locations=("n3",)),
+        ]
+
+    def test_sorted_by_onset(self):
+        gt = GroundTruth(self._faults())
+        onsets = [f.onset_time for f in gt]
+        assert onsets == sorted(onsets)
+
+    def test_len(self):
+        assert len(GroundTruth(self._faults())) == 3
+
+    def test_in_window_uses_fail_time(self):
+        gt = GroundTruth(self._faults())
+        hits = gt.in_window(30.0, 60.0)
+        assert {f.fault_id for f in hits} == {1, 2}
+
+    def test_by_category(self):
+        gt = GroundTruth(self._faults())
+        cats = gt.by_category()
+        assert len(cats["memory"]) == 2
+        assert len(cats["network"]) == 1
+
+    def test_lead_time(self):
+        f = self._faults()[1]
+        assert f.lead_time == pytest.approx(45.0)
+
+
+class TestMergeStreams:
+    def test_merge_sorts(self):
+        a = [LogRecord(3.0, "n", Severity.INFO, "a3"),
+             LogRecord(1.0, "n", Severity.INFO, "a1")]
+        b = [LogRecord(2.0, "n", Severity.INFO, "b2")]
+        merged = merge_streams(a, b)
+        assert [r.timestamp for r in merged] == [1.0, 2.0, 3.0]

@@ -1,0 +1,85 @@
+"""Tests for terminal visualization helpers."""
+
+import numpy as np
+import pytest
+
+from repro.viz import bar_chart, histogram, signal_panel, sparkline
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_constant(self):
+        s = sparkline([3.0, 3.0, 3.0])
+        assert len(s) == 3
+        assert len(set(s)) == 1
+
+    def test_monotone_levels(self):
+        s = sparkline([0, 1, 2, 3, 4, 5, 6, 7, 8])
+        # strictly non-decreasing glyph levels
+        levels = [" ▁▂▃▄▅▆▇█".index(c) for c in s]
+        assert levels == sorted(levels)
+        assert levels[0] == 0 and levels[-1] == 8
+
+    def test_width_resampling_preserves_peak(self):
+        x = np.zeros(1000)
+        x[500] = 10.0
+        s = sparkline(x, width=50)
+        assert len(s) == 50
+        assert "█" in s  # max-pooling keeps the spike visible
+
+    def test_no_resampling_when_short(self):
+        assert len(sparkline([1, 2], width=50)) == 2
+
+
+class TestBarChart:
+    def test_empty(self):
+        assert bar_chart({}) == "(empty)"
+
+    def test_rows_and_scaling(self):
+        out = bar_chart({"a": 1.0, "b": 0.5}, width=10)
+        lines = out.splitlines()
+        assert len(lines) == 2
+        assert lines[0].count("█") == 10
+        assert lines[1].count("█") == 5
+
+    def test_custom_format(self):
+        out = bar_chart({"x": 2.0}, fmt="{:.0f}")
+        assert " 2 |" in out.replace("  ", " ")
+
+
+class TestHistogram:
+    def test_bucketing(self):
+        out = histogram([1, 5, 5, 20], bins=[3, 10])
+        assert "< 3" in out
+        assert ">= 10" in out
+
+    def test_custom_labels(self):
+        out = histogram([1, 2], bins=[1.5], labels=["low", "high"])
+        assert "low" in out and "high" in out
+
+    def test_label_mismatch(self):
+        with pytest.raises(ValueError):
+            histogram([1], bins=[1.0], labels=["only-one"])
+
+
+class TestSignalPanel:
+    def test_with_flags(self):
+        x = [0, 0, 5, 0]
+        panel = signal_panel(x, "demo", flags=[False, False, True, False])
+        lines = panel.splitlines()
+        assert lines[0] == "demo"
+        assert len(lines) == 3
+        assert lines[2][2] == "^"
+
+    def test_flag_length_mismatch(self):
+        with pytest.raises(ValueError):
+            signal_panel([1, 2], "t", flags=[True])
+
+    def test_flag_pooling(self):
+        x = np.zeros(200)
+        flags = np.zeros(200, dtype=bool)
+        flags[150] = True
+        panel = signal_panel(x, "t", flags=flags, width=50)
+        assert "^" in panel.splitlines()[2]

@@ -1,0 +1,110 @@
+"""Tests for the from-scratch Haar wavelet transform."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.signals.wavelet import (
+    haar_dwt,
+    haar_idwt,
+    wavelet_denoise,
+    wavelet_energy_by_level,
+)
+
+
+class TestTransform:
+    def test_reconstruction_exact_pow2(self):
+        x = np.arange(16, dtype=float)
+        d, a, n = haar_dwt(x)
+        assert np.allclose(haar_idwt(d, a, n), x)
+
+    def test_reconstruction_non_pow2(self):
+        x = np.sin(np.linspace(0, 5, 300))
+        d, a, n = haar_dwt(x)
+        assert np.allclose(haar_idwt(d, a, n), x)
+
+    def test_levels_count(self):
+        x = np.zeros(64)
+        d, a, _ = haar_dwt(x)
+        assert len(d) == 6
+        assert a.size == 1
+
+    def test_partial_levels(self):
+        x = np.random.default_rng(0).normal(size=32)
+        d, a, n = haar_dwt(x, levels=2)
+        assert len(d) == 2
+        assert a.size == 8
+        assert np.allclose(haar_idwt(d, a, n), x)
+
+    def test_invalid_levels(self):
+        with pytest.raises(ValueError):
+            haar_dwt(np.zeros(8), levels=10)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            haar_dwt(np.array([]))
+
+    def test_energy_preserved(self):
+        # Haar is orthonormal on power-of-two lengths.
+        x = np.random.default_rng(1).normal(size=128)
+        d, a, _ = haar_dwt(x)
+        energy = sum(float(np.sum(b * b)) for b in d) + float(np.sum(a * a))
+        assert energy == pytest.approx(float(np.sum(x * x)), rel=1e-9)
+
+    def test_constant_signal_all_details_zero(self):
+        d, a, _ = haar_dwt(np.full(32, 7.0))
+        for band in d:
+            assert np.allclose(band, 0.0)
+
+    def test_idwt_band_mismatch(self):
+        with pytest.raises(ValueError):
+            haar_idwt([np.zeros(3)], np.zeros(2), 4)
+
+    @given(arrays(np.float64, st.integers(1, 200),
+                  elements=st.floats(-1e6, 1e6)))
+    @settings(max_examples=50, deadline=None)
+    def test_reconstruction_property(self, x):
+        d, a, n = haar_dwt(x)
+        back = haar_idwt(d, a, n)
+        assert back.shape == x.shape
+        assert np.allclose(back, x, atol=1e-6 * (1 + np.abs(x).max()))
+
+
+class TestDenoise:
+    def test_reduces_noise_energy(self):
+        rng = np.random.default_rng(2)
+        clean = np.repeat([0.0, 4.0, 0.0, 6.0], 64)
+        noisy = clean + rng.normal(0, 0.5, clean.size)
+        den = wavelet_denoise(noisy)
+        assert np.mean((den - clean) ** 2) < np.mean((noisy - clean) ** 2)
+
+    def test_short_signal_passthrough(self):
+        x = np.array([3.0])
+        assert np.allclose(wavelet_denoise(x), x)
+
+    def test_explicit_threshold_zero_is_identity(self):
+        x = np.random.default_rng(3).normal(size=64)
+        assert np.allclose(wavelet_denoise(x, threshold=0.0), x)
+
+    def test_huge_threshold_flattens(self):
+        x = np.random.default_rng(4).normal(size=64)
+        den = wavelet_denoise(x, threshold=1e9)
+        assert np.std(den) < 1e-6
+
+
+class TestEnergyByLevel:
+    def test_silent_signal_zero(self):
+        e = wavelet_energy_by_level(np.zeros(64))
+        assert np.allclose(e, 0.0)
+
+    def test_energies_normalized(self):
+        x = np.random.default_rng(5).normal(size=128)
+        e = wavelet_energy_by_level(x)
+        assert e.sum() == pytest.approx(1.0)
+
+    def test_fast_oscillation_concentrates_fine(self):
+        x = np.tile([1.0, -1.0], 64)
+        e = wavelet_energy_by_level(x)
+        assert e[0] > 0.95

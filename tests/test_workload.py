@@ -1,0 +1,185 @@
+"""Tests for the background-workload emitters."""
+
+import numpy as np
+import pytest
+
+from repro.simulation.templates import bluegene_templates
+from repro.simulation.topology import build_bluegene_machine
+from repro.simulation.trace import Severity
+from repro.simulation.workload import (
+    BurstEmitter,
+    MultilineEmitter,
+    NoiseEmitter,
+    PeriodicEmitter,
+    RareEmitter,
+    RestartSequenceEmitter,
+    WorkloadConfig,
+    build_default_emitters,
+)
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return bluegene_templates()
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return build_bluegene_machine(n_racks=1)
+
+
+DAY = 86400.0
+
+
+class TestPeriodicEmitter:
+    def test_count_matches_period(self, catalog, machine):
+        em = PeriodicEmitter("info.heartbeat", period=60.0, jitter=0.1)
+        recs = em.generate(3600.0, catalog, machine, np.random.default_rng(0))
+        assert 55 <= len(recs) <= 65
+
+    def test_spacing(self, catalog, machine):
+        em = PeriodicEmitter("info.heartbeat", period=100.0, jitter=0.01,
+                             phase=0.0)
+        recs = em.generate(2000.0, catalog, machine, np.random.default_rng(0))
+        gaps = np.diff([r.timestamp for r in recs])
+        assert np.allclose(gaps, 100.0, atol=1.0)
+
+    def test_times_within_duration(self, catalog, machine):
+        em = PeriodicEmitter("info.heartbeat", period=10.0)
+        recs = em.generate(500.0, catalog, machine, np.random.default_rng(1))
+        assert all(0 <= r.timestamp < 500.0 for r in recs)
+
+    def test_invalid_period(self, catalog, machine):
+        em = PeriodicEmitter("info.heartbeat", period=0.0)
+        with pytest.raises(ValueError):
+            em.generate(10.0, catalog, machine, np.random.default_rng(0))
+
+    def test_fixed_location(self, catalog, machine):
+        em = PeriodicEmitter("info.heartbeat", period=30.0,
+                             locations=[machine.nodes[5]])
+        recs = em.generate(600.0, catalog, machine, np.random.default_rng(0))
+        assert {r.location for r in recs} == {machine.nodes[5]}
+
+
+class TestNoiseEmitter:
+    def test_poisson_volume(self, catalog, machine):
+        em = NoiseEmitter("info.app_output", rate_per_sec=0.1)
+        recs = em.generate(DAY, catalog, machine, np.random.default_rng(0))
+        assert abs(len(recs) - 8640) < 500
+
+    def test_zero_rate(self, catalog, machine):
+        em = NoiseEmitter("info.app_output", rate_per_sec=0.0)
+        assert em.generate(DAY, catalog, machine, np.random.default_rng(0)) == []
+
+    def test_locations_spread(self, catalog, machine):
+        em = NoiseEmitter("info.app_output", rate_per_sec=0.05)
+        recs = em.generate(DAY, catalog, machine, np.random.default_rng(0))
+        assert len({r.location for r in recs}) > 20
+
+    def test_event_type_tagged(self, catalog, machine):
+        em = NoiseEmitter("info.app_output", rate_per_sec=0.01)
+        recs = em.generate(DAY, catalog, machine, np.random.default_rng(0))
+        tid = catalog.id_of("info.app_output")
+        assert all(r.event_type == tid for r in recs)
+
+
+class TestRareEmitter:
+    def test_low_volume(self, catalog, machine):
+        em = RareEmitter("info.idoproxy_start", rate_per_day=1.0)
+        recs = em.generate(10 * DAY, catalog, machine,
+                           np.random.default_rng(0))
+        assert 2 <= len(recs) <= 25
+
+
+class TestRestartSequenceEmitter:
+    def test_chain_order_and_contents(self, catalog, machine):
+        em = RestartSequenceEmitter(rate_per_day=50.0)
+        recs = em.generate(DAY, catalog, machine, np.random.default_rng(0))
+        assert recs, "expected at least one restart chain"
+        # Chains of 4 messages in template order.
+        assert len(recs) % 4 == 0
+        names = [catalog[r.event_type].name for r in recs[:4]]
+        assert names == list(em.templates)
+        times = [r.timestamp for r in recs[:4]]
+        assert times == sorted(times)
+
+    def test_all_info_severity(self, catalog, machine):
+        em = RestartSequenceEmitter(rate_per_day=50.0)
+        recs = em.generate(DAY, catalog, machine, np.random.default_rng(1))
+        assert all(r.severity == Severity.INFO for r in recs)
+
+
+class TestMultilineEmitter:
+    def test_header_then_bodies(self, catalog, machine):
+        em = MultilineEmitter(rate_per_day=50.0, body_lines=3)
+        recs = em.generate(DAY, catalog, machine, np.random.default_rng(0))
+        assert recs and len(recs) % 4 == 0
+        hid = catalog.id_of("info.gpr_header")
+        bid = catalog.id_of("info.gpr_body")
+        assert recs[0].event_type == hid
+        assert all(r.event_type == bid for r in recs[1:4])
+        # same instant, same node
+        assert len({r.location for r in recs[:4]}) == 1
+
+
+class TestBurstEmitter:
+    def test_burst_density(self, catalog, machine):
+        em = BurstEmitter("info.app_output", rate_per_day=500.0,
+                          burst_rate_per_sec=100.0, duration_lo=5.0,
+                          duration_hi=5.0)
+        recs = em.generate(DAY / 24, catalog, machine,
+                           np.random.default_rng(0))
+        assert recs
+        times = np.array([r.timestamp for r in recs])
+        # within one burst, ~100 msg/s
+        t0 = times[0]
+        in_first = ((times >= t0) & (times < t0 + 5.0)).sum()
+        assert in_first > 250
+
+
+class TestBuildDefaultEmitters:
+    def test_autofill_off(self, catalog, machine):
+        cfg = WorkloadConfig(auto_fill=False)
+        ems = build_default_emitters(catalog, machine, cfg,
+                                     np.random.default_rng(0))
+        assert ems == []
+
+    def test_extra_emitters_first_and_covered(self, catalog, machine):
+        extra = PeriodicEmitter("info.heartbeat", period=60.0)
+        cfg = WorkloadConfig(extra_emitters=[extra])
+        ems = build_default_emitters(catalog, machine, cfg,
+                                     np.random.default_rng(0))
+        heartbeats = [
+            e for e in ems
+            if getattr(e, "template", None) == "info.heartbeat"
+        ]
+        assert heartbeats == [extra]  # auto-fill skipped the covered one
+
+    def test_error_templates_have_no_default_ambient(self, catalog, machine):
+        cfg = WorkloadConfig()
+        ems = build_default_emitters(catalog, machine, cfg,
+                                     np.random.default_rng(0))
+        err_names = {
+            catalog[i].name
+            for i in range(len(catalog))
+            if catalog[i].severity != Severity.INFO
+        }
+        ambient = [
+            e for e in ems
+            if isinstance(e, NoiseEmitter) and e.template in err_names
+        ]
+        assert ambient == []
+
+    def test_explicit_ambient_error_rates(self, catalog, machine):
+        cfg = WorkloadConfig(
+            ambient_error_rates={"cache.parity_corrected": 0.01,
+                                 "mem.uncorrectable_dir": 1e-5},
+        )
+        ems = build_default_emitters(catalog, machine, cfg,
+                                     np.random.default_rng(0))
+        names = {
+            e.template: e.rate_per_sec
+            for e in ems if isinstance(e, NoiseEmitter)
+        }
+        assert names.get("cache.parity_corrected") == 0.01
+        assert names.get("mem.uncorrectable_dir") == 1e-5
