@@ -18,7 +18,7 @@ from pathlib import Path
 
 import pytest
 
-from repro import ELSA, evaluate_predictions
+from repro import ELSA, evaluate_predictions, obs
 from repro.datasets import bluegene_scenario, mercury_scenario
 
 REPORT_DIR = Path(__file__).parent / "reports"
@@ -26,6 +26,70 @@ REPORT_DIR = Path(__file__).parent / "reports"
 #: benchmark scenario shape — big enough for stable Table III statistics
 BENCH_DAYS = 7.0
 BENCH_SEED = 11
+
+
+def _metrics_delta(before: dict, after: dict) -> dict:
+    """What changed in the metrics snapshot during one test.
+
+    Counters report the increase, gauges their final value, histograms
+    the added observation count/sum — compact enough to ride along in a
+    ``--benchmark-json`` entry.
+    """
+    delta = {}
+    for name, m in after.items():
+        prev = before.get(name)
+        if m["kind"] == "counter":
+            inc = m["value"] - (prev["value"] if prev else 0.0)
+            if inc:
+                delta[name] = inc
+        elif m["kind"] == "gauge":
+            if prev is None or m["value"] != prev["value"]:
+                delta[name] = m["value"]
+        else:  # histogram
+            n = m["count"] - (prev["count"] if prev else 0)
+            if n:
+                s = m["sum"] - (prev["sum"] if prev else 0.0)
+                delta[name] = {"count": n, "sum": s, "mean": s / n}
+    return delta
+
+
+def _stage_walls(roots) -> dict:
+    """Total wall seconds per stage name across a span forest."""
+    totals: dict = {}
+
+    def walk(sp):
+        totals[sp.name] = totals.get(sp.name, 0.0) + sp.t_wall
+        for child in sp.children:
+            walk(child)
+
+    for root in roots:
+        walk(root)
+    return {name: round(t, 6) for name, t in sorted(totals.items())}
+
+
+@pytest.fixture(autouse=True)
+def obs_benchmark_report(request):
+    """Attach the per-test obs delta to the pytest-benchmark entry.
+
+    Future ``BENCH_*.json`` files then carry stage timings and domain
+    metrics (records classified, outliers flagged, ...) next to each
+    end-to-end number, not just the timed statistic.
+    """
+    benchmark = (
+        request.getfixturevalue("benchmark")
+        if "benchmark" in request.fixturenames
+        else None
+    )
+    before_metrics = obs.get_registry().snapshot()
+    before_roots = len(obs.span_roots())
+    yield
+    if benchmark is None:
+        return
+    roots = obs.span_roots()[before_roots:]
+    benchmark.extra_info["metrics"] = _metrics_delta(
+        before_metrics, obs.get_registry().snapshot()
+    )
+    benchmark.extra_info["stage_wall_seconds"] = _stage_walls(roots)
 
 
 def save_report(name: str, text: str) -> str:

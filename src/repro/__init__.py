@@ -20,9 +20,11 @@ Subpackages: :mod:`repro.simulation` (synthetic HPC substrate),
 :mod:`repro.helo` (template mining), :mod:`repro.signals` (signal layer),
 :mod:`repro.mining` (GRITE), :mod:`repro.location` (propagation),
 :mod:`repro.prediction` (online predictors + evaluation),
-:mod:`repro.checkpoint` (waste model), :mod:`repro.core` (pipeline).
+:mod:`repro.checkpoint` (waste model), :mod:`repro.core` (pipeline),
+:mod:`repro.obs` (metrics, tracing, structured logging).
 """
 
+from repro import obs
 from repro.core import ELSA, AdaptiveELSA, PipelineConfig, TrainedModel
 from repro.datasets import Scenario, bluegene_scenario, mercury_scenario
 from repro.prediction import (
@@ -31,7 +33,7 @@ from repro.prediction import (
     evaluate_predictions,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ELSA",
@@ -44,5 +46,6 @@ __all__ = [
     "EvaluationConfig",
     "EvaluationResult",
     "evaluate_predictions",
+    "obs",
     "__version__",
 ]

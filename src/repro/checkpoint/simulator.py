@@ -17,6 +17,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro import obs
 from repro.checkpoint.model import (
     CheckpointParams,
     optimal_interval_with_prediction,
@@ -94,6 +95,22 @@ class CheckpointSimulator:
         """
         p = self.params
         C, R, D = p.checkpoint_time, p.restart_time, p.downtime
+        with obs.span(
+            "checkpoint_sim",
+            useful_target=useful_target,
+            interval=round(self.interval, 3),
+        ) as sim_span:
+            result = self._run_traced(useful_target, rng)
+            sim_span["failures"] = result.n_failures
+            sim_span["checkpoints"] = result.n_checkpoints
+            sim_span["waste"] = round(result.waste, 6)
+        return result
+
+    def _run_traced(
+        self, useful_target: float, rng: np.random.Generator
+    ) -> SimulationResult:
+        p = self.params
+        C, R, D = p.checkpoint_time, p.restart_time, p.downtime
         wall = 0.0
         clock = 0.0
         lost = 0.0
@@ -148,7 +165,7 @@ class CheckpointSimulator:
             wall += C
             since_ckpt = 0.0
 
-        return SimulationResult(
+        result = SimulationResult(
             useful_time=clock - lost,
             wall_time=wall,
             n_failures=n_fail,
@@ -156,3 +173,10 @@ class CheckpointSimulator:
             n_false_alarms=n_fa,
             n_checkpoints=n_ckpt,
         )
+        obs.counter("checkpoint.sim_runs").inc()
+        obs.counter("checkpoint.failures").inc(n_fail)
+        obs.counter("checkpoint.failures_predicted").inc(n_pred)
+        obs.counter("checkpoint.false_alarms").inc(n_fa)
+        obs.counter("checkpoint.checkpoints").inc(n_ckpt)
+        obs.gauge("checkpoint.last_waste").set(result.waste)
+        return result

@@ -17,16 +17,66 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import pickle
 import sys
 from pathlib import Path
 from typing import List, Optional, Sequence
 
+from repro import obs
 from repro.core.elsa import ELSA
 from repro.datasets.scenarios import bluegene_scenario, mercury_scenario
 from repro.prediction.engine import Prediction
 from repro.prediction.evaluation import evaluate_predictions
 from repro.simulation.trace import FaultEvent, read_log, write_log
+
+
+# ---------------------------------------------------------------------------
+# console output
+# ---------------------------------------------------------------------------
+
+#: set by ``--quiet``; collected by :func:`set_quiet` so tests can toggle.
+_quiet = False
+
+
+def set_quiet(quiet: bool) -> None:
+    """Silence (or restore) the human-readable console stream."""
+    global _quiet
+    _quiet = bool(quiet)
+
+
+def _emit(*parts: object, **kwargs) -> None:
+    """Console output funnel: every subcommand prints through here.
+
+    One choke point means ``--quiet`` works uniformly and future
+    machine-readable modes (JSON lines, ...) need only one switch.
+    Default behaviour is byte-identical to ``print``.
+    """
+    if not _quiet:
+        try:
+            print(*parts, **kwargs)
+        except BrokenPipeError:
+            # Reader (e.g. ``| head``) went away: stop quietly with the
+            # conventional 128+SIGPIPE status instead of a traceback.
+            os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+            raise SystemExit(141)
+
+
+def _json_default(value):
+    """Serialize numpy scalars and other stragglers in obs dumps."""
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        return str(value)
+
+
+def _dump_observability(path: str) -> None:
+    """Write the metrics registry + span tree collected by this run."""
+    state = obs.export_state()
+    Path(path).write_text(
+        json.dumps(state, indent=1, default=_json_default) + "\n"
+    )
+    _emit(f"observability dump written to {path}")
 
 
 # ---------------------------------------------------------------------------
@@ -121,9 +171,9 @@ def cmd_generate(args: argparse.Namespace) -> int:
         "faults": [_fault_to_dict(f) for f in scenario.ground_truth],
     }
     Path(args.truth).write_text(json.dumps(truth, indent=1))
-    print(f"wrote {n} records to {args.log}")
-    print(f"wrote {len(scenario.ground_truth)} faults to {args.truth}")
-    print(f"suggested training split: t_train_end={scenario.train_end:.0f}")
+    _emit(f"wrote {n} records to {args.log}")
+    _emit(f"wrote {len(scenario.ground_truth)} faults to {args.truth}")
+    _emit(f"suggested training split: t_train_end={scenario.train_end:.0f}")
     return 0
 
 
@@ -156,7 +206,7 @@ def cmd_fit(args: argparse.Namespace) -> int:
     model = elsa.fit(records, t_train_end=args.train_end)
     with Path(args.model).open("wb") as fh:
         pickle.dump(elsa, fh)
-    print(
+    _emit(
         f"trained on {sum(1 for r in records if r.timestamp < args.train_end)} "
         f"records: {model.n_types} event types, "
         f"{len(model.predictive_chains)} predictive chains "
@@ -166,8 +216,8 @@ def cmd_fit(args: argparse.Namespace) -> int:
         names = " -> ".join(
             model.event_name(t)[:36] for t in chain.event_types
         )
-        print(f"  conf {chain.confidence:4.0%} span {chain.span:4d}u  {names}")
-    print(f"model saved to {args.model}")
+        _emit(f"  conf {chain.confidence:4.0%} span {chain.span:4d}u  {names}")
+    _emit(f"model saved to {args.model}")
     return 0
 
 
@@ -182,7 +232,7 @@ def cmd_predict(args: argparse.Namespace) -> int:
     predictions = elsa.predict(records, args.t_start, t_end)
     out = {"predictions": [_prediction_to_dict(p) for p in predictions]}
     Path(args.out).write_text(json.dumps(out, indent=1))
-    print(f"{len(predictions)} predictions written to {args.out}")
+    _emit(f"{len(predictions)} predictions written to {args.out}")
     return 0
 
 
@@ -197,9 +247,9 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
         and (args.t_end is None or f.fail_time < args.t_end)
     ]
     result = evaluate_predictions(predictions, window)
-    print(result.summary())
+    _emit(result.summary())
     for cat, stats in sorted(result.per_category.items()):
-        print(f"  {cat:<12} {stats.n_predicted:4d}/{stats.n_faults:<4d} "
+        _emit(f"  {cat:<12} {stats.n_predicted:4d}/{stats.n_faults:<4d} "
               f"({stats.recall:.0%})")
     return 0
 
@@ -214,15 +264,15 @@ def cmd_report(args: argparse.Namespace) -> int:
         scenario.records, scenario.train_end, scenario.t_end
     )
     result = evaluate_predictions(predictions, scenario.test_faults)
-    print(f"system      : {scenario.name}")
-    print(f"records     : {len(scenario.records)}")
-    print(f"event types : {model.n_types}")
-    print(f"chains      : {len(model.chains)} "
+    _emit(f"system      : {scenario.name}")
+    _emit(f"records     : {len(scenario.records)}")
+    _emit(f"event types : {model.n_types}")
+    _emit(f"chains      : {len(model.chains)} "
           f"({len(model.predictive_chains)} predictive)")
-    print(f"precision   : {result.precision:.1%}")
-    print(f"recall      : {result.recall:.1%}")
+    _emit(f"precision   : {result.precision:.1%}")
+    _emit(f"recall      : {result.recall:.1%}")
     for cat, stats in sorted(result.per_category.items()):
-        print(f"  {cat:<12} {stats.n_predicted:4d}/{stats.n_faults:<4d} "
+        _emit(f"  {cat:<12} {stats.n_predicted:4d}/{stats.n_faults:<4d} "
               f"({stats.recall:.0%})")
     return 0
 
@@ -235,9 +285,26 @@ def cmd_reproduce(args: argparse.Namespace) -> int:
                                       seed=args.seed)
     if args.out:
         Path(args.out).write_text(report + "\n")
-        print(f"report written to {args.out}")
+        _emit(f"report written to {args.out}")
     else:
-        print(report)
+        _emit(report)
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    """``stats``: summarize an observability dump as tables."""
+    from repro.reporting import render_observability
+
+    try:
+        data = json.loads(Path(args.metrics).read_text())
+    except OSError as exc:
+        print(f"error: cannot read metrics dump: {exc}", file=sys.stderr)
+        return 1
+    except json.JSONDecodeError as exc:
+        print(f"error: {args.metrics} is not a metrics dump: {exc}",
+              file=sys.stderr)
+        return 1
+    _emit(render_observability(data))
     return 0
 
 
@@ -245,12 +312,40 @@ def cmd_reproduce(args: argparse.Namespace) -> int:
 # parser
 # ---------------------------------------------------------------------------
 
+def _add_global_options(
+    parser: argparse.ArgumentParser, suppress: bool = False
+) -> None:
+    """Observability flags, valid before *or* after the subcommand.
+
+    Subparser copies use ``SUPPRESS`` defaults so an unset flag never
+    clobbers a value parsed from the main-parser position.
+    """
+    flag_default = argparse.SUPPRESS if suppress else False
+    value_default = argparse.SUPPRESS if suppress else None
+    parser.add_argument(
+        "--metrics-out", dest="metrics_out", metavar="FILE",
+        default=value_default,
+        help="dump the metrics registry + span tree as JSON after the run",
+    )
+    parser.add_argument(
+        "--log-level", dest="log_level",
+        choices=("debug", "info", "warning", "error"),
+        default=value_default,
+        help="pipeline log level (also: ELSA_LOG_LEVEL env var)",
+    )
+    parser.add_argument(
+        "--quiet", dest="quiet", action="store_true", default=flag_default,
+        help="suppress human-readable console output",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The ``elsa-repro`` argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
         prog="elsa-repro",
         description="Hybrid HPC fault prediction (SC'12 reproduction).",
     )
+    _add_global_options(parser)
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("generate", help="generate a synthetic scenario")
@@ -307,13 +402,41 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write the report here instead of stdout")
     p.set_defaults(func=cmd_reproduce)
 
+    p = sub.add_parser(
+        "stats",
+        help="summarize an observability dump (see --metrics-out)",
+    )
+    p.add_argument("--metrics", required=True,
+                   help="JSON file written by --metrics-out")
+    p.set_defaults(func=cmd_stats)
+
+    for sp in sub.choices.values():
+        _add_global_options(sp, suppress=True)
+
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    set_quiet(bool(getattr(args, "quiet", False)))
+    try:
+        obs.configure_logging(getattr(args, "log_level", None))
+        obs.reset()
+        rc = args.func(args)
+        metrics_out = getattr(args, "metrics_out", None)
+        if metrics_out:
+            try:
+                _dump_observability(metrics_out)
+            except OSError as exc:
+                # The subcommand's work is done; don't traceback over a
+                # bad dump path, but do signal the missing artifact.
+                print(f"error: cannot write metrics dump: {exc}",
+                      file=sys.stderr)
+                return rc or 1
+        return rc
+    finally:
+        set_quiet(False)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -24,6 +24,7 @@ from collections import Counter, defaultdict
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.helo.template import MinedTemplate, TemplateTable
 from repro.helo.tokenizer import normalize_tokens, tokenize
 
@@ -65,20 +66,30 @@ class HELOMiner:
         retained as support), which makes mining insensitive to volume
         skew between chatty and quiet event types.
         """
-        counts: Counter = Counter()
-        for msg in messages:
-            norm = tuple(normalize_tokens(tokenize(msg)))
-            if norm:
-                counts[norm] += 1
+        with obs.span("mine_templates") as span:
+            counts: Counter = Counter()
+            n_messages = 0
+            for msg in messages:
+                n_messages += 1
+                norm = tuple(normalize_tokens(tokenize(msg)))
+                if norm:
+                    counts[norm] += 1
 
-        by_len: Dict[int, List[Tuple[Tuple[str, ...], int]]] = defaultdict(list)
-        for norm, n in counts.items():
-            by_len[len(norm)].append((norm, n))
+            by_len: Dict[int, List[Tuple[Tuple[str, ...], int]]] = (
+                defaultdict(list)
+            )
+            for norm, n in counts.items():
+                by_len[len(norm)].append((norm, n))
 
-        table = TemplateTable()
-        for length in sorted(by_len):
-            for group in self._split(by_len[length]):
-                table.add(self._collapse(group))
+            table = TemplateTable()
+            for length in sorted(by_len):
+                for group in self._split(by_len[length]):
+                    table.add(self._collapse(group))
+            span["messages"] = n_messages
+            span["shapes"] = len(counts)
+            span["templates"] = len(table)
+        obs.counter("helo.messages_mined").inc(n_messages)
+        obs.counter("helo.templates_mined").inc(len(table))
         return table
 
     def fit_transform(

@@ -20,6 +20,7 @@ from collections import defaultdict
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from repro import obs
 from repro.helo.miner import HELOMiner, MinerConfig
 from repro.helo.template import MinedTemplate, TemplateTable
 from repro.helo.tokenizer import normalize_tokens, tokenize
@@ -56,6 +57,8 @@ class OnlineHELO:
         self._miss_buffer: Dict[int, List[Tuple[str, ...]]] = defaultdict(list)
         #: ids of templates created or generalized online (observability).
         self.updated_ids: List[int] = []
+        #: classification misses seen so far (batch metrics read this).
+        self._n_misses = 0
 
     # -- classification ---------------------------------------------------
 
@@ -74,12 +77,28 @@ class OnlineHELO:
         return self._handle_miss(norm)
 
     def observe_many(self, messages: List[str]) -> List[Optional[int]]:
-        """Classify a batch, applying updates as they trigger."""
-        return [self.observe(m) for m in messages]
+        """Classify a batch, applying updates as they trigger.
+
+        Metrics are batch-granular (one registry update per call) so the
+        per-message hot loop stays untouched.
+        """
+        misses_before = self._n_misses
+        updates_before = len(self.updated_ids)
+        ids = [self.observe(m) for m in messages]
+        if messages:
+            obs.counter("helo.online.observed").inc(len(messages))
+            obs.counter("helo.online.misses").inc(
+                self._n_misses - misses_before
+            )
+            obs.counter("helo.online.table_updates").inc(
+                len(self.updated_ids) - updates_before
+            )
+        return ids
 
     # -- miss handling ------------------------------------------------------
 
     def _handle_miss(self, norm: Tuple[str, ...]) -> Optional[int]:
+        self._n_misses += 1
         near = self._nearest_template(norm)
         if near is not None:
             tid, mismatches = near
@@ -130,6 +149,7 @@ class OnlineHELO:
             MinedTemplate(tokens=merged, support=tpl.support + 1),
         )
         self.updated_ids.append(tid)
+        obs.counter("helo.online.generalized").inc()
 
     def _try_mint(self, norm: Tuple[str, ...]) -> Optional[int]:
         """Mint a new template once the buffer shows stable evidence.
@@ -154,6 +174,7 @@ class OnlineHELO:
         )
         self._miss_buffer[len(norm)] = [b for b in buf if b not in kin]
         self.updated_ids.append(stored.template_id)
+        obs.counter("helo.online.minted").inc()
         return stored.template_id
 
     @staticmethod

@@ -28,6 +28,7 @@ from typing import Dict, List, Mapping, Optional, Tuple
 import numpy as np
 from scipy import stats as _scipy_stats
 
+from repro import obs
 from repro.mining.correlations import CorrelationChain, GradualItem
 from repro.mining.mannwhitney import mann_whitney_u
 from repro.signals.crosscorr import (
@@ -106,22 +107,34 @@ class GriteMiner:
         kept (sub-chains are implied).
         """
         cfg = self.config
-        trains = {
-            tid: np.asarray(t, dtype=np.int64)
-            for tid, t in trains.items()
-            if 0 < len(t) <= cfg.max_train_size
-        }
-        pairs = self._seed_pairs(trains)
-        level = self._pairs_to_chains(pairs, trains)
-        all_frequent: Dict[Tuple, CorrelationChain] = {
-            self._key(c): c for c in level
-        }
-        while level and level[0].size < cfg.max_chain_size:
-            level = self._grow(level, pairs, trains, all_frequent)
-        chains = list(all_frequent.values())
-        if cfg.maximal_only:
-            chains = self._maximal(chains)
-        chains.sort(key=lambda c: (-c.size, -c.support))
+        with obs.span("mine", trains=len(trains)) as sp:
+            trains = {
+                tid: np.asarray(t, dtype=np.int64)
+                for tid, t in trains.items()
+                if 0 < len(t) <= cfg.max_train_size
+            }
+            with obs.span("seed", trains=len(trains)) as ssp:
+                pairs = self._seed_pairs(trains)
+                ssp["pairs"] = len(self.seed_pairs)
+            with obs.span("grow") as gsp:
+                level = self._pairs_to_chains(pairs, trains)
+                all_frequent: Dict[Tuple, CorrelationChain] = {
+                    self._key(c): c for c in level
+                }
+                while level and level[0].size < cfg.max_chain_size:
+                    level = self._grow(level, pairs, trains, all_frequent)
+                gsp["frequent"] = len(all_frequent)
+            chains = list(all_frequent.values())
+            n_frequent = len(chains)
+            if cfg.maximal_only:
+                chains = self._maximal(chains)
+            chains.sort(key=lambda c: (-c.size, -c.support))
+            sp["chains"] = len(chains)
+        obs.counter("mining.seed_pairs").inc(len(self.seed_pairs))
+        obs.counter("mining.chains_generated").inc(n_frequent)
+        obs.counter("mining.chains_pruned_maximal").inc(
+            n_frequent - len(chains)
+        )
         return chains
 
     # -- seeding --------------------------------------------------------------

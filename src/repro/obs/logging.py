@@ -1,0 +1,122 @@
+"""Structured logging for the pipeline.
+
+A thin layer over stdlib :mod:`logging`: every pipeline module gets its
+logger via :func:`get_logger` (namespaced under ``repro``), and records
+render as ``key=value`` pairs so a grep-able line like::
+
+    ts=2026-08-06T12:00:01 level=warning logger=repro.simulation.workload \
+        msg="emitter skipped" emitter=RestartSequenceEmitter reason=...
+
+comes out of every emit.  Extra fields ride on ``extra={...}`` or the
+``kv(...)`` helper.  The level comes from (highest priority first) the
+CLI ``--log-level`` flag, the ``ELSA_LOG_LEVEL`` environment variable,
+or the WARNING default — quiet unless asked, so library users see
+nothing new.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import sys
+from typing import Any, Mapping, Optional
+
+__all__ = ["configure_logging", "get_logger", "kv", "ENV_LOG_LEVEL"]
+
+#: Environment knob honoured when no explicit level is configured.
+ENV_LOG_LEVEL = "ELSA_LOG_LEVEL"
+
+_ROOT_NAME = "repro"
+#: LogRecord fields that are plumbing, not user-supplied structure.
+_RESERVED = frozenset(
+    logging.LogRecord("", 0, "", 0, "", (), None).__dict__
+) | {"message", "asctime", "taskName"}
+
+_configured = False
+
+
+def _render_value(text: str) -> str:
+    """Quote a value when it needs it, escaping embedded quotes/newlines."""
+    if not text or any(c in text for c in ' "\n'):
+        escaped = text.replace("\\", "\\\\").replace('"', '\\"')
+        escaped = escaped.replace("\n", "\\n")
+        return f'"{escaped}"'
+    return text
+
+
+class KeyValueFormatter(logging.Formatter):
+    """Render records as ``ts=... level=... logger=... msg="..." k=v``."""
+
+    default_time_format = "%Y-%m-%dT%H:%M:%S"
+
+    def format(self, record: logging.LogRecord) -> str:
+        parts = [
+            f"ts={self.formatTime(record)}",
+            f"level={record.levelname.lower()}",
+            f"logger={record.name}",
+            f"msg={_render_value(record.getMessage())}",
+        ]
+        for key in sorted(record.__dict__):
+            if key in _RESERVED or key.startswith("_"):
+                continue
+            value = record.__dict__[key]
+            parts.append(f"{key}={_render_value(str(value))}")
+        if record.exc_info:
+            parts.append(
+                f"exc={_render_value(self.formatException(record.exc_info))}"
+            )
+        return " ".join(parts)
+
+
+def _resolve_level(level: Optional[str]) -> int:
+    name = (level or os.environ.get(ENV_LOG_LEVEL) or "warning").upper()
+    resolved = logging.getLevelName(name)
+    if not isinstance(resolved, int):
+        raise ValueError(f"unknown log level: {level!r}")
+    return resolved
+
+
+def configure_logging(
+    level: Optional[str] = None, stream: Any = None, force: bool = False
+) -> logging.Logger:
+    """Install the key=value handler on the ``repro`` root logger.
+
+    Idempotent: repeat calls only adjust the level unless ``force`` is
+    set (tests use ``force`` with a capture stream).  Returns the root
+    logger.
+    """
+    global _configured
+    root = logging.getLogger(_ROOT_NAME)
+    if force:
+        for h in list(root.handlers):
+            root.removeHandler(h)
+        _configured = False
+    if not _configured:
+        handler = logging.StreamHandler(stream or sys.stderr)
+        handler.setFormatter(KeyValueFormatter())
+        root.addHandler(handler)
+        root.propagate = False
+        _configured = True
+    root.setLevel(_resolve_level(level))
+    return root
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A pipeline logger namespaced under ``repro``.
+
+    Lazily installs the default handler so direct library users get
+    well-formed warnings without calling :func:`configure_logging`.
+    """
+    if not _configured:
+        configure_logging()
+    if name == _ROOT_NAME or name.startswith(_ROOT_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT_NAME}.{name}")
+
+
+def kv(**fields: Any) -> Mapping[str, Any]:
+    """Structured fields for a log call::
+
+        log.warning("emitter skipped", extra=kv(emitter=name, reason=e))
+    """
+    return dict(fields)

@@ -1,0 +1,332 @@
+"""Process-local metrics registry: counters, gauges, histograms.
+
+Deliberately tiny and dependency-free — the shape follows the
+Prometheus client model (monotone counters, set-anywhere gauges,
+fixed-bucket cumulative histograms) but everything lives in-process and
+exports as plain JSON via :meth:`MetricsRegistry.snapshot`.
+
+Metrics are cheap enough for per-batch use on the hot path: one lock
+acquisition per update.  Callers in per-record loops should aggregate
+locally and update once per batch (see ``OnlineHELO.observe_many``).
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+    "TIME_BUCKETS",
+    "counter",
+    "gauge",
+    "get_registry",
+    "histogram",
+]
+
+#: Generic magnitude buckets (counts, sizes).
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000,
+)
+
+#: Latency buckets in seconds, spanning the paper's analysis-time range
+#: (milliseconds at idle through the 30 s signal-only worst case).
+TIME_BUCKETS: Tuple[float, ...] = (
+    0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0,
+)
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0)."""
+        if amount < 0:
+            raise ValueError("counters only go up")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        """Current count."""
+        return self._value
+
+    def reset(self) -> None:
+        with self._lock:
+            self._value = 0.0
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "value": self._value}
+
+
+class Gauge:
+    """Point-in-time value; goes anywhere."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        """Replace the current value."""
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> float:
+        """Current value."""
+        return self._value
+
+    def reset(self) -> None:
+        with self._lock:
+            self._value = 0.0
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "value": self._value}
+
+
+class Histogram:
+    """Fixed-bucket cumulative histogram (Prometheus-style).
+
+    ``buckets`` are upper bounds; an implicit +inf bucket catches the
+    rest.  ``counts[i]`` is the number of observations ``<= buckets[i]``
+    (cumulative), so percentile estimates fall out of one scan.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+        help: str = "",
+    ) -> None:
+        if not buckets:
+            raise ValueError("at least one bucket bound required")
+        bounds = tuple(float(b) for b in buckets)
+        if list(bounds) != sorted(set(bounds)):
+            raise ValueError("bucket bounds must be strictly increasing")
+        self.name = name
+        self.help = help
+        self.bounds = bounds
+        self._counts = [0] * (len(bounds) + 1)  # +1 for +inf
+        self._sum = 0.0
+        self._count = 0
+        self._min: Optional[float] = None
+        self._max: Optional[float] = None
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        idx = bisect_left(self.bounds, value)
+        with self._lock:
+            self._counts[idx] += 1
+            self._sum += value
+            self._count += 1
+            if self._min is None or value < self._min:
+                self._min = value
+            if self._max is None or value > self._max:
+                self._max = value
+
+    def observe_many(self, values: Sequence[float]) -> None:
+        """Record a batch with one lock acquisition."""
+        if len(values) == 0:
+            return
+        incs = [0] * len(self._counts)
+        total = 0.0
+        lo = hi = None
+        for v in values:
+            v = float(v)
+            incs[bisect_left(self.bounds, v)] += 1
+            total += v
+            if lo is None or v < lo:
+                lo = v
+            if hi is None or v > hi:
+                hi = v
+        with self._lock:
+            for i, n in enumerate(incs):
+                self._counts[i] += n
+            self._sum += total
+            self._count += len(values)
+            if self._min is None or lo < self._min:
+                self._min = lo
+            if self._max is None or hi > self._max:
+                self._max = hi
+
+    @property
+    def count(self) -> int:
+        """Total observations."""
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        """Sum of all observed values."""
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        """Mean observation (0 when empty)."""
+        return self._sum / self._count if self._count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Estimated q-quantile from the bucket counts.
+
+        Returns the upper bound of the bucket holding the q-th
+        observation (the max for the +inf bucket) — coarse but
+        monotone, which is all a fixed-bucket histogram can promise.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        if not self._count:
+            return 0.0
+        target = q * self._count
+        running = 0
+        for i, n in enumerate(self._counts):
+            running += n
+            if running >= target:
+                if i < len(self.bounds):
+                    return self.bounds[i]
+                return self._max if self._max is not None else 0.0
+        return self._max if self._max is not None else 0.0
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counts = [0] * (len(self.bounds) + 1)
+            self._sum = 0.0
+            self._count = 0
+            self._min = None
+            self._max = None
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "buckets": list(self.bounds),
+            "counts": list(self._counts),
+            "sum": self._sum,
+            "count": self._count,
+            "min": self._min,
+            "max": self._max,
+        }
+
+
+class MetricsRegistry:
+    """Named metrics with get-or-create semantics.
+
+    Re-requesting a name returns the existing metric; requesting it as a
+    different kind raises — names are the contract between emitters and
+    consumers (see docs/observability.md for the catalog).
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, object] = {}
+        self._lock = threading.Lock()
+
+    def _get_or_create(self, name: str, factory, kind: str):
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = factory()
+                self._metrics[name] = metric
+            elif metric.kind != kind:
+                raise TypeError(
+                    f"metric {name!r} already registered as {metric.kind}, "
+                    f"requested {kind}"
+                )
+            return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        """Get or create a counter."""
+        return self._get_or_create(
+            name, lambda: Counter(name, help), "counter"
+        )
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        """Get or create a gauge."""
+        return self._get_or_create(name, lambda: Gauge(name, help), "gauge")
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+        help: str = "",
+    ) -> Histogram:
+        """Get or create a histogram (buckets fixed at first creation)."""
+        return self._get_or_create(
+            name, lambda: Histogram(name, buckets, help), "histogram"
+        )
+
+    def get(self, name: str):
+        """The metric registered under ``name``, or ``None``."""
+        return self._metrics.get(name)
+
+    def names(self) -> List[str]:
+        """All registered metric names, sorted."""
+        return sorted(self._metrics)
+
+    def snapshot(self) -> Dict[str, dict]:
+        """JSON-serializable dump of every metric."""
+        with self._lock:
+            return {
+                name: metric.to_dict()
+                for name, metric in sorted(self._metrics.items())
+            }
+
+    def reset(self) -> None:
+        """Zero every metric (registrations survive)."""
+        with self._lock:
+            for metric in self._metrics.values():
+                metric.reset()
+
+    def clear(self) -> None:
+        """Drop every registration."""
+        with self._lock:
+            self._metrics.clear()
+
+
+_default_registry = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default registry."""
+    return _default_registry
+
+
+def counter(name: str, help: str = "") -> Counter:
+    """Counter on the default registry."""
+    return _default_registry.counter(name, help)
+
+
+def gauge(name: str, help: str = "") -> Gauge:
+    """Gauge on the default registry."""
+    return _default_registry.gauge(name, help)
+
+
+def histogram(
+    name: str, buckets: Sequence[float] = DEFAULT_BUCKETS, help: str = ""
+) -> Histogram:
+    """Histogram on the default registry."""
+    return _default_registry.histogram(name, buckets, help)

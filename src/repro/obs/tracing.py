@@ -1,0 +1,193 @@
+"""Hierarchical stage tracing with a thread-local span stack.
+
+A *span* is one timed pipeline stage.  Entering a span while another is
+active nests it, so a full ``fit`` + ``predict`` run yields a tree::
+
+    fit (12.3s, records=86400)
+    ├── classify (4.1s, templates=212)
+    ├── extract (0.8s, records=86400)
+    ├── outliers (1.2s, flagged=310)
+    ├── mine (5.9s, chains=41)
+    └── locations (0.3s)
+
+Wall time comes from :func:`time.perf_counter`; attributes are free-form
+key/value pairs (record counts, outlier counts, chain counts, ...).
+Finished *root* spans accumulate in a bounded process-level buffer that
+:func:`span_tree` exports as JSON — the CLI's ``--metrics-out`` dump and
+the benchmark harness both read it.  The stack is thread-local so
+parallel miners trace independently; the finished-root buffer is shared
+(lock-guarded).
+"""
+
+from __future__ import annotations
+
+import threading
+from time import perf_counter
+from typing import Any, Dict, List, Optional
+
+__all__ = [
+    "Span",
+    "current_span",
+    "reset_tracing",
+    "span",
+    "span_roots",
+    "span_tree",
+]
+
+#: Finished root spans kept before the oldest are dropped.
+MAX_ROOT_SPANS = 1024
+
+
+class Span:
+    """One timed stage: name, attributes, children, wall duration."""
+
+    __slots__ = ("name", "attrs", "children", "t_wall", "_t0", "_done")
+
+    def __init__(self, name: str, attrs: Optional[Dict[str, Any]] = None):
+        self.name = name
+        self.attrs: Dict[str, Any] = dict(attrs or {})
+        self.children: List["Span"] = []
+        self.t_wall: float = 0.0
+        self._t0: float = 0.0
+        self._done = False
+
+    def __setitem__(self, key: str, value: Any) -> None:
+        """Attach/overwrite one attribute: ``sp["records"] = n``."""
+        self.attrs[key] = value
+
+    def __getitem__(self, key: str) -> Any:
+        return self.attrs[key]
+
+    def _start(self) -> None:
+        self._t0 = perf_counter()
+
+    def _finish(self) -> None:
+        self.t_wall = perf_counter() - self._t0
+        self._done = True
+
+    @property
+    def duration(self) -> float:
+        """Wall seconds (live reading while the span is still open)."""
+        return self.t_wall if self._done else perf_counter() - self._t0
+
+    def find(self, name: str) -> Optional["Span"]:
+        """First descendant (depth-first) named ``name``, or self."""
+        if self.name == name:
+            return self
+        for child in self.children:
+            hit = child.find(name)
+            if hit is not None:
+                return hit
+        return None
+
+    def stage_names(self) -> List[str]:
+        """All distinct stage names in this subtree, sorted."""
+        names = {self.name}
+        for child in self.children:
+            names.update(child.stage_names())
+        return sorted(names)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable subtree."""
+        return {
+            "name": self.name,
+            "wall_seconds": self.t_wall,
+            "attrs": dict(self.attrs),
+            "children": [c.to_dict() for c in self.children],
+        }
+
+    def render(self, indent: int = 0) -> str:
+        """Human-readable subtree (one line per span)."""
+        attrs = " ".join(f"{k}={v}" for k, v in sorted(self.attrs.items()))
+        line = "  " * indent + f"{self.name}  {self.t_wall * 1000:.1f}ms"
+        if attrs:
+            line += f"  [{attrs}]"
+        return "\n".join(
+            [line] + [c.render(indent + 1) for c in self.children]
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Span({self.name!r}, {self.t_wall:.4f}s, "
+            f"{len(self.children)} children)"
+        )
+
+
+class _TraceState(threading.local):
+    def __init__(self) -> None:
+        self.stack: List[Span] = []
+
+
+_state = _TraceState()
+_roots: List[Span] = []
+_roots_lock = threading.Lock()
+
+
+class _SpanContext:
+    """Context manager yielded by :func:`span`.
+
+    Reentrant is not supported (one context, one ``with``); nesting is
+    achieved by opening new spans inside the body.
+    """
+
+    __slots__ = ("_span",)
+
+    def __init__(self, sp: Span) -> None:
+        self._span = sp
+
+    def __enter__(self) -> Span:
+        stack = _state.stack
+        if stack:
+            stack[-1].children.append(self._span)
+        stack.append(self._span)
+        self._span._start()
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        sp = self._span
+        sp._finish()
+        if exc_type is not None:
+            sp.attrs["error"] = f"{exc_type.__name__}: {exc}"
+        stack = _state.stack
+        # Pop back to this span even if inner spans leaked (defensive).
+        while stack and stack.pop() is not sp:
+            pass
+        if not stack:
+            with _roots_lock:
+                _roots.append(sp)
+                if len(_roots) > MAX_ROOT_SPANS:
+                    del _roots[: len(_roots) - MAX_ROOT_SPANS]
+
+
+def span(stage: str, **attrs: Any) -> _SpanContext:
+    """Open a timed span for ``stage``::
+
+        with span("mine", trains=len(trains)) as sp:
+            chains = ...
+            sp["chains"] = len(chains)
+    """
+    return _SpanContext(Span(stage, attrs))
+
+
+def current_span() -> Optional[Span]:
+    """The innermost active span on this thread, or ``None``."""
+    stack = _state.stack
+    return stack[-1] if stack else None
+
+
+def span_roots() -> List[Span]:
+    """Finished root spans, oldest first (copy)."""
+    with _roots_lock:
+        return list(_roots)
+
+
+def span_tree() -> List[dict]:
+    """All finished root spans as JSON-serializable dicts."""
+    return [sp.to_dict() for sp in span_roots()]
+
+
+def reset_tracing() -> None:
+    """Drop finished roots and this thread's active stack."""
+    with _roots_lock:
+        _roots.clear()
+    _state.stack.clear()

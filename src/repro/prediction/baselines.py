@@ -26,6 +26,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.location.propagation import LocationPredictor
 from repro.mining.correlations import CorrelationChain, GradualItem
 from repro.mining.grite import GriteConfig
@@ -221,6 +222,18 @@ class DataMiningPredictor:
         no propagation model).  Re-triggering of the same (rule,
         location) is suppressed while a prediction is active.
         """
+        with obs.span(
+            "predict", source=self.source_name, rules=len(self.rules)
+        ) as sp:
+            predictions = self._run_traced(stream)
+            sp["predictions"] = len(predictions)
+            sp["too_late"] = self.n_too_late
+        obs.counter("predictor.runs").inc()
+        obs.counter("predictor.predictions_issued").inc(len(predictions))
+        obs.counter("predictor.predictions_too_late").inc(self.n_too_late)
+        return predictions
+
+    def _run_traced(self, stream: TestStream) -> List[Prediction]:
         cfg = self.config
         by_precursor: Dict[int, List[AssociationRule]] = defaultdict(list)
         for r in self.rules:

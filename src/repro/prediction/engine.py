@@ -28,6 +28,8 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
+from repro.obs.metrics import TIME_BUCKETS
 from repro.location.propagation import LocationIndex, LocationPredictor
 from repro.mining.correlations import CorrelationChain
 from repro.mining.grite import GriteConfig
@@ -263,11 +265,22 @@ class HybridPredictor:
 
     def run(self, stream: TestStream) -> List[Prediction]:
         """Run the online phase over a test stream; returns predictions."""
+        with obs.span(
+            "predict", source=self.source_name, chains=len(self.chains)
+        ) as sp:
+            predictions = self._run_traced(stream, sp)
+        self._record_metrics(predictions, sp.t_wall)
+        return predictions
+
+    def _run_traced(self, stream: TestStream, sp: obs.Span) -> List[Prediction]:
         cfg = self.config
         signals = stream.signals
         period = stream.sampling_period
         analysis = self.analysis_model.times_for(stream.message_counts)
-        outliers = self._detect_anchor_outliers(stream)
+        with obs.span("outliers", mode="online") as osp:
+            outliers = self._detect_anchor_outliers(stream)
+            osp["anchors"] = len(outliers)
+            osp["outliers"] = int(sum(len(v) for v in outliers.values()))
         index = stream.location_index
 
         self.chain_usage = Counter()
@@ -281,6 +294,7 @@ class HybridPredictor:
             for s in outliers.get(chain.anchor, ()):  # sample indices
                 triggers.append((int(s), chain))
         triggers.sort(key=lambda t: t[0])
+        sp["triggers"] = len(triggers)
 
         for s, chain in triggers:
             t_trigger = signals.sample_time(s) + period  # sample closes
@@ -331,4 +345,31 @@ class HybridPredictor:
             self.chain_usage[pred.chain_key] += 1
 
         predictions.sort(key=lambda p: p.emitted_at)
+        sp["predictions"] = len(predictions)
+        sp["too_late"] = self.n_too_late
         return predictions
+
+    def _record_metrics(
+        self, predictions: List[Prediction], wall_seconds: float
+    ) -> None:
+        """Domain metrics for one online run.
+
+        The analysis-time histogram holds the *modeled* per-prediction
+        cost (section VI.A's linear model); ``run_wall_seconds`` and the
+        ratio gauge hold the *observed* cost of this implementation, so
+        the dump cross-checks the model against reality.
+        """
+        obs.counter("predictor.runs").inc()
+        obs.counter("predictor.predictions_issued").inc(len(predictions))
+        obs.counter("predictor.predictions_too_late").inc(self.n_too_late)
+        obs.histogram(
+            "predictor.analysis_time_seconds", buckets=TIME_BUCKETS
+        ).observe_many([p.analysis_time for p in predictions])
+        obs.histogram(
+            "predictor.run_wall_seconds", buckets=TIME_BUCKETS
+        ).observe(wall_seconds)
+        modeled = sum(p.analysis_time for p in predictions)
+        if modeled > 0:
+            obs.gauge("predictor.analysis_model_wall_ratio").set(
+                wall_seconds / modeled
+            )

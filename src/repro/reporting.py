@@ -120,6 +120,59 @@ def render_table4() -> str:
     return "\n".join(lines)
 
 
+def _render_span_dict(node: dict, indent: int = 0) -> List[str]:
+    """One line per span of an exported (JSON) span tree."""
+    attrs = " ".join(
+        f"{k}={v}" for k, v in sorted(node.get("attrs", {}).items())
+    )
+    line = (
+        "  " * indent
+        + f"{node['name']}  {node.get('wall_seconds', 0.0) * 1000:.1f}ms"
+    )
+    if attrs:
+        line += f"  [{attrs}]"
+    lines = [line]
+    for child in node.get("children", ()):
+        lines.extend(_render_span_dict(child, indent + 1))
+    return lines
+
+
+def render_observability(state: Dict) -> str:
+    """``elsa-repro stats``: an obs dump as metric + stage tables.
+
+    ``state`` is the JSON written by ``--metrics-out`` (or
+    :func:`repro.obs.export_state` directly): a metric snapshot plus the
+    span forest of the run.
+    """
+    parts: List[str] = ["## Metrics", ""]
+    metrics = state.get("metrics", {})
+    if metrics:
+        parts += ["| metric | kind | value |", "|---|---|---|"]
+        for name, m in sorted(metrics.items()):
+            if m.get("kind") == "histogram":
+                count = m.get("count", 0)
+                mean = (m.get("sum", 0.0) / count) if count else 0.0
+                value = (
+                    f"n={count} mean={mean:.4g} "
+                    f"min={m.get('min')} max={m.get('max')}"
+                )
+            else:
+                value = f"{m.get('value', 0):g}"
+            parts.append(f"| {name} | {m.get('kind', '?')} | {value} |")
+    else:
+        parts.append("(no metrics recorded)")
+    parts += ["", "## Stage timings", ""]
+    spans = state.get("spans", [])
+    if spans:
+        parts.append("```")
+        for root in spans:
+            parts.extend(_render_span_dict(root))
+        parts.append("```")
+    else:
+        parts.append("(no spans recorded)")
+    return "\n".join(parts)
+
+
 def full_reproduction_report(
     duration_days: float = 7.0, seed: int = 11
 ) -> str:

@@ -21,6 +21,7 @@ from typing import Optional, Sequence
 import numpy as np
 import scipy.sparse as sp
 
+from repro import obs
 from repro.simulation.trace import LogRecord
 
 #: The paper's sampling period, in seconds.
@@ -214,19 +215,29 @@ def extract_signals(
         event_ids = [r.event_type for r in records]
     if len(event_ids) != len(records):
         raise ValueError("event_ids must parallel records")
-    pairs = [
-        (tid, r.timestamp)
-        for tid, r in zip(event_ids, records)
-        if tid is not None
-    ]
-    tids = np.array([p[0] for p in pairs], dtype=np.int64)
-    times = np.array([p[1] for p in pairs], dtype=np.float64)
-    if n_types is None:
-        n_types = int(tids.max()) + 1 if tids.size else 1
-    if t_start is None:
-        t_start = 0.0
-    if t_end is None:
-        t_end = (float(times.max()) if times.size else 0.0) + sampling_period
-    return SignalSet.from_events(
-        tids, times, n_types, t_end - t_start, sampling_period, t_start
-    )
+    with obs.span("extract", records=len(records)) as span:
+        pairs = [
+            (tid, r.timestamp)
+            for tid, r in zip(event_ids, records)
+            if tid is not None
+        ]
+        tids = np.array([p[0] for p in pairs], dtype=np.int64)
+        times = np.array([p[1] for p in pairs], dtype=np.float64)
+        if n_types is None:
+            n_types = int(tids.max()) + 1 if tids.size else 1
+        if t_start is None:
+            t_start = 0.0
+        if t_end is None:
+            t_end = (
+                float(times.max()) if times.size else 0.0
+            ) + sampling_period
+        signals = SignalSet.from_events(
+            tids, times, n_types, t_end - t_start, sampling_period, t_start
+        )
+        span["n_types"] = signals.n_types
+        span["n_samples"] = signals.n_samples
+        span["skipped"] = len(records) - len(pairs)
+    obs.counter("signals.extractions").inc()
+    obs.counter("signals.records_ingested").inc(len(pairs))
+    obs.counter("signals.records_unclassified").inc(len(records) - len(pairs))
+    return signals

@@ -26,6 +26,7 @@ from typing import Deque, List, Optional, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.signals.characterize import NormalBehavior
 from repro.simulation.templates import SignalClass
 
@@ -271,9 +272,16 @@ def detect_outliers_offline(
     """
     x = np.asarray(x, dtype=np.float64)
     if behavior.signal_class == SignalClass.PERIODIC and behavior.period:
-        return periodic_gap_outliers(x, behavior.period)
-    baseline = np.full_like(x, behavior.median)
-    residual = x - baseline
-    flags = np.abs(residual) > behavior.threshold
-    corrected = np.where(flags, baseline, x)
-    return OutlierResult(flags=flags, corrected=corrected)
+        result = periodic_gap_outliers(x, behavior.period)
+    else:
+        baseline = np.full_like(x, behavior.median)
+        residual = x - baseline
+        flags = np.abs(residual) > behavior.threshold
+        corrected = np.where(flags, baseline, x)
+        result = OutlierResult(flags=flags, corrected=corrected)
+    obs.counter("outliers.signals_scanned").inc()
+    obs.counter("outliers.flagged").inc(result.n_outliers)
+    obs.counter("outliers.replaced").inc(
+        int(np.count_nonzero(result.corrected != x))
+    )
+    return result

@@ -27,9 +27,12 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.obs.logging import get_logger, kv
 from repro.simulation.templates import Template, TemplateCatalog
 from repro.simulation.topology import Machine
 from repro.simulation.trace import LogRecord
+
+_log = get_logger(__name__)
 
 
 def _poisson_times(
@@ -389,14 +392,20 @@ def build_default_emitters(
         try:
             catalog.id_of("info.idoproxy_start")
             emitters.append(RestartSequenceEmitter())
-        except KeyError:
-            pass
+        except KeyError as exc:
+            _log.warning(
+                "emitter skipped: catalog lacks template",
+                extra=kv(emitter="RestartSequenceEmitter", missing=str(exc)),
+            )
     if config.include_multiline:
         try:
             catalog.id_of("info.gpr_header")
             emitters.append(MultilineEmitter())
-        except KeyError:
-            pass
+        except KeyError as exc:
+            _log.warning(
+                "emitter skipped: catalog lacks template",
+                extra=kv(emitter="MultilineEmitter", missing=str(exc)),
+            )
     for name in config.burst_templates:
         emitters.append(
             BurstEmitter(name, rate_per_day=config.burst_rate_per_day)

@@ -107,3 +107,69 @@ class TestWorkflow:
         assert "## Table III" in text
         assert "## Table IV" in text
         assert "9.13%" in text  # the exact closed-form row
+
+
+class TestObservabilityFlags:
+    def test_quiet_silences_stdout(self, tmp_path, capsys):
+        rc = main([
+            "generate", "--days", "0.2", "--seed", "1", "--quiet",
+            "--log", str(tmp_path / "q.log"),
+            "--truth", str(tmp_path / "q.json"),
+        ])
+        assert rc == 0
+        assert capsys.readouterr().out == ""
+        assert (tmp_path / "q.log").stat().st_size > 0  # files still written
+
+    def test_metrics_out_flag_accepted_both_positions(self, tmp_path):
+        ns = build_parser().parse_args([
+            "--metrics-out", "a.json", "generate", "--log", "x", "--truth", "y",
+        ])
+        assert ns.metrics_out == "a.json"
+        ns = build_parser().parse_args([
+            "generate", "--log", "x", "--truth", "y", "--metrics-out", "b.json",
+        ])
+        assert ns.metrics_out == "b.json"
+
+    def test_metrics_dump_and_stats(self, tmp_path, capsys):
+        metrics = tmp_path / "m.json"
+        rc = main([
+            "generate", "--days", "0.2", "--seed", "1",
+            "--log", str(tmp_path / "m.log"),
+            "--truth", str(tmp_path / "m.truth"),
+            "--metrics-out", str(metrics),
+        ])
+        assert rc == 0
+        state = json.loads(metrics.read_text())
+        assert set(state) == {"metrics", "spans"}
+        capsys.readouterr()
+        rc = main(["stats", "--metrics", str(metrics)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "## Metrics" in out and "## Stage timings" in out
+
+    def test_report_metrics_dump_covers_pipeline_stages(self, tmp_path):
+        """The acceptance path: a fit+predict subcommand dumps a span
+        tree with the five canonical stages and the analysis-time
+        histogram."""
+        metrics = tmp_path / "report.json"
+        rc = main([
+            "report", "--days", "0.6", "--seed", "1",
+            "--quiet", "--metrics-out", str(metrics),
+        ])
+        assert rc == 0
+        state = json.loads(metrics.read_text())
+
+        def stages(node):
+            names = {node["name"]}
+            for child in node["children"]:
+                names |= stages(child)
+            return names
+
+        seen = set()
+        for root in state["spans"]:
+            seen |= stages(root)
+        assert {"classify", "extract", "outliers", "mine", "predict"} <= seen
+        assert (
+            state["metrics"]["predictor.analysis_time_seconds"]["kind"]
+            == "histogram"
+        )

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro import ELSA, PipelineConfig, evaluate_predictions
+from repro import ELSA, PipelineConfig, evaluate_predictions, obs
 from repro.simulation.trace import Severity
 
 
@@ -127,6 +127,52 @@ class TestGroundTruthTemplates:
         preds = elsa.predict(sc.records, sc.train_end, sc.t_end)
         res = evaluate_predictions(preds, sc.test_faults)
         assert res.recall > 0.2
+
+
+class TestObservability:
+    def test_fit_predict_emits_spans_and_metrics(self, small_scenario):
+        """A fit+predict run must leave a span tree and domain metrics."""
+        sc = small_scenario
+        roots_before = len(obs.span_roots())
+        elsa = ELSA(sc.machine)
+        elsa.fit(sc.records, t_train_end=sc.train_end)
+        preds = elsa.predict(sc.records, sc.train_end, sc.t_end)
+
+        roots = obs.span_roots()[roots_before:]
+        assert roots, "pipeline run produced no spans"
+        stages = set()
+        for root in roots:
+            stages.update(root.stage_names())
+        assert {
+            "fit", "classify", "extract", "outliers", "mine", "predict",
+        } <= stages
+
+        fit_root = next(r for r in roots if r.name == "fit")
+        assert fit_root.t_wall > 0
+        assert fit_root["records"] > 0
+        assert fit_root.find("mine") is not None
+
+        reg = obs.get_registry()
+        for name in (
+            "elsa.records_classified",
+            "helo.templates_mined",
+            "outliers.flagged",
+            "mining.seed_pairs",
+            "mining.chains_generated",
+            "predictor.predictions_issued",
+            "predictor.analysis_time_seconds",
+        ):
+            assert reg.get(name) is not None, f"metric {name} never emitted"
+        hist = reg.get("predictor.analysis_time_seconds")
+        assert hist.count >= len(preds) > 0
+
+    def test_span_tree_exports_to_json(self, small_scenario):
+        import json
+
+        state = obs.export_state()
+        encoded = json.dumps(state, default=float)
+        decoded = json.loads(encoded)
+        assert set(decoded) == {"metrics", "spans"}
 
 
 class TestInfoChains:

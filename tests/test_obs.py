@@ -1,0 +1,287 @@
+"""Unit tests for the observability layer (repro.obs)."""
+
+import io
+import json
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs.logging import (
+    KeyValueFormatter,
+    configure_logging,
+    get_logger,
+    kv,
+)
+from repro.obs.metrics import (
+    TIME_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.tracing import Span, current_span, span, span_roots
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    """Each test sees a fresh default registry and span buffer."""
+    obs.reset()
+    yield
+    obs.reset()
+
+
+class TestCounter:
+    def test_monotone(self, registry):
+        c = registry.counter("x")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_negative_rejected(self, registry):
+        with pytest.raises(ValueError):
+            registry.counter("x").inc(-1)
+
+    def test_get_or_create_returns_same(self, registry):
+        assert registry.counter("x") is registry.counter("x")
+
+    def test_kind_conflict_raises(self, registry):
+        registry.counter("x")
+        with pytest.raises(TypeError):
+            registry.gauge("x")
+
+    def test_reset(self, registry):
+        c = registry.counter("x")
+        c.inc(3)
+        registry.reset()
+        assert c.value == 0
+        assert registry.get("x") is c  # registration survives
+
+
+class TestGauge:
+    def test_set_inc_dec(self, registry):
+        g = registry.gauge("g")
+        g.set(10)
+        g.inc(2.5)
+        g.dec()
+        assert g.value == 11.5
+
+
+class TestHistogram:
+    def test_bucket_counts_cumulative_layout(self, registry):
+        h = registry.histogram("h", buckets=(1, 10, 100))
+        for v in (0.5, 5, 50, 500):
+            h.observe(v)
+        d = h.to_dict()
+        assert d["counts"] == [1, 1, 1, 1]  # one per bucket + overflow
+        assert d["count"] == 4
+        assert d["sum"] == pytest.approx(555.5)
+        assert d["min"] == 0.5 and d["max"] == 500
+
+    def test_observe_many_matches_observe(self, registry):
+        a = registry.histogram("a", buckets=(1, 2, 4))
+        b = registry.histogram("b", buckets=(1, 2, 4))
+        values = [0.1, 1.0, 1.5, 3.0, 9.0]
+        for v in values:
+            a.observe(v)
+        b.observe_many(values)
+        da, db = a.to_dict(), b.to_dict()
+        assert da["counts"] == db["counts"]
+        assert da["sum"] == pytest.approx(db["sum"])
+
+    def test_boundary_goes_to_its_bucket(self, registry):
+        h = registry.histogram("h", buckets=(1.0, 2.0))
+        h.observe(1.0)  # <= 1.0 bucket, Prometheus-style
+        assert h.to_dict()["counts"] == [1, 0, 0]
+
+    def test_quantile_estimates(self, registry):
+        h = registry.histogram("h", buckets=(1, 2, 4, 8))
+        h.observe_many([0.5] * 50 + [3.0] * 40 + [20.0] * 10)
+        assert h.quantile(0.25) == 1
+        assert h.quantile(0.9) == 4
+        assert h.quantile(1.0) == 20.0  # overflow bucket reports max
+        assert h.mean == pytest.approx((0.5 * 50 + 3 * 40 + 200) / 100)
+
+    def test_bad_buckets_rejected(self, registry):
+        with pytest.raises(ValueError):
+            registry.histogram("h", buckets=())
+        with pytest.raises(ValueError):
+            registry.histogram("h2", buckets=(2, 1))
+
+    def test_time_buckets_cover_paper_range(self):
+        # The paper's analysis times span ms to 30 s (section VI.A).
+        assert TIME_BUCKETS[0] <= 0.01
+        assert TIME_BUCKETS[-1] >= 30.0
+
+
+class TestRegistrySnapshot:
+    def test_json_round_trip(self, registry):
+        registry.counter("c").inc(2)
+        registry.gauge("g").set(7)
+        registry.histogram("h", buckets=(1, 2)).observe(1.5)
+        snap = json.loads(json.dumps(registry.snapshot()))
+        assert snap["c"] == {"kind": "counter", "value": 2}
+        assert snap["g"]["value"] == 7
+        assert snap["h"]["counts"] == [0, 1, 0]
+        assert registry.names() == ["c", "g", "h"]
+
+    def test_default_registry_helpers(self):
+        obs.counter("t.c").inc()
+        obs.gauge("t.g").set(1)
+        obs.histogram("t.h").observe(3)
+        names = obs.get_registry().names()
+        assert {"t.c", "t.g", "t.h"} <= set(names)
+
+
+class TestSpans:
+    def test_nested_spans_build_a_tree(self):
+        with span("outer", a=1) as sp:
+            assert current_span() is sp
+            with span("inner") as child:
+                child["n"] = 3
+        assert current_span() is None
+        roots = span_roots()
+        assert [r.name for r in roots] == ["outer"]
+        assert roots[0].attrs == {"a": 1}
+        assert [c.name for c in roots[0].children] == ["inner"]
+        assert roots[0].children[0]["n"] == 3
+        assert roots[0].t_wall >= roots[0].children[0].t_wall >= 0
+
+    def test_only_roots_collected(self):
+        with span("root"):
+            with span("child"):
+                pass
+        assert len(span_roots()) == 1
+
+    def test_exception_recorded_and_propagated(self):
+        with pytest.raises(RuntimeError):
+            with span("boom"):
+                raise RuntimeError("nope")
+        (root,) = span_roots()
+        assert "RuntimeError" in root.attrs["error"]
+        assert current_span() is None
+
+    def test_find_and_stage_names(self):
+        with span("fit"):
+            with span("classify"):
+                pass
+            with span("mine"):
+                with span("seed"):
+                    pass
+        (root,) = span_roots()
+        assert root.find("seed").name == "seed"
+        assert root.find("absent") is None
+        assert root.stage_names() == ["classify", "fit", "mine", "seed"]
+
+    def test_json_export_round_trip(self):
+        with span("fit", records=10):
+            with span("mine"):
+                pass
+        tree = json.loads(json.dumps(obs.span_tree()))
+        assert tree[0]["name"] == "fit"
+        assert tree[0]["attrs"] == {"records": 10}
+        assert tree[0]["children"][0]["name"] == "mine"
+        assert tree[0]["wall_seconds"] >= 0
+
+    def test_threads_trace_independently(self):
+        seen = {}
+
+        def worker():
+            seen["inside"] = current_span()
+            with span("worker-root"):
+                pass
+
+        with span("main-root"):
+            t = threading.Thread(target=worker)
+            t.start()
+            t.join()
+        # The worker thread saw no inherited active span ...
+        assert seen["inside"] is None
+        # ... and both roots landed in the shared buffer.
+        assert {r.name for r in span_roots()} == {
+            "main-root", "worker-root",
+        }
+
+    def test_render_is_readable(self):
+        with span("fit", records=5):
+            pass
+        text = span_roots()[0].render()
+        assert "fit" in text and "records=5" in text and "ms" in text
+
+
+class TestExportAndReset:
+    def test_export_state_shape(self):
+        obs.counter("c").inc()
+        with span("s"):
+            pass
+        state = obs.export_state()
+        assert set(state) == {"metrics", "spans"}
+        assert state["metrics"]["c"]["value"] == 1
+        assert state["spans"][0]["name"] == "s"
+
+    def test_reset_clears_both(self):
+        obs.counter("c").inc()
+        with span("s"):
+            pass
+        obs.reset()
+        assert obs.get_registry().get("c").value == 0
+        assert obs.span_tree() == []
+
+
+class TestLogging:
+    def test_key_value_format(self):
+        stream = io.StringIO()
+        configure_logging(level="info", stream=stream, force=True)
+        log = get_logger("unit")
+        log.info("hello world", extra=kv(stage="fit", n=3))
+        line = stream.getvalue().strip()
+        assert 'msg="hello world"' in line
+        assert "level=info" in line
+        assert "logger=repro.unit" in line
+        assert "stage=fit" in line and "n=3" in line
+        configure_logging(force=True)  # restore default handler/level
+
+    def test_level_filtering(self):
+        stream = io.StringIO()
+        configure_logging(level="warning", stream=stream, force=True)
+        log = get_logger("unit")
+        log.info("quiet")
+        log.warning("loud")
+        out = stream.getvalue()
+        assert "quiet" not in out and "loud" in out
+        configure_logging(force=True)
+
+    def test_env_knob(self, monkeypatch):
+        monkeypatch.setenv("ELSA_LOG_LEVEL", "debug")
+        stream = io.StringIO()
+        root = configure_logging(stream=stream, force=True)
+        assert root.level == 10  # DEBUG
+        configure_logging(force=True)
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError):
+            configure_logging(level="shouty")
+
+    def test_formatter_quotes_only_when_spaced(self):
+        fmt = KeyValueFormatter()
+        import logging as _logging
+
+        rec = _logging.LogRecord(
+            "repro.x", _logging.WARNING, __file__, 1, "oneword", (), None
+        )
+        assert "msg=oneword" in fmt.format(rec)
+
+    def test_formatter_escapes_embedded_quotes(self):
+        fmt = KeyValueFormatter()
+        import logging as _logging
+
+        rec = _logging.LogRecord(
+            "repro.x", _logging.WARNING, __file__, 1,
+            'missing "info.gpr_header"', (), None,
+        )
+        assert 'msg="missing \\"info.gpr_header\\""' in fmt.format(rec)
