@@ -106,37 +106,11 @@ def _fault_from_dict(d: dict) -> FaultEvent:
 
 
 def _prediction_to_dict(p: Prediction) -> dict:
-    return {
-        "trigger_time": p.trigger_time,
-        "emitted_at": p.emitted_at,
-        "predicted_time": p.predicted_time,
-        "predicted_lo": p.predicted_lo,
-        "predicted_hi": p.predicted_hi,
-        "locations": list(p.locations),
-        "chain_key": [list(item) for item in p.chain_key],
-        "anchor_event": p.anchor_event,
-        "fatal_event": p.fatal_event,
-        "source": p.source,
-    }
+    return p.to_dict()
 
 
 def _prediction_from_dict(d: dict) -> Prediction:
-    def _opt(key: str):
-        value = d.get(key)
-        return None if value is None else float(value)
-
-    return Prediction(
-        trigger_time=float(d["trigger_time"]),
-        emitted_at=float(d["emitted_at"]),
-        predicted_time=float(d["predicted_time"]),
-        locations=tuple(d["locations"]),
-        chain_key=tuple(tuple(item) for item in d["chain_key"]),
-        anchor_event=int(d["anchor_event"]),
-        fatal_event=int(d["fatal_event"]),
-        source=str(d.get("source", "hybrid")),
-        predicted_lo=_opt("predicted_lo"),
-        predicted_hi=_opt("predicted_hi"),
-    )
+    return Prediction.from_dict(d)
 
 
 def load_ground_truth(path: Path) -> List[FaultEvent]:
@@ -188,21 +162,68 @@ def _machine_for(system: str):
     return build_cluster_machine()
 
 
-def _read_records(path: str, fmt: str):
-    """Read a log file in the selected format."""
+def _read_records(path: str, fmt: str, lenient: bool = False):
+    """Read a log file in the selected format.
+
+    ``lenient`` skips malformed lines (counted on the
+    ``ingest.malformed_lines`` obs counter) instead of raising.
+    """
     if fmt == "bgl":
         from repro.simulation.bgl_format import read_bgl_log
 
         with Path(path).open() as fh:
-            return read_bgl_log(fh)
+            return read_bgl_log(fh, skip_malformed=lenient)
     with Path(path).open() as fh:
-        return read_log(fh)
+        return read_log(fh, lenient=lenient)
+
+
+#: exit status for a run that finished but dropped/repaired input or
+#: tripped a component breaker along the way (distinct from a crash).
+EXIT_DEGRADED = 3
+
+
+def _apply_resilience(elsa: ELSA, args: argparse.Namespace) -> bool:
+    """Turn on the hardened-ingestion path when ``--lenient`` was given."""
+    lenient = bool(getattr(args, "lenient", False))
+    if lenient and elsa.config.resilience is None:
+        from repro.resilience.config import ResilienceConfig
+
+        elsa.config.resilience = ResilienceConfig()
+    return lenient
+
+
+def _degraded_exit(elsa: ELSA, rc: int = 0) -> int:
+    """Map a degraded (but completed) run to :data:`EXIT_DEGRADED`.
+
+    Degradation = the sanitizer dropped/repaired records, or the lenient
+    reader skipped malformed lines (the ``ingest.malformed_lines``
+    counter covers this run — ``main`` resets the registry first).
+    """
+    if rc != 0:
+        return rc
+    stats = dict(elsa.ingest_stats or {})
+    skipped = int(obs.counter("ingest.malformed_lines").value)
+    if skipped:
+        stats["malformed_lines"] = skipped
+    if elsa.degraded or skipped:
+        detail = ", ".join(
+            f"{k}={v}" for k, v in sorted(stats.items()) if v
+        )
+        _emit(f"run completed in DEGRADED mode ({detail})")
+        return EXIT_DEGRADED
+    return rc
 
 
 def cmd_fit(args: argparse.Namespace) -> int:
     """``fit``: offline phase on a log file; pickles the pipeline."""
-    records = _read_records(args.log, args.format)
     elsa = ELSA(_machine_for(args.system))
+    lenient = _apply_resilience(elsa, args)
+    try:
+        records = _read_records(args.log, args.format, lenient=lenient)
+    except ValueError as exc:
+        print(f"error: {exc} (re-run with --lenient to skip bad lines)",
+              file=sys.stderr)
+        return 1
     model = elsa.fit(records, t_train_end=args.train_end)
     with Path(args.model).open("wb") as fh:
         pickle.dump(elsa, fh)
@@ -218,22 +239,67 @@ def cmd_fit(args: argparse.Namespace) -> int:
         )
         _emit(f"  conf {chain.confidence:4.0%} span {chain.span:4d}u  {names}")
     _emit(f"model saved to {args.model}")
-    return 0
+    return _degraded_exit(elsa)
 
 
 def cmd_predict(args: argparse.Namespace) -> int:
-    """``predict``: online phase over a window of a log file."""
+    """``predict``: online phase over a window of a log file.
+
+    With ``--checkpoint``/``--checkpoint-every`` the resumable streaming
+    engine runs instead of the batch engine (same output, see
+    :mod:`repro.resilience.checkpoint`); ``--resume-from`` continues a
+    killed run from its checkpoint file.
+    """
     with Path(args.model).open("rb") as fh:
         elsa: ELSA = pickle.load(fh)
-    records = _read_records(args.log, args.format)
+    lenient = _apply_resilience(elsa, args)
+    try:
+        records = _read_records(args.log, args.format, lenient=lenient)
+    except ValueError as exc:
+        print(f"error: {exc} (re-run with --lenient to skip bad lines)",
+              file=sys.stderr)
+        return 1
     t_end = args.t_end if args.t_end is not None else (
         max(r.timestamp for r in records) + 1.0
     )
-    predictions = elsa.predict(records, args.t_start, t_end)
+
+    resume_from = getattr(args, "resume_from", None)
+    ckpt_path = getattr(args, "checkpoint", None) or resume_from
+    ckpt_every = getattr(args, "checkpoint_every", None)
+    if resume_from or ckpt_path or ckpt_every:
+        from repro.resilience.checkpoint import ResumableRun, load_checkpoint
+
+        every = ckpt_every or 4096
+        if resume_from and Path(resume_from).exists():
+            run = ResumableRun.resume(
+                elsa, load_checkpoint(resume_from),
+                checkpoint_path=ckpt_path, checkpoint_every=every,
+            )
+            _emit(
+                f"resumed from {resume_from} at record "
+                f"{run.predictor.n_records_fed}"
+            )
+        else:
+            run = ResumableRun(
+                elsa, args.t_start, t_end,
+                checkpoint_path=ckpt_path, checkpoint_every=every,
+            )
+        # ``ResumableRun`` bypasses ``make_stream``, so apply the
+        # hardened-ingestion gate here for parity with the batch path.
+        predictions = run.run(elsa._sanitize(records))
+        tripped = run.predictor.breakers.tripped()
+        if tripped:
+            _emit(f"circuit breakers tripped during run: {tripped}")
+    else:
+        predictions = elsa.predict(records, args.t_start, t_end)
+        tripped = []
     out = {"predictions": [_prediction_to_dict(p) for p in predictions]}
     Path(args.out).write_text(json.dumps(out, indent=1))
     _emit(f"{len(predictions)} predictions written to {args.out}")
-    return 0
+    rc = _degraded_exit(elsa)
+    if rc == 0 and tripped:
+        rc = EXIT_DEGRADED
+    return rc
 
 
 def cmd_evaluate(args: argparse.Namespace) -> int:
@@ -339,6 +405,26 @@ def _add_global_options(
     )
 
 
+def _add_resilience_options(parser: argparse.ArgumentParser) -> None:
+    """``--lenient``/``--strict`` pair for log-consuming subcommands.
+
+    Strict (the default) raises on the first malformed line; lenient
+    routes input through the hardened-ingestion path (skip + quarantine
+    + reorder + dedupe) and the run exits with status
+    :data:`EXIT_DEGRADED` when anything was dropped or repaired.
+    """
+    group = parser.add_mutually_exclusive_group()
+    group.add_argument(
+        "--lenient", dest="lenient", action="store_true", default=False,
+        help="survive hostile input: skip malformed lines, sanitize the "
+             "stream, exit 3 if the run degraded",
+    )
+    group.add_argument(
+        "--strict", dest="lenient", action="store_false",
+        help="fail fast on the first malformed line (default)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The ``elsa-repro`` argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -366,6 +452,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--train-end", type=float, required=True,
                    dest="train_end")
     p.add_argument("--model", required=True, help="output model pickle")
+    _add_resilience_options(p)
     p.set_defaults(func=cmd_fit)
 
     p = sub.add_parser("predict", help="run the online phase")
@@ -375,6 +462,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--t-start", type=float, required=True, dest="t_start")
     p.add_argument("--t-end", type=float, default=None, dest="t_end")
     p.add_argument("--out", required=True, help="output predictions JSON")
+    _add_resilience_options(p)
+    p.add_argument(
+        "--checkpoint", metavar="FILE", default=None,
+        help="write the online state here periodically (crash recovery)",
+    )
+    p.add_argument(
+        "--checkpoint-every", dest="checkpoint_every", type=int,
+        metavar="N", default=None,
+        help="records between checkpoints (default 4096 when enabled)",
+    )
+    p.add_argument(
+        "--resume-from", dest="resume_from", metavar="FILE", default=None,
+        help="resume a killed run from this checkpoint file",
+    )
     p.set_defaults(func=cmd_predict)
 
     p = sub.add_parser("evaluate", help="score predictions vs ground truth")

@@ -8,6 +8,7 @@ from typing import Optional
 from repro.helo.miner import MinerConfig
 from repro.mining.grite import GriteConfig
 from repro.prediction.engine import PredictorConfig
+from repro.resilience.config import ResilienceConfig
 
 
 @dataclass
@@ -21,6 +22,11 @@ class PipelineConfig:
     ``online_keep_seconds`` bounds the online signal history ("we keep
     only the last two months in the on-line module"); scaled scenarios
     keep proportionally less.
+    ``resilience`` enables the hardened ingestion path: records entering
+    ``fit``/``make_stream`` are sanitized through a
+    :class:`~repro.resilience.stream.ResilientStream` (quarantine,
+    dedupe, reorder, gap sentinels).  ``None`` (the default) bypasses it
+    entirely, keeping the clean-input pipeline byte-identical.
     """
 
     sampling_period: float = 10.0
@@ -29,3 +35,4 @@ class PipelineConfig:
     miner: MinerConfig = field(default_factory=MinerConfig)
     grite: GriteConfig = field(default_factory=GriteConfig)
     predictor: PredictorConfig = field(default_factory=PredictorConfig)
+    resilience: Optional[ResilienceConfig] = None

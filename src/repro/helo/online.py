@@ -16,7 +16,6 @@ eventually, and ids are stable — existing signals never need re-keying.
 
 from __future__ import annotations
 
-from collections import defaultdict
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -37,11 +36,15 @@ class OnlineConfig:
     becoming new evidence.
     ``buffer_cap``: misses kept per token-length bucket before the oldest
     evidence is dropped (bounds memory on hostile input).
+    ``max_length_buckets``: distinct token-length buckets kept; hostile
+    input varying message length on every line would otherwise grow the
+    buffer dict without bound.  Least-recently-hit buckets are evicted.
     """
 
     new_template_min_evidence: int = 3
     generalize_max_mismatch: int = 1
     buffer_cap: int = 512
+    max_length_buckets: int = 64
 
 
 class OnlineHELO:
@@ -54,7 +57,8 @@ class OnlineHELO:
     ) -> None:
         self.table = table if table is not None else TemplateTable()
         self.config = config or OnlineConfig()
-        self._miss_buffer: Dict[int, List[Tuple[str, ...]]] = defaultdict(list)
+        # insertion order doubles as bucket LRU (see _buffer_for)
+        self._miss_buffer: Dict[int, List[Tuple[str, ...]]] = {}
         #: ids of templates created or generalized online (observability).
         self.updated_ids: List[int] = []
         #: classification misses seen so far (batch metrics read this).
@@ -97,6 +101,24 @@ class OnlineHELO:
 
     # -- miss handling ------------------------------------------------------
 
+    def _buffer_for(self, length: int) -> List[Tuple[str, ...]]:
+        """The miss bucket for ``length``, with LRU bucket eviction.
+
+        Accessing a bucket marks it most-recently-used; when a new
+        length would exceed ``max_length_buckets``, the stalest bucket's
+        evidence is discarded — an adversary cycling message lengths can
+        therefore never grow the buffer dict beyond the cap.
+        """
+        buf = self._miss_buffer.pop(length, None)
+        if buf is None:
+            buf = []
+            if len(self._miss_buffer) >= self.config.max_length_buckets:
+                evicted = next(iter(self._miss_buffer))
+                del self._miss_buffer[evicted]
+                obs.counter("helo.online.buckets_evicted").inc()
+        self._miss_buffer[length] = buf
+        return buf
+
     def _handle_miss(self, norm: Tuple[str, ...]) -> Optional[int]:
         self._n_misses += 1
         near = self._nearest_template(norm)
@@ -105,7 +127,7 @@ class OnlineHELO:
             if mismatches <= self.config.generalize_max_mismatch:
                 self._generalize(tid, norm)
                 return tid
-        buf = self._miss_buffer[len(norm)]
+        buf = self._buffer_for(len(norm))
         buf.append(norm)
         if len(buf) > self.config.buffer_cap:
             del buf[0]
@@ -158,7 +180,7 @@ class OnlineHELO:
         half of their constant positions; ``new_template_min_evidence``
         of them (including duplicates) trigger the mint.
         """
-        buf = self._miss_buffer[len(norm)]
+        buf = self._buffer_for(len(norm))
         kin = [b for b in buf if self._kinship(b, norm)]
         if len(kin) < self.config.new_template_min_evidence:
             return None
@@ -182,6 +204,49 @@ class OnlineHELO:
         """Do two same-length shapes agree on >= half their tokens?"""
         agree = sum(1 for x, y in zip(a, b) if x == y)
         return agree * 2 >= len(a)
+
+    # -- checkpoint serialization -------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Full online state as a JSON-ready dict (crash recovery).
+
+        Captures the template table *and* the miss buffers: evidence
+        accumulating toward a future mint survives a restart, so a
+        resumed run classifies the remaining stream identically to an
+        uninterrupted one.
+        """
+        return {
+            "table": self.table.to_dict(),
+            "miss_buffer": {
+                str(length): [list(shape) for shape in shapes]
+                for length, shapes in self._miss_buffer.items()
+            },
+            "updated_ids": list(self.updated_ids),
+            "n_misses": self._n_misses,
+            "config": {
+                "new_template_min_evidence":
+                    self.config.new_template_min_evidence,
+                "generalize_max_mismatch":
+                    self.config.generalize_max_mismatch,
+                "buffer_cap": self.config.buffer_cap,
+                "max_length_buckets": self.config.max_length_buckets,
+            },
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "OnlineHELO":
+        """Rebuild a matcher from :meth:`state_dict` output."""
+        helo = cls(
+            table=TemplateTable.from_dict(state["table"]),
+            config=OnlineConfig(**state["config"]),
+        )
+        for length, shapes in state["miss_buffer"].items():
+            helo._miss_buffer[int(length)] = [
+                tuple(shape) for shape in shapes
+            ]
+        helo.updated_ids = list(state["updated_ids"])
+        helo._n_misses = int(state["n_misses"])
+        return helo
 
 
 def bootstrap_online(

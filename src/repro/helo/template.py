@@ -146,3 +146,27 @@ class TemplateTable:
     def skeletons(self) -> List[str]:
         """All template skeletons, in id order."""
         return [t.skeleton() for t in self._templates]
+
+    # -- checkpoint serialization -------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-ready form; ids are positional (dense, in order)."""
+        return {
+            "templates": [
+                {"tokens": list(t.tokens), "support": t.support}
+                for t in self._templates
+            ]
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TemplateTable":
+        """Rebuild a table from :meth:`to_dict` output, ids preserved."""
+        table = cls()
+        for entry in data["templates"]:
+            table.add(
+                MinedTemplate(
+                    tokens=tuple(entry["tokens"]),
+                    support=int(entry["support"]),
+                )
+            )
+        return table

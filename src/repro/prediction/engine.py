@@ -34,6 +34,7 @@ from repro.location.propagation import LocationIndex, LocationPredictor
 from repro.mining.correlations import CorrelationChain
 from repro.mining.grite import GriteConfig
 from repro.prediction.analysis_time import AnalysisTimeModel
+from repro.resilience.breaker import ComponentBreakers
 from repro.signals.characterize import NormalBehavior
 from repro.signals.extraction import SignalSet, extract_signals
 from repro.signals.outliers import OnlineOutlierDetector, OnlinePeriodicDetector
@@ -150,6 +151,51 @@ class Prediction:
         """Seconds spent analyzing before the prediction was visible."""
         return self.emitted_at - self.trigger_time
 
+    def to_dict(self) -> dict:
+        """JSON-ready form (CLI output files, checkpoints).
+
+        Numpy scalars (chain delays, quantile arithmetic) are coerced to
+        native types so ``json.dumps`` needs no fallback hook.
+        """
+        return {
+            "trigger_time": float(self.trigger_time),
+            "emitted_at": float(self.emitted_at),
+            "predicted_time": float(self.predicted_time),
+            "predicted_lo": (
+                None if self.predicted_lo is None else float(self.predicted_lo)
+            ),
+            "predicted_hi": (
+                None if self.predicted_hi is None else float(self.predicted_hi)
+            ),
+            "locations": list(self.locations),
+            "chain_key": [
+                [int(x) for x in item] for item in self.chain_key
+            ],
+            "anchor_event": int(self.anchor_event),
+            "fatal_event": int(self.fatal_event),
+            "source": self.source,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "Prediction":
+        """Inverse of :meth:`to_dict` (floats round-trip exactly)."""
+        def _opt(key: str) -> Optional[float]:
+            value = d.get(key)
+            return None if value is None else float(value)
+
+        return cls(
+            trigger_time=float(d["trigger_time"]),
+            emitted_at=float(d["emitted_at"]),
+            predicted_time=float(d["predicted_time"]),
+            locations=tuple(d["locations"]),
+            chain_key=tuple(tuple(item) for item in d["chain_key"]),
+            anchor_event=int(d["anchor_event"]),
+            fatal_event=int(d["fatal_event"]),
+            source=str(d.get("source", "hybrid")),
+            predicted_lo=_opt("predicted_lo"),
+            predicted_hi=_opt("predicted_hi"),
+        )
+
 
 @dataclass
 class PredictorConfig:
@@ -188,6 +234,12 @@ class HybridPredictor:
         Learned per-chain propagation profiles.
     analysis_model:
         Analysis-time cost model; defaults to the hybrid calibration.
+    breakers:
+        Per-component circuit breakers guarding the signal-analysis and
+        location-attachment paths; defaults to a fresh set.  A component
+        that throws repeatedly is tripped open and the run degrades (no
+        outliers for the failing anchor / anchor-only locations) instead
+        of crashing; the breaker half-opens after its cooldown.
     """
 
     source_name = "hybrid"
@@ -201,6 +253,7 @@ class HybridPredictor:
         grite_config: Optional[GriteConfig] = None,
         config: Optional[PredictorConfig] = None,
         span_quantiles: Optional[Mapping[Tuple, Tuple[int, int, int]]] = None,
+        breakers: Optional[ComponentBreakers] = None,
     ) -> None:
         self.config = config or PredictorConfig()
         self.span_quantiles = dict(span_quantiles or {})
@@ -215,10 +268,13 @@ class HybridPredictor:
             len(self.chains)
         )
         self.grite_config = grite_config or GriteConfig()
+        self.breakers = breakers or ComponentBreakers()
         #: chain_key -> number of predictions it produced in the last run
         self.chain_usage: Counter = Counter()
         #: predictions dropped because analysis consumed their window
         self.n_too_late: int = 0
+        #: anchors whose detection degraded in the last run (error boundary)
+        self.degraded_anchors: List[int] = []
 
     # -- helpers ------------------------------------------------------------
 
@@ -232,34 +288,70 @@ class HybridPredictor:
             return self.config.default_threshold
         return nb.threshold
 
+    def _make_detector(self, tid: int):
+        """The online detector for one anchor (median or periodic)."""
+        nb = self.behaviors.get(tid)
+        if (
+            nb is not None
+            and nb.signal_class == SignalClass.PERIODIC
+            and nb.period
+        ):
+            # Absence/burst detection for beat signals — the online
+            # path behind "lack of messages" failure syndromes.
+            return OnlinePeriodicDetector(
+                period=nb.period,
+                amplitude=max(nb.mean_rate * nb.period, 1.0),
+            )
+        return OnlineOutlierDetector(
+            threshold=self._threshold_for(tid),
+            window=self.config.detector_window,
+            warmup=self.config.detector_warmup,
+        )
+
     def _detect_anchor_outliers(
         self, stream: TestStream
     ) -> Dict[int, np.ndarray]:
-        """Online outlier samples for every anchor event type."""
+        """Online outlier samples for every anchor event type.
+
+        Each anchor's scan runs inside the "signals" error boundary: a
+        detector blowing up on one pathological signal costs that
+        anchor's triggers, not the run.
+        """
         anchors = sorted({c.anchor for c in self.chains})
         out: Dict[int, np.ndarray] = {}
         for tid in anchors:
-            nb = self.behaviors.get(tid)
-            if (
-                nb is not None
-                and nb.signal_class == SignalClass.PERIODIC
-                and nb.period
-            ):
-                # Absence/burst detection for beat signals — the online
-                # path behind "lack of messages" failure syndromes.
-                detector = OnlinePeriodicDetector(
-                    period=nb.period,
-                    amplitude=max(nb.mean_rate * nb.period, 1.0),
-                )
-            else:
-                detector = OnlineOutlierDetector(
-                    threshold=self._threshold_for(tid),
-                    window=self.config.detector_window,
-                    warmup=self.config.detector_warmup,
-                )
-            result = detector.process_array(stream.signals.signal(tid))
+            detector = self._make_detector(tid)
+            result = self.breakers.guarded(
+                "signals",
+                lambda: detector.process_array(stream.signals.signal(tid)),
+            )
+            if result is None:
+                self.degraded_anchors.append(tid)
+                continue
             out[tid] = result.indices
+        if self.degraded_anchors:
+            obs.counter("predictor.anchors_degraded").inc(
+                len(self.degraded_anchors)
+            )
         return out
+
+    def _attach_locations(
+        self, chain: CorrelationChain, anchor_loc: str
+    ) -> Tuple[str, ...]:
+        """Location attachment behind the "locations" error boundary.
+
+        When the location model is unhealthy (tripped breaker) the
+        prediction still goes out, degraded to the anchor's own node —
+        a late-but-somewhere prediction beats a crashed predictor.
+        """
+        locations = self.breakers.guarded(
+            "locations",
+            lambda: tuple(self.location_predictor.predict(chain, anchor_loc)),
+        )
+        if locations is None:
+            obs.counter("predictor.locations_degraded").inc()
+            return (anchor_loc,)
+        return locations
 
     # -- main ------------------------------------------------------------------
 
@@ -277,6 +369,7 @@ class HybridPredictor:
         signals = stream.signals
         period = stream.sampling_period
         analysis = self.analysis_model.times_for(stream.message_counts)
+        self.degraded_anchors = []
         with obs.span("outliers", mode="online") as osp:
             outliers = self._detect_anchor_outliers(stream)
             osp["anchors"] = len(outliers)
@@ -326,9 +419,7 @@ class HybridPredictor:
                 + cfg.suppression_slack
             )
 
-            locations = tuple(
-                self.location_predictor.predict(chain, anchor_loc)
-            )
+            locations = self._attach_locations(chain, anchor_loc)
             pred = Prediction(
                 trigger_time=t_trigger,
                 emitted_at=t_emit,

@@ -1,0 +1,309 @@
+"""Record-at-a-time hybrid predictor with checkpointable state.
+
+:class:`~repro.prediction.engine.HybridPredictor` is a batch engine: it
+wants the whole test window up front, extracts signals, and scans them.
+A production deployment instead consumes an endless stream and must
+survive being killed mid-run.  :class:`StreamingHybridPredictor` is the
+same algorithm refactored around per-sample state:
+
+* per-anchor online detectors are fed one sample at a time (they are
+  causal already — ``process_array`` is just a loop over ``process``);
+* chain triggering, suppression, and location attachment run per closed
+  sample with the identical arithmetic and iteration order;
+* everything mutable (detector windows, active-chain suppression map,
+  partial sample accumulators, emitted predictions) serializes to a
+  JSON-ready dict via :meth:`state_dict` and restores via
+  :meth:`load_state`.
+
+The invariant the crash-recovery tests enforce: feeding the same
+records through ``feed``/``finish`` — in any chunking, with any number
+of ``state_dict``/``load_state`` round-trips in between — yields
+predictions byte-identical to the batch engine over the same window.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro import obs
+from repro.prediction.engine import HybridPredictor, Prediction
+from repro.signals.outliers import restore_detector
+from repro.simulation.trace import LogRecord
+
+#: bump when the serialized layout changes incompatibly
+STATE_VERSION = 1
+
+
+class StreamingHybridPredictor(HybridPredictor):
+    """Resumable, sample-at-a-time variant of the hybrid engine.
+
+    Construct with the same model artifacts as ``HybridPredictor`` plus
+    the stream geometry (``t_start``/``t_end``/``sampling_period``); then
+    ``feed`` classified record chunks in timestamp order and ``finish``
+    once the stream ends.  ``state_dict``/``load_state`` snapshot and
+    restore all mutable state between chunks.
+    """
+
+    def __init__(
+        self,
+        *args,
+        t_start: float,
+        t_end: float,
+        sampling_period: float = 10.0,
+        **kwargs,
+    ) -> None:
+        super().__init__(*args, **kwargs)
+        if t_end <= t_start:
+            raise ValueError("empty stream window")
+        self.t_start = float(t_start)
+        self.t_end = float(t_end)
+        self.sampling_period = float(sampling_period)
+        self.n_samples = int(
+            np.ceil((self.t_end - self.t_start) / self.sampling_period)
+        )
+        self._anchors = sorted({c.anchor for c in self.chains})
+        self._detectors = {tid: self._make_detector(tid) for tid in self._anchors}
+        # mutable stream state -------------------------------------------------
+        self._k = 0  # sample currently accumulating
+        self._n_fed = 0  # records consumed so far
+        self._finished = False
+        self._cur_msg_count = 0
+        self._cur_anchor_counts: Dict[int, int] = {}
+        self._cur_anchor_locs: Dict[int, List[str]] = {}
+        self._active: Dict[Tuple, float] = {}
+        self._predictions: List[Prediction] = []
+        self.chain_usage = Counter()
+        self.n_too_late = 0
+
+    # -- feeding -------------------------------------------------------------
+
+    def feed(
+        self,
+        records: Sequence[LogRecord],
+        event_ids: Sequence[Optional[int]],
+    ) -> None:
+        """Consume a chunk of classified records (timestamp order).
+
+        ``event_ids`` parallels ``records`` (``None`` = unclassified),
+        exactly as in :class:`~repro.prediction.engine.TestStream`.
+        """
+        if len(records) != len(event_ids):
+            raise ValueError("event_ids must parallel records")
+        if self._finished:
+            raise RuntimeError("stream already finished")
+        for rec, tid in zip(records, event_ids):
+            if not self.t_start <= rec.timestamp < self.t_end:
+                raise ValueError(
+                    f"record at {rec.timestamp} outside the stream window"
+                )
+            s = int((rec.timestamp - self.t_start) / self.sampling_period)
+            if s < self._k:
+                raise ValueError("records must arrive in sample order")
+            while self._k < s:
+                self._close_sample()
+            self._cur_msg_count += 1
+            if tid is not None and tid in self._detectors:
+                self._cur_anchor_counts[tid] = (
+                    self._cur_anchor_counts.get(tid, 0) + 1
+                )
+                self._cur_anchor_locs.setdefault(tid, []).append(rec.location)
+            self._n_fed += 1
+
+    def finish(self) -> List[Prediction]:
+        """Close all remaining samples; returns the full prediction list.
+
+        The list covers the whole run including any state restored from a
+        checkpoint, sorted by ``emitted_at`` like the batch engine.
+        """
+        while self._k < self.n_samples:
+            self._close_sample()
+        self._finished = True
+        predictions = sorted(self._predictions, key=lambda p: p.emitted_at)
+        self._predictions = predictions
+        obs.counter("predictor.runs").inc()
+        obs.counter("predictor.predictions_issued").inc(len(predictions))
+        obs.counter("predictor.predictions_too_late").inc(self.n_too_late)
+        return predictions
+
+    # -- per-sample engine -----------------------------------------------------
+
+    def _close_sample(self) -> None:
+        """Seal sample ``self._k``: detect outliers, trigger chains."""
+        s = self._k
+        counts = self._cur_anchor_counts
+        locs = self._cur_anchor_locs
+        analysis_t = float(
+            self.analysis_model.times_for(
+                np.array([self._cur_msg_count], dtype=np.int64)
+            )[0]
+        )
+        flagged: Dict[int, bool] = {}
+        for tid in self._anchors:
+            value = float(counts.get(tid, 0))
+            result = self.breakers.guarded(
+                "signals", lambda: self._detectors[tid].process(value)
+            )
+            if result is None:
+                self.degraded_anchors.append(tid)
+                continue
+            is_outlier, _corrected = result
+            if is_outlier:
+                flagged[tid] = True
+        if flagged:
+            self._trigger_chains(s, flagged, locs, analysis_t)
+        self._k += 1
+        self._cur_msg_count = 0
+        self._cur_anchor_counts = {}
+        self._cur_anchor_locs = {}
+
+    def _trigger_chains(
+        self,
+        s: int,
+        flagged: Dict[int, bool],
+        locs: Dict[int, List[str]],
+        analysis_t: float,
+    ) -> None:
+        """Identical trigger arithmetic to the batch engine, one sample."""
+        cfg = self.config
+        period = self.sampling_period
+        t_anchor = self.t_start + s * period
+        t_trigger = t_anchor + period
+        t_emit = t_trigger + analysis_t
+        for chain in self.chains:
+            if not flagged.get(chain.anchor):
+                continue
+            ckey = self._chain_key(chain)
+            quantiles = self.span_quantiles.get(ckey)
+            if quantiles is not None:
+                q_lo, q_med, q_hi = quantiles
+                t_pred = t_anchor + q_med * period + period
+                t_pred_lo = t_anchor + q_lo * period + period
+                t_pred_hi = t_anchor + q_hi * period + period
+            else:
+                t_pred = t_anchor + chain.span * period + period
+                t_pred_lo = t_pred_hi = None
+            if t_pred - t_emit < cfg.min_visible_window or t_pred <= t_emit:
+                self.n_too_late += 1
+                continue
+            anchor_locs = locs.get(chain.anchor, [])
+            anchor_loc = anchor_locs[0] if anchor_locs else "unknown"
+            skey = (ckey, anchor_loc)
+            until = self._active.get(skey)
+            if until is not None and t_trigger <= until:
+                continue
+            self._active[skey] = (
+                (t_pred_hi if t_pred_hi is not None else t_pred)
+                + cfg.suppression_slack
+            )
+            locations = self._attach_locations(chain, anchor_loc)
+            pred = Prediction(
+                trigger_time=t_trigger,
+                emitted_at=t_emit,
+                predicted_time=t_pred,
+                locations=locations,
+                chain_key=ckey,
+                anchor_event=chain.anchor,
+                fatal_event=chain.items[-1].event_type,
+                source=self.source_name,
+                predicted_lo=t_pred_lo,
+                predicted_hi=t_pred_hi,
+            )
+            self._predictions.append(pred)
+            self.chain_usage[pred.chain_key] += 1
+
+    # -- checkpoint serialization ---------------------------------------------
+
+    @property
+    def n_records_fed(self) -> int:
+        """Records consumed so far (the resume cursor)."""
+        return self._n_fed
+
+    def state_dict(self) -> dict:
+        """All mutable stream state, JSON-ready."""
+        return {
+            "version": STATE_VERSION,
+            "n_chains": len(self.chains),
+            "n_samples": self.n_samples,
+            "t_start": self.t_start,
+            "t_end": self.t_end,
+            "sampling_period": self.sampling_period,
+            "k": self._k,
+            "n_fed": self._n_fed,
+            "cur": {
+                "msg_count": self._cur_msg_count,
+                "anchor_counts": {
+                    str(t): n for t, n in self._cur_anchor_counts.items()
+                },
+                "anchor_locs": {
+                    str(t): list(l) for t, l in self._cur_anchor_locs.items()
+                },
+            },
+            "active": [
+                [[list(item) for item in ckey], loc, until]
+                for (ckey, loc), until in self._active.items()
+            ],
+            "chain_usage": [
+                [[list(item) for item in ckey], n]
+                for ckey, n in self.chain_usage.items()
+            ],
+            "n_too_late": self.n_too_late,
+            "detectors": {
+                str(t): d.state_dict() for t, d in self._detectors.items()
+            },
+            "predictions": [p.to_dict() for p in self._predictions],
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot onto this instance.
+
+        The instance must have been built from the same trained model
+        and stream geometry; mismatches raise ``ValueError`` instead of
+        silently resuming into a different run.
+        """
+        if state.get("version") != STATE_VERSION:
+            raise ValueError(
+                f"checkpoint version {state.get('version')!r} not supported"
+            )
+        for key, mine in (
+            ("n_chains", len(self.chains)),
+            ("n_samples", self.n_samples),
+            ("t_start", self.t_start),
+            ("t_end", self.t_end),
+            ("sampling_period", self.sampling_period),
+        ):
+            if state[key] != mine:
+                raise ValueError(
+                    f"checkpoint mismatch: {key}={state[key]!r}, "
+                    f"this run has {mine!r}"
+                )
+        self._k = int(state["k"])
+        self._n_fed = int(state["n_fed"])
+        cur = state["cur"]
+        self._cur_msg_count = int(cur["msg_count"])
+        self._cur_anchor_counts = {
+            int(t): int(n) for t, n in cur["anchor_counts"].items()
+        }
+        self._cur_anchor_locs = {
+            int(t): list(l) for t, l in cur["anchor_locs"].items()
+        }
+        self._active = {
+            (tuple(tuple(item) for item in ckey), loc): float(until)
+            for ckey, loc, until in state["active"]
+        }
+        self.chain_usage = Counter(
+            {
+                tuple(tuple(item) for item in ckey): int(n)
+                for ckey, n in state["chain_usage"]
+            }
+        )
+        self.n_too_late = int(state["n_too_late"])
+        self._detectors = {
+            int(t): restore_detector(d) for t, d in state["detectors"].items()
+        }
+        self._predictions = [
+            Prediction.from_dict(d) for d in state["predictions"]
+        ]
+        self._finished = False

@@ -1,0 +1,217 @@
+"""Circuit breakers: per-component failure budgets for graceful degradation.
+
+A long-running predictor must survive one of its components going bad —
+a detector hitting a numerical pathology, a location model choking on an
+unknown topology — without taking the whole prediction loop down.  The
+classic answer is the circuit breaker: count consecutive failures; past
+the budget, stop calling the component (*open*); after a cooldown, let a
+single trial call through (*half-open*); a success closes the circuit
+again.
+
+State transitions are reported through ``resilience.breaker.*`` metrics
+so a tripped component is visible in every metrics dump, never silent.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from typing import Any, Callable, Dict, Optional
+
+from repro import obs
+
+log = obs.get_logger(__name__)
+
+
+class BreakerState(enum.Enum):
+    """Where a breaker is in its trip cycle."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+
+#: numeric encoding used by the ``resilience.breaker.<name>.state`` gauge
+_STATE_GAUGE = {
+    BreakerState.CLOSED: 0.0,
+    BreakerState.HALF_OPEN: 1.0,
+    BreakerState.OPEN: 2.0,
+}
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with half-open retry after a cooldown.
+
+    Parameters
+    ----------
+    name:
+        Component name; namespaces the obs metrics.
+    failure_threshold:
+        Consecutive failures that trip the breaker open.
+    cooldown_seconds:
+        How long the breaker stays open before allowing one trial call.
+    clock:
+        Monotonic time source; injectable for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        failure_threshold: int = 5,
+        cooldown_seconds: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        self.name = name
+        self.failure_threshold = int(failure_threshold)
+        self.cooldown_seconds = float(cooldown_seconds)
+        self.clock = clock
+        self.state = BreakerState.CLOSED
+        self.consecutive_failures = 0
+        self.last_error: Optional[BaseException] = None
+        self._opened_at: Optional[float] = None
+        self._trial_pending = False
+
+    # -- state machine -------------------------------------------------------
+
+    def allow(self) -> bool:
+        """May the protected component be called right now?"""
+        if self.state == BreakerState.OPEN:
+            assert self._opened_at is not None
+            if self.clock() - self._opened_at >= self.cooldown_seconds:
+                self._set_state(BreakerState.HALF_OPEN)
+                self._trial_pending = True
+        if self.state == BreakerState.HALF_OPEN:
+            # one trial call per half-open episode
+            if self._trial_pending:
+                self._trial_pending = False
+                return True
+            return False
+        return self.state == BreakerState.CLOSED
+
+    def record_success(self) -> None:
+        """A protected call completed; reclose if half-open."""
+        self.consecutive_failures = 0
+        if self.state != BreakerState.CLOSED:
+            self._set_state(BreakerState.CLOSED)
+
+    def record_failure(self, exc: Optional[BaseException] = None) -> None:
+        """A protected call raised; trip when the budget is exhausted."""
+        self.last_error = exc
+        self.consecutive_failures += 1
+        obs.counter(f"resilience.breaker.{self.name}.failures").inc()
+        if self.state == BreakerState.HALF_OPEN:
+            self._trip()
+        elif (
+            self.state == BreakerState.CLOSED
+            and self.consecutive_failures >= self.failure_threshold
+        ):
+            self._trip()
+
+    def _trip(self) -> None:
+        self._opened_at = self.clock()
+        self._set_state(BreakerState.OPEN)
+        obs.counter(f"resilience.breaker.{self.name}.opened").inc()
+        log.warning(
+            "circuit breaker tripped open",
+            extra=obs.logging.kv(
+                breaker=self.name, failures=self.consecutive_failures
+            ),
+        )
+
+    def _set_state(self, state: BreakerState) -> None:
+        self.state = state
+        obs.gauge(f"resilience.breaker.{self.name}.state").set(
+            _STATE_GAUGE[state]
+        )
+
+    # -- call wrapper --------------------------------------------------------
+
+    def call(self, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> Any:
+        """Run ``fn`` under this breaker.
+
+        Returns ``fn``'s result; raises :class:`BreakerOpen` when the
+        circuit is open, and re-raises ``fn``'s own exception after
+        recording the failure (callers decide the fallback).
+        """
+        if not self.allow():
+            obs.counter(
+                f"resilience.breaker.{self.name}.short_circuited"
+            ).inc()
+            raise BreakerOpen(self.name, self.last_error)
+        try:
+            result = fn(*args, **kwargs)
+        except Exception as exc:
+            self.record_failure(exc)
+            raise
+        self.record_success()
+        return result
+
+
+class BreakerOpen(RuntimeError):
+    """Raised by :meth:`CircuitBreaker.call` while the circuit is open."""
+
+    def __init__(self, name: str, cause: Optional[BaseException]) -> None:
+        super().__init__(f"circuit breaker {name!r} is open")
+        self.breaker_name = name
+        self.cause = cause
+
+
+class ComponentBreakers:
+    """A named set of breakers sharing construction parameters.
+
+    The predictor holds one of these with a breaker per degradable
+    component ("signals", "locations", ...); :meth:`guarded` funnels a
+    component call through its breaker and converts both failures and
+    open circuits into the caller-supplied fallback value.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        cooldown_seconds: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.failure_threshold = failure_threshold
+        self.cooldown_seconds = cooldown_seconds
+        self.clock = clock
+        self._breakers: Dict[str, CircuitBreaker] = {}
+
+    def get(self, name: str) -> CircuitBreaker:
+        """The breaker for ``name``, created on first use."""
+        if name not in self._breakers:
+            self._breakers[name] = CircuitBreaker(
+                name,
+                failure_threshold=self.failure_threshold,
+                cooldown_seconds=self.cooldown_seconds,
+                clock=self.clock,
+            )
+        return self._breakers[name]
+
+    def guarded(
+        self, name: str, fn: Callable[[], Any], fallback: Any = None
+    ) -> Any:
+        """Call ``fn`` under breaker ``name``; degrade to ``fallback``.
+
+        Component exceptions are logged and counted, never propagated —
+        this is the error boundary the prediction loop runs inside.
+        """
+        try:
+            return self.get(name).call(fn)
+        except BreakerOpen:
+            return fallback
+        except Exception:
+            log.warning(
+                "component call failed; degrading",
+                extra=obs.logging.kv(component=name),
+            )
+            return fallback
+
+    def tripped(self) -> Dict[str, str]:
+        """Names of non-closed breakers → their state values."""
+        return {
+            name: b.state.value
+            for name, b in self._breakers.items()
+            if b.state != BreakerState.CLOSED
+        }

@@ -1,0 +1,314 @@
+"""Hardened ingestion: the :class:`ResilientStream` wrapper.
+
+Production HPC logs are hostile: relays deliver records out of order,
+daemons replay buffers after reconnects (duplicates), nodes go silent
+without a trace, clocks step, and bursts exceed any fixed analysis
+budget.  The pipeline's analysis layers assume a clean, time-sorted,
+well-formed stream; this module is the boundary that makes that
+assumption true — and makes every repair *visible* through
+``resilience.*`` obs metrics, so degraded operation is never silent.
+
+Stages, in order, per record:
+
+1. **parse/quarantine** — malformed lines go to a bounded dead-letter
+   buffer instead of killing the run (``resilience.quarantined``);
+2. **dedupe** — exact repeats (same timestamp, location, severity,
+   message) within the dedupe window collapse to one
+   (``resilience.deduplicated``);
+3. **backpressure** — when input rate exceeds the configured budget,
+   deterministic sampling sheds low-severity overflow
+   (``resilience.sampled_out``);
+4. **reorder** — a min-heap holds records until the watermark (newest
+   timestamp minus the skew window) passes them, re-sorting bounded skew
+   (``resilience.reordered``); stragglers older than the watermark are
+   quarantined (``resilience.dropped_late``);
+5. **gap/clock sentinels** — silences longer than the gap threshold emit
+   a synthetic ``sensor-silent`` marker record the template miner turns
+   into an ordinary event type, so the outlier detector can *see* the
+   silence (``resilience.gaps_detected``, ``resilience.clock_jumps``).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from dataclasses import dataclass
+from typing import (
+    Callable,
+    Deque,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+)
+
+from repro import obs
+from repro.resilience.config import ResilienceConfig
+from repro.simulation.trace import LogRecord, Severity, parse_log_line
+
+#: location code attached to synthetic stream-health marker records
+GAP_MARKER_LOCATION = "stream-monitor"
+
+#: message of the synthetic sensor-silent marker (template-stable: the
+#: tokenizer wildcards the numbers, so every marker maps to one template)
+GAP_MARKER_MESSAGE = "sensor silent gap of {gap:.0f} seconds detected"
+
+#: statistic keys that indicate degraded (lossy or repaired) operation
+_DEGRADED_KEYS = (
+    "quarantined",
+    "deduplicated",
+    "sampled_out",
+    "dropped_late",
+    "reordered",
+    "gaps_detected",
+    "clock_jumps",
+)
+
+
+@dataclass(frozen=True)
+class DeadLetter:
+    """One quarantined input with the reason it was rejected."""
+
+    reason: str
+    payload: str
+
+
+class ResilientStream:
+    """Sanitizing iterator over a hostile record (or raw line) stream.
+
+    Yields time-sorted, deduplicated :class:`LogRecord` objects plus
+    synthetic gap markers.  Iterate once; afterwards :attr:`stats`,
+    :attr:`dead_letters` and :attr:`degraded` describe what ingestion had
+    to do to the input.
+
+    Parameters
+    ----------
+    records:
+        Any iterable of :class:`LogRecord` (use :meth:`from_lines` for
+        raw text).
+    config:
+        See :class:`repro.resilience.config.ResilienceConfig`.
+    """
+
+    def __init__(
+        self,
+        records: Iterable[LogRecord],
+        config: Optional[ResilienceConfig] = None,
+    ) -> None:
+        self.config = config or ResilienceConfig()
+        self._source = iter(records)
+        self.dead_letters: Deque[DeadLetter] = deque(
+            maxlen=max(0, self.config.dead_letter_cap)
+        )
+        self.stats: Dict[str, int] = {
+            "records_in": 0,
+            "records_out": 0,
+            "markers_emitted": 0,
+        }
+        for key in _DEGRADED_KEYS:
+            self.stats[key] = 0
+        # reorder buffer: (timestamp, arrival seq, record)
+        self._heap: List[Tuple[float, int, LogRecord]] = []
+        self._seq = 0
+        self._max_ts: Optional[float] = None
+        # dedupe keys with their timestamps, purged past the watermark
+        self._seen_keys: Dict[Tuple, float] = {}
+        self._key_queue: Deque[Tuple[float, Tuple]] = deque()
+        # backpressure bucket state
+        self._bucket: Optional[int] = None
+        self._bucket_admitted = 0
+        self._bucket_overflow = 0
+        # last emitted timestamp, for gap detection
+        self._last_out_ts: Optional[float] = None
+        # per-key stat values already flushed to the global registry
+        self._flushed: Dict[str, int] = {}
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def from_lines(
+        cls,
+        lines: Iterable[str],
+        config: Optional[ResilienceConfig] = None,
+        parser: Callable[[str], Optional[LogRecord]] = parse_log_line,
+    ) -> "ResilientStream":
+        """Wrap raw text lines; malformed ones are quarantined.
+
+        ``parser`` maps one line to a record (``None`` to skip blanks,
+        ``ValueError`` when malformed); defaults to the text log format.
+        """
+        stream = cls((), config)
+        stream._source = stream._parse_lines(lines, parser)
+        return stream
+
+    def _parse_lines(
+        self,
+        lines: Iterable[str],
+        parser: Callable[[str], Optional[LogRecord]],
+    ) -> Iterator[LogRecord]:
+        for line in lines:
+            try:
+                rec = parser(line)
+            except ValueError as exc:
+                self._quarantine("malformed", line.rstrip("\n"), exc)
+                continue
+            if rec is not None:
+                yield rec
+
+    # -- degradation accounting ---------------------------------------------
+
+    @property
+    def degraded(self) -> bool:
+        """Did ingestion drop, repair, or synthesize anything?"""
+        return any(self.stats[k] for k in _DEGRADED_KEYS)
+
+    def _quarantine(
+        self, reason: str, payload: str, exc: Optional[Exception] = None
+    ) -> None:
+        if self.config.strict:
+            raise ValueError(
+                f"strict ingestion: {reason}: {payload[:120]!r}"
+            ) from exc
+        self.dead_letters.append(DeadLetter(reason=reason, payload=payload))
+        key = "dropped_late" if reason == "late" else "quarantined"
+        self.stats[key] += 1
+
+    def _flush_metrics(self) -> None:
+        """Push accumulated stats into the obs registry (batch-granular).
+
+        Counters are process-global while ``stats`` is per-stream, so
+        only the delta since this stream's previous flush is emitted.
+        """
+        for key, value in self.stats.items():
+            already = self._flushed.get(key, 0)
+            if value > already:
+                obs.counter(f"resilience.{key}").inc(value - already)
+                self._flushed[key] = value
+        obs.gauge("resilience.dead_letter_size").set(len(self.dead_letters))
+        obs.gauge("resilience.degraded").set(1.0 if self.degraded else 0.0)
+
+    # -- pipeline stages ------------------------------------------------------
+
+    def _dedupe_key(self, rec: LogRecord) -> Tuple:
+        return (rec.timestamp, rec.location, int(rec.severity), rec.message)
+
+    def _is_duplicate(self, rec: LogRecord) -> bool:
+        if not self.config.deduplicate:
+            return False
+        key = self._dedupe_key(rec)
+        if key in self._seen_keys:
+            return True
+        self._seen_keys[key] = rec.timestamp
+        self._key_queue.append((rec.timestamp, key))
+        # purge keys that fell behind the dedupe window
+        horizon = rec.timestamp - max(
+            self.config.dedupe_window_seconds,
+            self.config.skew_window_seconds,
+        )
+        while self._key_queue and self._key_queue[0][0] < horizon:
+            _, old = self._key_queue.popleft()
+            self._seen_keys.pop(old, None)
+        return False
+
+    def _admit_rate(self, rec: LogRecord) -> bool:
+        """Backpressure: deterministic sampling above the rate budget."""
+        cfg = self.config
+        if cfg.max_rate_per_second <= 0:
+            return True
+        bucket = int(rec.timestamp / cfg.rate_window_seconds)
+        if bucket != self._bucket:
+            self._bucket = bucket
+            self._bucket_admitted = 0
+            self._bucket_overflow = 0
+        budget = cfg.max_rate_per_second * cfg.rate_window_seconds
+        if self._bucket_admitted < budget or rec.severity >= Severity.SEVERE:
+            self._bucket_admitted += 1
+            return True
+        self._bucket_overflow += 1
+        if self._bucket_overflow % cfg.overflow_stride == 0:
+            self._bucket_admitted += 1
+            return True
+        self.stats["sampled_out"] += 1
+        return False
+
+    def _push(self, rec: LogRecord) -> Iterator[LogRecord]:
+        """Run one record through dedupe/backpressure into the reorder heap,
+        yielding whatever the advancing watermark releases."""
+        self.stats["records_in"] += 1
+        if self._max_ts is not None and rec.timestamp < self._max_ts:
+            if rec.timestamp < self._max_ts - self.config.skew_window_seconds:
+                self._quarantine("late", rec.format_line())
+                return
+            self.stats["reordered"] += 1
+        if self._is_duplicate(rec):
+            self.stats["deduplicated"] += 1
+            return
+        if not self._admit_rate(rec):
+            return
+        if self._max_ts is None or rec.timestamp > self._max_ts:
+            if (
+                self._max_ts is not None
+                and rec.timestamp - self._max_ts
+                > self.config.clock_jump_seconds
+            ):
+                self.stats["clock_jumps"] += 1
+            self._max_ts = rec.timestamp
+        heapq.heappush(self._heap, (rec.timestamp, self._seq, rec))
+        self._seq += 1
+        watermark = self._max_ts - self.config.skew_window_seconds
+        while self._heap and self._heap[0][0] <= watermark:
+            yield from self._emit(heapq.heappop(self._heap)[2])
+
+    def _emit(self, rec: LogRecord) -> Iterator[LogRecord]:
+        """Final stage: gap sentinels, then the record itself."""
+        cfg = self.config
+        if (
+            cfg.emit_gap_markers
+            and self._last_out_ts is not None
+            and rec.timestamp - self._last_out_ts > cfg.gap_threshold_seconds
+        ):
+            gap = rec.timestamp - self._last_out_ts
+            self.stats["gaps_detected"] += 1
+            self.stats["markers_emitted"] += 1
+            yield LogRecord(
+                # the marker lands where the silence was first *provable*
+                timestamp=self._last_out_ts + cfg.gap_threshold_seconds,
+                location=GAP_MARKER_LOCATION,
+                severity=Severity.WARNING,
+                message=GAP_MARKER_MESSAGE.format(gap=gap),
+            )
+        self._last_out_ts = rec.timestamp
+        self.stats["records_out"] += 1
+        yield rec
+
+    # -- iteration -----------------------------------------------------------
+
+    def __iter__(self) -> Iterator[LogRecord]:
+        pending_flush = 0
+        for rec in self._source:
+            for out in self._push(rec):
+                yield out
+            pending_flush += 1
+            if pending_flush >= 4096:
+                self._flush_metrics()
+                pending_flush = 0
+        # source exhausted: drain the reorder buffer in time order
+        while self._heap:
+            for out in self._emit(heapq.heappop(self._heap)[2]):
+                yield out
+        self._flush_metrics()
+
+
+def sanitize_records(
+    records: Iterable[LogRecord],
+    config: Optional[ResilienceConfig] = None,
+) -> Tuple[List[LogRecord], ResilientStream]:
+    """Run a record iterable through a :class:`ResilientStream`.
+
+    Returns the sanitized list and the exhausted stream (for its
+    :attr:`~ResilientStream.stats` / :attr:`~ResilientStream.degraded`).
+    """
+    stream = ResilientStream(records, config)
+    return list(stream), stream

@@ -101,6 +101,22 @@ class _DualWindow:
             return s[mid]
         return 0.5 * (s[mid - 1] + s[mid])
 
+    def state_dict(self) -> dict:
+        """JSON-ready window contents (the sorted view is derivable)."""
+        return {
+            "capacity": self.capacity,
+            "raw": list(self._raw),
+            "corr": list(self._corr),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "_DualWindow":
+        win = cls(int(state["capacity"]))
+        win._raw = deque(float(v) for v in state["raw"])
+        win._corr = deque(float(v) for v in state["corr"])
+        win._sorted = sorted(list(win._raw) + list(win._corr))
+        return win
+
 
 class OnlineOutlierDetector:
     """Streaming causal outlier detector with replacement (Fig. 3).
@@ -154,6 +170,28 @@ class OnlineOutlierDetector:
             flags[i] = out
             corrected[i] = corr
         return OutlierResult(flags=flags, corrected=corrected)
+
+    def state_dict(self) -> dict:
+        """Checkpointable state; restoring it resumes the exact stream."""
+        return {
+            "kind": "median",
+            "threshold": self.threshold,
+            "window": self.window,
+            "warmup": self.warmup,
+            "seen": self._seen,
+            "dual": self._dual.state_dict(),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "OnlineOutlierDetector":
+        det = cls(
+            threshold=float(state["threshold"]),
+            window=int(state["window"]),
+            warmup=int(state["warmup"]),
+        )
+        det._seen = int(state["seen"])
+        det._dual = _DualWindow.from_state(state["dual"])
+        return det
 
 
 def periodic_gap_outliers(
@@ -259,6 +297,43 @@ class OnlinePeriodicDetector:
             flags[i] = out
             corrected[i] = corr
         return OutlierResult(flags=flags, corrected=corrected)
+
+    def state_dict(self) -> dict:
+        """Checkpointable state; restoring it resumes the exact stream."""
+        return {
+            "kind": "periodic",
+            "period": self.period,
+            "amplitude": self.amplitude,
+            "gap_factor": self.gap_factor,
+            "burst_factor": self.burst_factor,
+            "last_beat": self._last_beat,
+            "gap_reported": self._gap_reported,
+            "k": self._k,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "OnlinePeriodicDetector":
+        det = cls(
+            period=int(state["period"]),
+            amplitude=float(state["amplitude"]),
+            gap_factor=float(state["gap_factor"]),
+            burst_factor=float(state["burst_factor"]),
+        )
+        det._last_beat = (
+            None if state["last_beat"] is None else int(state["last_beat"])
+        )
+        det._gap_reported = bool(state["gap_reported"])
+        det._k = int(state["k"])
+        return det
+
+
+def restore_detector(state: dict):
+    """Rebuild either online detector kind from its ``state_dict``."""
+    if state["kind"] == "median":
+        return OnlineOutlierDetector.from_state(state)
+    if state["kind"] == "periodic":
+        return OnlinePeriodicDetector.from_state(state)
+    raise ValueError(f"unknown detector kind {state['kind']!r}")
 
 
 def detect_outliers_offline(

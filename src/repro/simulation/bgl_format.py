@@ -59,23 +59,30 @@ class BGLLine:
         return self.alert_tag is not None
 
 
-def parse_bgl_line(line: str) -> Optional[BGLLine]:
+def parse_bgl_line(line: str, lenient: bool = False) -> Optional[BGLLine]:
     """Parse one raw RAS line; returns ``None`` for blank lines.
 
     Raises ``ValueError`` on structurally malformed lines (fewer than the
-    nine fixed fields).  Unknown severity tokens degrade to ``INFO``
-    rather than failing — real dumps contain a handful of oddities.
+    nine fixed fields); with ``lenient=True`` malformed lines return
+    ``None`` instead — the same strict/lenient contract as
+    :func:`repro.simulation.trace.read_log`.  Unknown severity tokens
+    degrade to ``INFO`` rather than failing — real dumps contain a
+    handful of oddities.
     """
     line = line.rstrip("\n")
     if not line.strip():
         return None
     parts = line.split(" ", 9)
     if len(parts) < 10:
+        if lenient:
+            return None
         raise ValueError(f"malformed BGL RAS line: {line[:80]!r}")
     alert, epoch_s, _date, node, _dt, _node2, _rtype, comp, sev_raw, msg = parts
     try:
         epoch = float(epoch_s)
     except ValueError as exc:
+        if lenient:
+            return None
         raise ValueError(f"bad epoch in BGL line: {epoch_s!r}") from exc
     severity = SEVERITY_MAP.get(sev_raw.upper(), Severity.INFO)
     return BGLLine(
@@ -97,17 +104,21 @@ def read_bgl_log(
 
     Timestamps are re-based to ``t_origin`` (default: the first line's
     epoch) so scenario time starts at zero like the synthetic substrate.
-    With ``skip_malformed`` (the default) broken lines are dropped
-    silently — multi-gigabyte RAS dumps always contain a few — otherwise
-    they raise.
+    With ``skip_malformed`` (the default) broken lines are skipped and
+    counted on the ``ingest.malformed_lines`` obs counter — multi-gigabyte
+    RAS dumps always contain a few — otherwise they raise.
     """
+    from repro import obs
+
     records: List[LogRecord] = []
     origin = t_origin
+    skipped = 0
     for raw in fh:
         try:
             parsed = parse_bgl_line(raw)
         except ValueError:
             if skip_malformed:
+                skipped += 1
                 continue
             raise
         if parsed is None:
@@ -122,6 +133,8 @@ def read_bgl_log(
                 message=parsed.message,
             )
         )
+    if skipped:
+        obs.counter("ingest.malformed_lines").inc(skipped)
     records.sort(key=lambda r: r.timestamp)
     return records
 

@@ -36,11 +36,39 @@ class Severity(enum.IntEnum):
 
     @classmethod
     def parse(cls, text: str) -> "Severity":
-        """Parse a severity name, case-insensitively."""
+        """Parse a severity token, case-insensitively.
+
+        Accepts the canonical names, the numeric ladder values real BG/L
+        dumps sometimes carry (``"2"`` → SEVERE), and the common aliases
+        seen in the wild (``FATAL``/``FAIL`` → FAILURE, ``WARN`` →
+        WARNING, ``ERROR``/``ERR`` → SEVERE).
+        """
+        token = text.strip().upper()
         try:
-            return cls[text.strip().upper()]
-        except KeyError as exc:
-            raise ValueError(f"unknown severity {text!r}") from exc
+            return cls[token]
+        except KeyError:
+            pass
+        alias = _SEVERITY_ALIASES.get(token)
+        if alias is not None:
+            return alias
+        try:
+            value = int(token)
+        except ValueError:
+            raise ValueError(f"unknown severity {text!r}") from None
+        try:
+            return cls(value)
+        except ValueError:
+            raise ValueError(f"severity level out of range: {text!r}") from None
+
+
+#: aliases used by real dumps and other RAS formats → our ladder
+_SEVERITY_ALIASES = {
+    "WARN": Severity.WARNING,
+    "ERROR": Severity.SEVERE,
+    "ERR": Severity.SEVERE,
+    "FATAL": Severity.FAILURE,
+    "FAIL": Severity.FAILURE,
+}
 
 
 @dataclass(frozen=True, order=True)
@@ -134,30 +162,58 @@ def write_log(records: Iterable[LogRecord], fh: io.TextIOBase) -> int:
     return n
 
 
-def read_log(fh: io.TextIOBase) -> List[LogRecord]:
+def parse_log_line(line: str) -> Optional[LogRecord]:
+    """Parse one text-format line written by :func:`write_log`.
+
+    Returns ``None`` for blank lines; raises ``ValueError`` on malformed
+    ones.  This is the strict primitive — callers choose the lenient
+    policy (:func:`read_log` with ``lenient=True`` or
+    :class:`repro.resilience.ResilientStream`, which quarantines instead
+    of dropping).
+    """
+    line = line.rstrip("\n")
+    if not line.strip():
+        return None
+    try:
+        ts_s, loc, sev_s, msg = line.split(" ", 3)
+        return LogRecord(
+            timestamp=float(ts_s),
+            location=loc,
+            severity=Severity.parse(sev_s),
+            message=msg,
+        )
+    except ValueError as exc:
+        raise ValueError(f"malformed log line: {line!r}") from exc
+
+
+def read_log(fh: io.TextIOBase, lenient: bool = False) -> List[LogRecord]:
     """Parse records previously written by :func:`write_log`.
 
     Ground-truth side channels (``event_type``/``fault_id``) are *not*
     round-tripped: a parsed log looks exactly like what a real system
     would hand the pipeline.
+
+    ``lenient`` mirrors :func:`repro.simulation.bgl_format.read_bgl_log`:
+    malformed lines are skipped and counted on the shared
+    ``ingest.malformed_lines`` obs counter instead of raising — never
+    dropped invisibly.
     """
+    from repro import obs
+
     records: List[LogRecord] = []
+    skipped = 0
     for line in fh:
-        line = line.rstrip("\n")
-        if not line:
-            continue
         try:
-            ts_s, loc, sev_s, msg = line.split(" ", 3)
-        except ValueError as exc:
-            raise ValueError(f"malformed log line: {line!r}") from exc
-        records.append(
-            LogRecord(
-                timestamp=float(ts_s),
-                location=loc,
-                severity=Severity.parse(sev_s),
-                message=msg,
-            )
-        )
+            rec = parse_log_line(line)
+        except ValueError:
+            if not lenient:
+                raise
+            skipped += 1
+            continue
+        if rec is not None:
+            records.append(rec)
+    if skipped:
+        obs.counter("ingest.malformed_lines").inc(skipped)
     return records
 
 

@@ -57,6 +57,11 @@ class TestParseLine:
         with pytest.raises(ValueError):
             parse_bgl_line(bad)
 
+    def test_lenient_returns_none_on_malformed(self):
+        assert parse_bgl_line("too few fields here", lenient=True) is None
+        bad = SAMPLE.splitlines()[0].replace("1117838570", "not-a-number")
+        assert parse_bgl_line(bad, lenient=True) is None
+
     def test_unknown_severity_degrades_to_info(self):
         odd = SAMPLE.splitlines()[0].replace(" INFO ", " WEIRD ")
         assert parse_bgl_line(odd).severity == Severity.INFO

@@ -173,3 +173,85 @@ class TestObservabilityFlags:
             state["metrics"]["predictor.analysis_time_seconds"]["kind"]
             == "histogram"
         )
+
+
+class TestResilienceFlags:
+    """--lenient/--strict, checkpointed predict, and exit code 3."""
+
+    @pytest.fixture(scope="class")
+    def hostile_log(self, workdir, tmp_path_factory):
+        """The workdir log with a few lines corrupted."""
+        _, log, *_ = workdir
+        lines = log.read_text().splitlines(True)
+        lines[10] = "GARBAGE not a record\n"
+        lines[200] = lines[200][:12] + "\n"
+        bad = tmp_path_factory.mktemp("hostile") / "bad.log"
+        bad.write_text("".join(lines))
+        return bad
+
+    def test_strict_predict_fails_cleanly(self, workdir, hostile_log,
+                                          tmp_path, capsys):
+        *_, model, _, meta = workdir
+        rc = main([
+            "predict", "--model", str(workdir[3]), "--log", str(hostile_log),
+            "--t-start", str(meta["train_end"]),
+            "--out", str(tmp_path / "p.json"), "--strict",
+        ])
+        assert rc == 1
+        assert "malformed" in capsys.readouterr().err
+
+    def test_lenient_predict_exits_degraded(self, workdir, hostile_log,
+                                            tmp_path):
+        meta = workdir[5]
+        out = tmp_path / "p.json"
+        rc = main([
+            "predict", "--model", str(workdir[3]), "--log", str(hostile_log),
+            "--t-start", str(meta["train_end"]), "--out", str(out),
+            "--lenient", "--quiet",
+        ])
+        assert rc == 3  # completed, but degraded — distinct from a crash
+        assert out.exists()  # the predictions were still written
+
+    def test_lenient_fit_accepts_hostile_log(self, workdir, hostile_log,
+                                             tmp_path):
+        meta = workdir[5]
+        rc = main([
+            "fit", "--log", str(hostile_log),
+            "--train-end", str(meta["train_end"]),
+            "--model", str(tmp_path / "m.pkl"), "--lenient", "--quiet",
+        ])
+        assert rc == 3
+        assert (tmp_path / "m.pkl").exists()
+
+    def test_checkpointed_predict_matches_batch(self, workdir, tmp_path):
+        d, log, truth, model, preds, meta = workdir
+        out = tmp_path / "streamed.json"
+        ckpt = tmp_path / "ck.json"
+        rc = main([
+            "predict", "--model", str(model), "--log", str(log),
+            "--t-start", str(meta["train_end"]), "--out", str(out),
+            "--checkpoint", str(ckpt), "--checkpoint-every", "1000",
+            "--quiet",
+        ])
+        assert rc == 0
+        assert json.loads(out.read_text()) == json.loads(preds.read_text())
+        assert ckpt.exists()
+
+    def test_resume_from_checkpoint(self, workdir, tmp_path):
+        d, log, truth, model, preds, meta = workdir
+        ckpt = tmp_path / "ck.json"
+        out1 = tmp_path / "first.json"
+        rc = main([
+            "predict", "--model", str(model), "--log", str(log),
+            "--t-start", str(meta["train_end"]), "--out", str(out1),
+            "--checkpoint", str(ckpt), "--quiet",
+        ])
+        assert rc == 0
+        out2 = tmp_path / "resumed.json"
+        rc = main([
+            "predict", "--model", str(model), "--log", str(log),
+            "--t-start", str(meta["train_end"]), "--out", str(out2),
+            "--resume-from", str(ckpt), "--quiet",
+        ])
+        assert rc == 0
+        assert json.loads(out2.read_text()) == json.loads(preds.read_text())

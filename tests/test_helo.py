@@ -271,3 +271,59 @@ class TestOnlineHELO:
             online.observe(f"disk sd{c} failed badly now")
         after = online.observe("error in 0xff")
         assert before == after
+
+
+class TestAdversarialMissFlood:
+    """Hostile input must not grow memory or corrupt existing ids."""
+
+    def test_varying_length_flood_bounded(self):
+        cfg = OnlineConfig(
+            new_template_min_evidence=10**6,
+            buffer_cap=32,
+            max_length_buckets=8,
+        )
+        online = OnlineHELO(TemplateTable(), cfg)
+        # every message has a different token length AND novel shape: the
+        # worst case for both the per-bucket cap and the bucket dict
+        for i in range(2000):
+            length = 1 + (i % 100)
+            online.observe(" ".join(f"tok{i}x{j}" for j in range(length)))
+        assert len(online._miss_buffer) <= cfg.max_length_buckets
+        assert all(
+            len(buf) <= cfg.buffer_cap
+            for buf in online._miss_buffer.values()
+        )
+
+    def test_eviction_counted(self):
+        from repro import obs
+
+        obs.reset()
+        cfg = OnlineConfig(
+            new_template_min_evidence=10**6, max_length_buckets=4
+        )
+        online = OnlineHELO(TemplateTable(), cfg)
+        for length in range(1, 20):
+            online.observe(" ".join(f"w{length}q{j}" for j in range(length)))
+        assert obs.counter("helo.online.buckets_evicted").value > 0
+
+    def test_existing_ids_survive_flood(self):
+        online = OnlineHELO(
+            TemplateTable([
+                MinedTemplate(tokens=("error", "in", None)),
+                MinedTemplate(tokens=("job", None, "done")),
+            ]),
+            OnlineConfig(
+                new_template_min_evidence=10**6,
+                buffer_cap=16,
+                max_length_buckets=4,
+                generalize_max_mismatch=0,
+            ),
+        )
+        before = online.observe("error in 0x12")
+        tokens_before = online.table[before].tokens
+        for i in range(1000):
+            length = 4 + (i % 40)
+            online.observe(" ".join(f"junkzz{i}p{j}" for j in range(length)))
+        # the flood never rewired or corrupted the pre-existing template
+        assert online.observe("error in 0x12") == before
+        assert online.table[before].tokens == tokens_before

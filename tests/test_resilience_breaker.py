@@ -1,0 +1,184 @@
+"""Tests for circuit breakers and predictor graceful degradation."""
+
+import pytest
+
+from repro import obs
+from repro.resilience import (
+    BreakerOpen,
+    BreakerState,
+    CircuitBreaker,
+    ComponentBreakers,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+    def advance(self, dt):
+        self.t += dt
+
+
+def boom():
+    raise RuntimeError("component exploded")
+
+
+class TestCircuitBreaker:
+    def test_trips_after_consecutive_failures(self):
+        br = CircuitBreaker("x", failure_threshold=3, clock=FakeClock())
+        for _ in range(2):
+            with pytest.raises(RuntimeError):
+                br.call(boom)
+        assert br.state == BreakerState.CLOSED
+        with pytest.raises(RuntimeError):
+            br.call(boom)
+        assert br.state == BreakerState.OPEN
+
+    def test_open_short_circuits_without_calling(self):
+        calls = []
+        br = CircuitBreaker("x", failure_threshold=1, clock=FakeClock())
+        with pytest.raises(RuntimeError):
+            br.call(boom)
+        with pytest.raises(BreakerOpen):
+            br.call(lambda: calls.append(1))
+        assert calls == []  # protected fn never ran
+
+    def test_success_resets_failure_count(self):
+        br = CircuitBreaker("x", failure_threshold=2, clock=FakeClock())
+        with pytest.raises(RuntimeError):
+            br.call(boom)
+        assert br.call(lambda: 42) == 42
+        with pytest.raises(RuntimeError):
+            br.call(boom)
+        assert br.state == BreakerState.CLOSED  # count restarted
+
+    def test_half_open_trial_after_cooldown_then_close(self):
+        clock = FakeClock()
+        br = CircuitBreaker(
+            "x", failure_threshold=1, cooldown_seconds=30.0, clock=clock
+        )
+        with pytest.raises(RuntimeError):
+            br.call(boom)
+        assert br.state == BreakerState.OPEN
+        clock.advance(31.0)
+        assert br.call(lambda: "ok") == "ok"  # the half-open trial
+        assert br.state == BreakerState.CLOSED
+
+    def test_half_open_failure_reopens(self):
+        clock = FakeClock()
+        br = CircuitBreaker(
+            "x", failure_threshold=1, cooldown_seconds=30.0, clock=clock
+        )
+        with pytest.raises(RuntimeError):
+            br.call(boom)
+        clock.advance(31.0)
+        with pytest.raises(RuntimeError):
+            br.call(boom)  # trial fails
+        assert br.state == BreakerState.OPEN
+        # and the cooldown restarts: still open just after
+        clock.advance(1.0)
+        with pytest.raises(BreakerOpen):
+            br.call(lambda: 1)
+
+    def test_trip_visible_in_metrics(self):
+        obs.reset()
+        br = CircuitBreaker("sig", failure_threshold=1, clock=FakeClock())
+        with pytest.raises(RuntimeError):
+            br.call(boom)
+        assert obs.counter("resilience.breaker.sig.opened").value == 1
+        assert obs.gauge("resilience.breaker.sig.state").value == 2.0
+
+
+class TestComponentBreakers:
+    def test_guarded_converts_failure_to_fallback(self):
+        cb = ComponentBreakers(clock=FakeClock())
+        assert cb.guarded("locations", boom, fallback="fb") == "fb"
+        assert cb.guarded("locations", lambda: "fine") == "fine"
+
+    def test_guarded_fallback_while_open(self):
+        cb = ComponentBreakers(failure_threshold=1, clock=FakeClock())
+        assert cb.guarded("x", boom) is None
+        assert cb.guarded("x", lambda: "never called") is None
+        assert cb.tripped() == {"x": "open"}
+
+    def test_breakers_are_independent(self):
+        cb = ComponentBreakers(failure_threshold=1, clock=FakeClock())
+        cb.guarded("signals", boom)
+        assert cb.guarded("locations", lambda: "healthy") == "healthy"
+        assert set(cb.tripped()) == {"signals"}
+
+
+class TestPredictorDegradation:
+    """The error boundary inside HybridPredictor: one path fails, the
+    other carries on."""
+
+    def test_location_failure_degrades_to_anchor_node(self, fitted_elsa,
+                                                      small_scenario):
+        helo_state = fitted_elsa.online_state_dict()
+        try:
+            stream = fitted_elsa.make_stream(
+                small_scenario.records,
+                small_scenario.train_end,
+                small_scenario.t_end,
+            )
+            baseline = fitted_elsa.hybrid_predictor().run(stream)
+            if not baseline:
+                pytest.skip("scenario produced no predictions")
+
+            predictor = fitted_elsa.hybrid_predictor()
+            predictor.breakers = ComponentBreakers(
+                failure_threshold=1, clock=lambda: 0.0
+            )
+
+            def explode(chain, anchor_loc):
+                raise RuntimeError("location model corrupted")
+
+            predictor.location_predictor.predict = explode
+            degraded = predictor.run(stream)
+            # same prediction stream, locations fall back to the anchor
+            assert len(degraded) == len(baseline)
+            for d, b in zip(degraded, baseline):
+                assert d.emitted_at == b.emitted_at
+                assert len(d.locations) == 1
+            assert predictor.breakers.tripped() == {"locations": "open"}
+        finally:
+            fitted_elsa.restore_online_state(helo_state)
+
+    def test_signal_failure_drops_anchor_not_run(self, fitted_elsa,
+                                                 small_scenario):
+        helo_state = fitted_elsa.online_state_dict()
+        try:
+            stream = fitted_elsa.make_stream(
+                small_scenario.records,
+                small_scenario.train_end,
+                small_scenario.t_end,
+            )
+            predictor = fitted_elsa.hybrid_predictor()
+            # threshold high enough that one bad anchor's failure does
+            # not trip the whole signals path open
+            predictor.breakers = ComponentBreakers(
+                failure_threshold=10, clock=lambda: 0.0
+            )
+            anchors = sorted({c.anchor for c in predictor.chains})
+            bad = anchors[0]
+            orig = predictor._make_detector
+
+            class ExplodingDetector:
+                def process_array(self, x):
+                    raise FloatingPointError("numerical pathology")
+
+                def process(self, v):
+                    raise FloatingPointError("numerical pathology")
+
+            predictor._make_detector = lambda tid: (
+                ExplodingDetector() if tid == bad else orig(tid)
+            )
+            predictions = predictor.run(stream)  # must not raise
+            assert bad in predictor.degraded_anchors
+            # no prediction can come from the dead anchor
+            assert all(p.anchor_event != bad for p in predictions)
+        finally:
+            fitted_elsa.restore_online_state(helo_state)

@@ -1,0 +1,206 @@
+"""End-to-end fault-injection matrix (``chaos`` marker).
+
+Each case perturbs the test window with a seeded pathology, runs the
+full lenient pipeline (hardened ingestion + hybrid prediction), and
+asserts the two resilience contracts:
+
+1. the pipeline never raises, whatever the input;
+2. recall stays within a documented bound of the clean-run baseline
+   (see docs/resilience.md for the bound table).
+
+Excluded from the tier-1 run via ``-m "not chaos"`` in ``addopts``; CI
+runs it as a dedicated job.
+"""
+
+import io
+
+import pytest
+
+from repro.prediction.evaluation import evaluate_predictions
+from repro.resilience import ResilienceConfig
+from repro.resilience.chaos import (
+    Burst,
+    ClockSkew,
+    CorruptLines,
+    DropRecords,
+    DuplicateRecords,
+    ReorderRecords,
+    perturb,
+    perturb_lines,
+)
+from repro.simulation.trace import read_log
+
+pytestmark = pytest.mark.chaos
+
+#: one seed for the whole matrix — every run is exactly reproducible
+SEED = 20120407
+
+
+@pytest.fixture(scope="module")
+def chaos_env(fitted_elsa, small_scenario):
+    """Clean-run baseline recall + the state needed to replay runs."""
+    helo_state = fitted_elsa.online_state_dict()
+    test_records = [
+        r
+        for r in small_scenario.records
+        if r.timestamp >= small_scenario.train_end
+    ]
+    stream = fitted_elsa.make_stream(
+        small_scenario.records,
+        small_scenario.train_end,
+        small_scenario.t_end,
+    )
+    clean_predictions = fitted_elsa.hybrid_predictor().run(stream)
+    clean_recall = evaluate_predictions(
+        clean_predictions, small_scenario.test_faults
+    ).recall
+    fitted_elsa.restore_online_state(helo_state)
+    yield {
+        "helo_state": helo_state,
+        "test_records": test_records,
+        "clean_recall": clean_recall,
+    }
+    fitted_elsa.restore_online_state(helo_state)
+
+
+def run_pipeline(fitted_elsa, small_scenario, chaos_env,
+                 records=None, lines=None, config=None):
+    """One lenient end-to-end run; returns (recall, ingest stats)."""
+    fitted_elsa.restore_online_state(chaos_env["helo_state"])
+    fitted_elsa.config.resilience = config or ResilienceConfig()
+    try:
+        if lines is not None:
+            records = read_log(
+                io.StringIO("\n".join(lines) + "\n"), lenient=True
+            )
+        predictions = fitted_elsa.predict(
+            records, small_scenario.train_end, small_scenario.t_end
+        )
+        recall = evaluate_predictions(
+            predictions, small_scenario.test_faults
+        ).recall
+        return recall, dict(fitted_elsa.ingest_stats or {})
+    finally:
+        fitted_elsa.config.resilience = None
+        fitted_elsa.restore_online_state(chaos_env["helo_state"])
+
+
+class TestChaosMatrix:
+    def test_line_corruption(self, fitted_elsa, small_scenario, chaos_env):
+        """1% torn/garbage lines: quarantined, recall within 0.15."""
+        lines = perturb_lines(
+            chaos_env["test_records"], CorruptLines(rate=0.01, seed=SEED)
+        )
+        recall, stats = run_pipeline(
+            fitted_elsa, small_scenario, chaos_env, lines=lines
+        )
+        assert recall >= chaos_env["clean_recall"] - 0.15
+
+    def test_reorder_within_skew_window(
+        self, fitted_elsa, small_scenario, chaos_env
+    ):
+        """Arrival-order scramble <= skew window: fully repaired."""
+        records = perturb(
+            chaos_env["test_records"],
+            ReorderRecords(max_shift_seconds=60.0, seed=SEED),
+        )
+        recall, stats = run_pipeline(
+            fitted_elsa, small_scenario, chaos_env,
+            records=records,
+            # markers/dedupe off so the repaired stream is *exactly* the
+            # clean input and recall must match to the last prediction
+            config=ResilienceConfig(
+                skew_window_seconds=120.0,
+                emit_gap_markers=False,
+                deduplicate=False,
+            ),
+        )
+        assert recall == pytest.approx(chaos_env["clean_recall"])
+        assert stats["reordered"] > 0
+        assert stats["dropped_late"] == 0
+
+    def test_one_percent_drop(self, fitted_elsa, small_scenario, chaos_env):
+        """1% transport loss: recall within 0.15 of clean."""
+        records = perturb(
+            chaos_env["test_records"], DropRecords(rate=0.01, seed=SEED)
+        )
+        recall, _ = run_pipeline(
+            fitted_elsa, small_scenario, chaos_env, records=records
+        )
+        assert recall >= chaos_env["clean_recall"] - 0.15
+
+    def test_duplication(self, fitted_elsa, small_scenario, chaos_env):
+        """5% at-least-once replay: deduped, recall within 0.10."""
+        records = perturb(
+            chaos_env["test_records"], DuplicateRecords(rate=0.05, seed=SEED)
+        )
+        recall, stats = run_pipeline(
+            fitted_elsa, small_scenario, chaos_env, records=records
+        )
+        assert recall >= chaos_env["clean_recall"] - 0.10
+        assert stats["deduplicated"] > 0
+
+    def test_ten_x_burst(self, fitted_elsa, small_scenario, chaos_env):
+        """10x log storm over 2% of the window: recall within 0.10."""
+        records = perturb(
+            chaos_env["test_records"],
+            Burst(factor=10, at_fraction=0.5, duration_fraction=0.02,
+                  seed=SEED),
+        )
+        recall, stats = run_pipeline(
+            fitted_elsa, small_scenario, chaos_env, records=records
+        )
+        assert recall >= chaos_env["clean_recall"] - 0.10
+        assert stats["deduplicated"] > 0
+
+    def test_clock_skew(self, fitted_elsa, small_scenario, chaos_env):
+        """An NTP step mid-window: detected, recall within 0.50."""
+        records = perturb(
+            chaos_env["test_records"],
+            ClockSkew(offset_seconds=1200.0, at_fraction=0.5, seed=SEED),
+        )
+        recall, stats = run_pipeline(
+            fitted_elsa, small_scenario, chaos_env,
+            records=records,
+            config=ResilienceConfig(clock_jump_seconds=600.0),
+        )
+        assert recall >= chaos_env["clean_recall"] - 0.50
+        assert stats["clock_jumps"] >= 1
+
+    def test_combined_pathologies(
+        self, fitted_elsa, small_scenario, chaos_env
+    ):
+        """Drop + duplicate + reorder + corruption together: the
+        pipeline still completes and keeps recall within 0.25."""
+        lines = perturb_lines(
+            chaos_env["test_records"],
+            DropRecords(rate=0.01, seed=SEED),
+            DuplicateRecords(rate=0.05, seed=SEED + 1),
+            ReorderRecords(max_shift_seconds=60.0, seed=SEED + 2),
+            CorruptLines(rate=0.01, seed=SEED + 3),
+        )
+        recall, stats = run_pipeline(
+            fitted_elsa, small_scenario, chaos_env, lines=lines
+        )
+        assert recall >= chaos_env["clean_recall"] - 0.25
+        assert stats["deduplicated"] > 0
+
+
+class TestPerturbationDeterminism:
+    def test_same_seed_same_stream(self, chaos_env):
+        records = chaos_env["test_records"][:500]
+        a = perturb(records, DropRecords(rate=0.1, seed=7),
+                    ReorderRecords(max_shift_seconds=30, seed=8))
+        b = perturb(records, DropRecords(rate=0.1, seed=7),
+                    ReorderRecords(max_shift_seconds=30, seed=8))
+        assert a == b
+
+    def test_different_seed_differs(self, chaos_env):
+        records = chaos_env["test_records"][:500]
+        a = perturb(records, DropRecords(rate=0.1, seed=7))
+        b = perturb(records, DropRecords(rate=0.1, seed=9))
+        assert a != b
+
+    def test_corrupt_lines_rejected_in_record_pipeline(self, chaos_env):
+        with pytest.raises(TypeError):
+            perturb(chaos_env["test_records"][:10], CorruptLines())

@@ -1,0 +1,171 @@
+"""Crash-recovery tests: streaming equivalence and kill-and-resume.
+
+The contract under test: the streaming engine fed any chunking of the
+same records — killed and restored from a JSON checkpoint any number of
+times — produces predictions byte-identical to the batch engine.
+"""
+
+import json
+
+import pytest
+
+from repro import ELSA
+from repro.resilience.checkpoint import (
+    ResumableRun,
+    load_checkpoint,
+    save_checkpoint,
+)
+
+
+def pred_json(predictions):
+    return json.dumps([p.to_dict() for p in predictions])
+
+
+@pytest.fixture(scope="module")
+def batch_reference(fitted_elsa, small_scenario):
+    """Batch-engine predictions plus the post-fit HELO state.
+
+    ``fitted_elsa`` is session-scoped and online classification mutates
+    its HELO state, so each test snapshots the state up front and the
+    fixture restores it afterwards.
+    """
+    helo_state = fitted_elsa.online_state_dict()
+    stream = fitted_elsa.make_stream(
+        small_scenario.records,
+        small_scenario.train_end,
+        small_scenario.t_end,
+    )
+    batch = fitted_elsa.hybrid_predictor().run(stream)
+    fitted_elsa.restore_online_state(helo_state)
+    yield batch, helo_state
+    fitted_elsa.restore_online_state(helo_state)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_helo(fitted_elsa, batch_reference):
+    """Reset the shared pipeline's HELO state around every test."""
+    _, helo_state = batch_reference
+    fitted_elsa.restore_online_state(helo_state)
+    yield
+    fitted_elsa.restore_online_state(helo_state)
+
+
+class TestStreamingEquivalence:
+    def test_streaming_matches_batch_byte_for_byte(
+        self, fitted_elsa, small_scenario, batch_reference
+    ):
+        batch, _ = batch_reference
+        run = ResumableRun(
+            fitted_elsa, small_scenario.train_end, small_scenario.t_end
+        )
+        streamed = run.run(small_scenario.records)
+        assert pred_json(streamed) == pred_json(batch)
+
+    def test_chunking_is_irrelevant(
+        self, fitted_elsa, small_scenario, batch_reference
+    ):
+        batch, helo_state = batch_reference
+        run = ResumableRun(
+            fitted_elsa, small_scenario.train_end, small_scenario.t_end,
+            checkpoint_every=137,  # awkward chunk size on purpose
+        )
+        streamed = run.run(small_scenario.records)
+        assert pred_json(streamed) == pred_json(batch)
+
+
+class TestKillAndResume:
+    def test_kill_and_resume_is_byte_identical(
+        self, fitted_elsa, small_scenario, batch_reference, tmp_path
+    ):
+        batch, helo_state = batch_reference
+        ckpt = tmp_path / "online.ckpt.json"
+
+        # first process: dies after 1500 records
+        run1 = ResumableRun(
+            fitted_elsa,
+            small_scenario.train_end,
+            small_scenario.t_end,
+            checkpoint_path=ckpt,
+            checkpoint_every=500,
+        )
+        run1.process(small_scenario.records, limit=1500)
+        assert run1.predictor.n_records_fed == 1500
+        del run1  # the "crash"
+
+        # second process: fresh predictor restored from the checkpoint
+        fitted_elsa.restore_online_state(helo_state)
+        state = load_checkpoint(ckpt)
+        assert state["n_records_done"] == 1500
+        run2 = ResumableRun.resume(fitted_elsa, state)
+        assert run2.predictor.n_records_fed == 1500
+        resumed = run2.run(small_scenario.records)
+        assert pred_json(resumed) == pred_json(batch)
+
+    def test_double_kill(
+        self, fitted_elsa, small_scenario, batch_reference, tmp_path
+    ):
+        """Two crashes in one run still converge to the batch output."""
+        batch, helo_state = batch_reference
+        ckpt = tmp_path / "ck.json"
+        run = ResumableRun(
+            fitted_elsa, small_scenario.train_end, small_scenario.t_end,
+            checkpoint_path=ckpt, checkpoint_every=400,
+        )
+        run.process(small_scenario.records, limit=800)
+        fitted_elsa.restore_online_state(helo_state)
+        run = ResumableRun.resume(
+            fitted_elsa, load_checkpoint(ckpt),
+            checkpoint_path=ckpt, checkpoint_every=400,
+        )
+        run.process(small_scenario.records, limit=1200)
+        fitted_elsa.restore_online_state(helo_state)
+        run = ResumableRun.resume(fitted_elsa, load_checkpoint(ckpt))
+        resumed = run.run(small_scenario.records)
+        assert pred_json(resumed) == pred_json(batch)
+
+    def test_checkpoint_is_plain_json(
+        self, fitted_elsa, small_scenario, tmp_path
+    ):
+        helo_state = fitted_elsa.online_state_dict()
+        try:
+            ckpt = tmp_path / "ck.json"
+            run = ResumableRun(
+                fitted_elsa, small_scenario.train_end, small_scenario.t_end
+            )
+            run.process(small_scenario.records, limit=300)
+            save_checkpoint(ckpt, run.predictor,
+                            fitted_elsa.online_state_dict())
+            data = json.loads(ckpt.read_text())  # must parse as JSON
+            assert data["kind"] == "elsa-online-checkpoint"
+            assert data["n_records_done"] == 300
+            assert data["helo"] is not None
+            assert data["predictor"]["n_fed"] == 300
+        finally:
+            fitted_elsa.restore_online_state(helo_state)
+
+    def test_geometry_mismatch_rejected(
+        self, fitted_elsa, small_scenario, tmp_path
+    ):
+        helo_state = fitted_elsa.online_state_dict()
+        try:
+            ckpt = tmp_path / "ck.json"
+            run = ResumableRun(
+                fitted_elsa, small_scenario.train_end, small_scenario.t_end
+            )
+            run.process(small_scenario.records, limit=100)
+            save_checkpoint(ckpt, run.predictor,
+                            fitted_elsa.online_state_dict())
+            state = load_checkpoint(ckpt)
+            other = fitted_elsa.streaming_predictor(
+                small_scenario.train_end, small_scenario.t_end + 9999.0
+            )
+            with pytest.raises(ValueError, match="mismatch"):
+                other.load_state(state["predictor"])
+        finally:
+            fitted_elsa.restore_online_state(helo_state)
+
+    def test_wrong_file_rejected(self, tmp_path):
+        bad = tmp_path / "other.json"
+        bad.write_text(json.dumps({"kind": "something-else"}))
+        with pytest.raises(ValueError, match="not an online checkpoint"):
+            load_checkpoint(bad)

@@ -1,0 +1,205 @@
+"""Tests for the hardened-ingestion layer (ResilientStream)."""
+
+import io
+
+import pytest
+
+from repro import obs
+from repro.resilience import (
+    GAP_MARKER_LOCATION,
+    ResilienceConfig,
+    ResilientStream,
+    sanitize_records,
+)
+from repro.simulation.trace import LogRecord, Severity
+
+
+def rec(ts, loc="n0", sev=Severity.INFO, msg="msg"):
+    return LogRecord(float(ts), loc, sev, msg)
+
+
+class TestCleanPassthrough:
+    def test_sorted_clean_stream_is_identity(self):
+        records = [rec(t, msg=f"m{t}") for t in range(10)]
+        out, stream = sanitize_records(records, ResilienceConfig())
+        assert out == records
+        assert not stream.degraded
+        assert stream.stats["records_in"] == 10
+        assert stream.stats["records_out"] == 10
+
+    def test_stats_start_zeroed(self):
+        _, stream = sanitize_records([], ResilienceConfig())
+        assert stream.stats["quarantined"] == 0
+        assert not stream.degraded
+
+
+class TestQuarantine:
+    def test_malformed_lines_dead_lettered(self):
+        lines = [
+            "0.000 n0 INFO fine\n",
+            "GARBAGE ###\n",
+            "1.000 n1 INFO also fine\n",
+            "\n",  # blank: skipped, not quarantined
+        ]
+        stream = ResilientStream.from_lines(lines)
+        out = list(stream)
+        assert [r.message for r in out] == ["fine", "also fine"]
+        assert stream.stats["quarantined"] == 1
+        assert stream.degraded
+        assert stream.dead_letters[0].reason == "malformed"
+        assert "GARBAGE" in stream.dead_letters[0].payload
+
+    def test_dead_letter_buffer_is_bounded(self):
+        cfg = ResilienceConfig(dead_letter_cap=4)
+        lines = [f"junk line {i}\n" for i in range(100)]
+        stream = ResilientStream.from_lines(lines, cfg)
+        assert list(stream) == []
+        assert stream.stats["quarantined"] == 100
+        assert len(stream.dead_letters) == 4  # oldest evicted, count kept
+
+    def test_strict_mode_raises(self):
+        cfg = ResilienceConfig(strict=True)
+        stream = ResilientStream.from_lines(["not a log line\n"], cfg)
+        with pytest.raises(ValueError, match="strict ingestion"):
+            list(stream)
+
+
+class TestReorder:
+    def test_skewed_records_resorted(self):
+        cfg = ResilienceConfig(skew_window_seconds=100.0)
+        records = [rec(0), rec(50), rec(30), rec(120), rec(110), rec(300)]
+        out, stream = sanitize_records(records, cfg)
+        assert [r.timestamp for r in out] == sorted(
+            r.timestamp for r in records
+        )
+        assert stream.stats["reordered"] == 2
+        assert stream.degraded
+
+    def test_straggler_beyond_skew_window_dropped(self):
+        cfg = ResilienceConfig(
+            skew_window_seconds=60.0, emit_gap_markers=False
+        )
+        records = [rec(0), rec(1000), rec(5.0)]  # 5.0 is hopelessly late
+        out, stream = sanitize_records(records, cfg)
+        assert [r.timestamp for r in out] == [0.0, 1000.0]
+        assert stream.stats["dropped_late"] == 1
+        assert stream.dead_letters[0].reason == "late"
+
+
+class TestDedupe:
+    def test_exact_repeats_collapse(self):
+        cfg = ResilienceConfig()
+        r = rec(10.0, msg="same")
+        out, stream = sanitize_records([rec(0), r, r, r, rec(20)], cfg)
+        assert len(out) == 3
+        assert stream.stats["deduplicated"] == 2
+
+    def test_dedupe_can_be_disabled(self):
+        cfg = ResilienceConfig(deduplicate=False)
+        r = rec(10.0)
+        out, stream = sanitize_records([r, r], cfg)
+        assert len(out) == 2
+        assert stream.stats["deduplicated"] == 0
+
+    def test_same_time_different_content_kept(self):
+        out, _ = sanitize_records(
+            [rec(1.0, msg="a"), rec(1.0, msg="b"), rec(1.0, loc="n1", msg="a")],
+            ResilienceConfig(),
+        )
+        assert len(out) == 3
+
+
+class TestBackpressure:
+    def test_overflow_sampled_deterministically(self):
+        cfg = ResilienceConfig(
+            max_rate_per_second=1.0,
+            rate_window_seconds=10.0,
+            overflow_stride=10,
+            deduplicate=False,
+            emit_gap_markers=False,
+        )
+        # 100 records in one 10 s window: budget 10, overflow 90,
+        # every 10th overflow record admitted -> 19 out.
+        records = [rec(i * 0.1, msg=f"m{i}") for i in range(100)]
+        out, stream = sanitize_records(records, cfg)
+        assert len(out) == 19
+        assert stream.stats["sampled_out"] == 81
+        # deterministic: same input, same output
+        out2, _ = sanitize_records(records, cfg)
+        assert out == out2
+
+    def test_severe_records_always_pass(self):
+        cfg = ResilienceConfig(
+            max_rate_per_second=1.0,
+            rate_window_seconds=10.0,
+            overflow_stride=1000,
+            deduplicate=False,
+            emit_gap_markers=False,
+        )
+        records = [rec(i * 0.05, msg=f"noise{i}") for i in range(100)]
+        records.append(rec(5.0, sev=Severity.FAILURE, msg="the failure"))
+        out, _ = sanitize_records(sorted(records), cfg)
+        assert any(r.severity == Severity.FAILURE for r in out)
+
+
+class TestSentinels:
+    def test_gap_emits_sensor_silent_marker(self):
+        cfg = ResilienceConfig(gap_threshold_seconds=100.0)
+        out, stream = sanitize_records([rec(0), rec(500)], cfg)
+        assert stream.stats["gaps_detected"] == 1
+        markers = [r for r in out if r.location == GAP_MARKER_LOCATION]
+        assert len(markers) == 1
+        assert markers[0].timestamp == pytest.approx(100.0)
+        assert markers[0].severity == Severity.WARNING
+        assert "sensor silent" in markers[0].message
+        # markers are in time order with the real records
+        assert [r.timestamp for r in out] == sorted(r.timestamp for r in out)
+
+    def test_gap_markers_can_be_disabled(self):
+        cfg = ResilienceConfig(
+            gap_threshold_seconds=100.0, emit_gap_markers=False
+        )
+        out, stream = sanitize_records([rec(0), rec(500)], cfg)
+        assert len(out) == 2
+        assert stream.stats["markers_emitted"] == 0
+
+    def test_forward_clock_jump_counted(self):
+        cfg = ResilienceConfig(
+            clock_jump_seconds=1000.0, emit_gap_markers=False
+        )
+        _, stream = sanitize_records([rec(0), rec(5000)], cfg)
+        assert stream.stats["clock_jumps"] == 1
+        assert stream.degraded
+
+
+class TestMetrics:
+    def test_degradation_reaches_obs_registry(self):
+        obs.reset()
+        lines = ["0.000 n0 INFO ok\n", "broken\n", "9.000 n1 INFO ok2\n"]
+        list(ResilientStream.from_lines(lines))
+        assert obs.counter("resilience.quarantined").value == 1
+        assert obs.counter("resilience.records_in").value == 2
+        assert obs.gauge("resilience.degraded").value == 1.0
+
+    def test_per_stream_deltas_not_double_counted(self):
+        obs.reset()
+        for _ in range(3):
+            list(ResilientStream.from_lines(["junk\n"]))
+        assert obs.counter("resilience.quarantined").value == 3
+
+
+class TestReaderIntegration:
+    def test_read_log_lenient_counts_skips(self):
+        from repro.simulation.trace import read_log
+
+        obs.reset()
+        buf = io.StringIO("0.000 n0 INFO fine\njunk\n1.000 n1 INFO ok\n")
+        records = read_log(buf, lenient=True)
+        assert len(records) == 2
+        assert obs.counter("ingest.malformed_lines").value == 1
+
+    def test_read_log_strict_still_raises(self):
+        from repro.simulation.trace import read_log
+
+        with pytest.raises(ValueError):
+            read_log(io.StringIO("junk\n"))

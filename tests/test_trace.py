@@ -34,6 +34,30 @@ class TestSeverity:
         with pytest.raises(ValueError):
             Severity.parse("catastrophic")
 
+    @pytest.mark.parametrize("text,expected", [
+        ("0", Severity.INFO),
+        ("1", Severity.WARNING),
+        ("2", Severity.SEVERE),
+        (" 3 ", Severity.FAILURE),
+    ])
+    def test_parse_numeric(self, text, expected):
+        assert Severity.parse(text) == expected
+
+    @pytest.mark.parametrize("text,expected", [
+        ("WARN", Severity.WARNING),
+        ("warn", Severity.WARNING),
+        ("ERROR", Severity.SEVERE),
+        ("ERR", Severity.SEVERE),
+        ("FATAL", Severity.FAILURE),
+        ("fail", Severity.FAILURE),
+    ])
+    def test_parse_aliases(self, text, expected):
+        assert Severity.parse(text) == expected
+
+    def test_parse_numeric_out_of_range(self):
+        with pytest.raises(ValueError):
+            Severity.parse("7")
+
 
 class TestLogRecord:
     def test_ordering_by_timestamp(self):
