@@ -20,6 +20,7 @@ import json
 import os
 import pickle
 import sys
+import time
 from pathlib import Path
 from typing import List, Optional, Sequence
 
@@ -242,13 +243,52 @@ def cmd_fit(args: argparse.Namespace) -> int:
     return _degraded_exit(elsa)
 
 
+def _load_truth_window(
+    path: str, t_start: float, t_end: float
+) -> List[FaultEvent]:
+    """Ground-truth faults failing inside the predict window."""
+    faults = load_ground_truth(Path(path))
+    return [f for f in faults if t_start <= f.fail_time < t_end]
+
+
+def _start_telemetry(args: argparse.Namespace):
+    """Start the ``--listen`` server (or return ``None``)."""
+    spec = getattr(args, "listen", None)
+    if not spec:
+        return None
+    from repro.obs.live import TelemetryServer, parse_listen
+
+    host, port = parse_listen(spec)
+    server = TelemetryServer(host=host, port=port).start()
+    _emit(f"telemetry listening on {server.url}")
+    return server
+
+
+def _stop_telemetry(server, args: argparse.Namespace) -> None:
+    """Linger if requested, then shut the ``--listen`` server down."""
+    if server is None:
+        return
+    linger = float(getattr(args, "linger", 0.0) or 0.0)
+    if linger > 0:
+        _emit(f"telemetry lingering for {linger:g}s (ctrl-c to stop)")
+        try:
+            time.sleep(linger)
+        except KeyboardInterrupt:
+            pass
+    server.stop()
+
+
 def cmd_predict(args: argparse.Namespace) -> int:
     """``predict``: online phase over a window of a log file.
 
     With ``--checkpoint``/``--checkpoint-every`` the resumable streaming
     engine runs instead of the batch engine (same output, see
     :mod:`repro.resilience.checkpoint`); ``--resume-from`` continues a
-    killed run from its checkpoint file.
+    killed run from its checkpoint file.  ``--listen`` serves the
+    /metrics, /health and /state telemetry endpoints for the duration
+    of the run (plus ``--linger`` seconds); ``--truth`` scores emitted
+    predictions in-stream on the online scoreboard; ``--provenance-out``
+    dumps each prediction's audit record as JSON lines.
     """
     with Path(args.model).open("rb") as fh:
         elsa: ELSA = pickle.load(fh)
@@ -262,40 +302,82 @@ def cmd_predict(args: argparse.Namespace) -> int:
     t_end = args.t_end if args.t_end is not None else (
         max(r.timestamp for r in records) + 1.0
     )
-
-    resume_from = getattr(args, "resume_from", None)
-    ckpt_path = getattr(args, "checkpoint", None) or resume_from
-    ckpt_every = getattr(args, "checkpoint_every", None)
-    if resume_from or ckpt_path or ckpt_every:
-        from repro.resilience.checkpoint import ResumableRun, load_checkpoint
-
-        every = ckpt_every or 4096
-        if resume_from and Path(resume_from).exists():
-            run = ResumableRun.resume(
-                elsa, load_checkpoint(resume_from),
-                checkpoint_path=ckpt_path, checkpoint_every=every,
+    truth_path = getattr(args, "truth", None)
+    faults = (
+        _load_truth_window(truth_path, args.t_start, t_end)
+        if truth_path else None
+    )
+    scoreboard = None
+    server = _start_telemetry(args)
+    try:
+        resume_from = getattr(args, "resume_from", None)
+        ckpt_path = getattr(args, "checkpoint", None) or resume_from
+        ckpt_every = getattr(args, "checkpoint_every", None)
+        if resume_from or ckpt_path or ckpt_every:
+            from repro.resilience.checkpoint import (
+                ResumableRun,
+                load_checkpoint,
             )
-            _emit(
-                f"resumed from {resume_from} at record "
-                f"{run.predictor.n_records_fed}"
-            )
+
+            every = ckpt_every or 4096
+            if resume_from and Path(resume_from).exists():
+                run = ResumableRun.resume(
+                    elsa, load_checkpoint(resume_from),
+                    checkpoint_path=ckpt_path, checkpoint_every=every,
+                )
+                _emit(
+                    f"resumed from {resume_from} at record "
+                    f"{run.predictor.n_records_fed}"
+                )
+            else:
+                run = ResumableRun(
+                    elsa, args.t_start, t_end,
+                    checkpoint_path=ckpt_path, checkpoint_every=every,
+                )
+            predictor = run.predictor
+            if faults is not None:
+                from repro.prediction.scoreboard import OnlineScoreboard
+
+                scoreboard = OnlineScoreboard(faults=faults)
+                predictor.attach_scoreboard(scoreboard)
+            if server is not None:
+                predictor.attach_drift_detector()
+            # ``ResumableRun`` bypasses ``make_stream``, so apply the
+            # hardened-ingestion gate here for parity with the batch
+            # path.
+            predictions = run.run(elsa._sanitize(records))
+            tripped = predictor.breakers.tripped()
+            if tripped:
+                _emit(f"circuit breakers tripped during run: {tripped}")
         else:
-            run = ResumableRun(
-                elsa, args.t_start, t_end,
-                checkpoint_path=ckpt_path, checkpoint_every=every,
-            )
-        # ``ResumableRun`` bypasses ``make_stream``, so apply the
-        # hardened-ingestion gate here for parity with the batch path.
-        predictions = run.run(elsa._sanitize(records))
-        tripped = run.predictor.breakers.tripped()
-        if tripped:
-            _emit(f"circuit breakers tripped during run: {tripped}")
-    else:
-        predictions = elsa.predict(records, args.t_start, t_end)
-        tripped = []
-    out = {"predictions": [_prediction_to_dict(p) for p in predictions]}
-    Path(args.out).write_text(json.dumps(out, indent=1))
-    _emit(f"{len(predictions)} predictions written to {args.out}")
+            # explicit stream + predictor (rather than ``elsa.predict``)
+            # so the flight recorder stays reachable afterwards
+            stream = elsa.make_stream(records, args.t_start, t_end)
+            predictor = elsa.hybrid_predictor()
+            predictions = predictor.run(stream)
+            tripped = []
+            if faults is not None:
+                from repro.prediction.scoreboard import OnlineScoreboard
+
+                scoreboard = OnlineScoreboard(faults=faults)
+                for pred in predictions:
+                    scoreboard.record_prediction(pred)
+                scoreboard.advance(t_end)
+                scoreboard.finalize()
+        out = {"predictions": [_prediction_to_dict(p) for p in predictions]}
+        Path(args.out).write_text(json.dumps(out, indent=1))
+        _emit(f"{len(predictions)} predictions written to {args.out}")
+        if scoreboard is not None:
+            _emit(scoreboard.summary())
+        prov_out = getattr(args, "provenance_out", None)
+        if prov_out:
+            with Path(prov_out).open("w") as fh:
+                n = predictor.flight_recorder.dump_jsonl(fh)
+            dropped = predictor.flight_recorder.dropped
+            note = f" ({dropped} older dropped from ring)" if dropped else ""
+            _emit(f"{n} provenance records written to {prov_out}{note}")
+    finally:
+        _stop_telemetry(server, args)
     rc = _degraded_exit(elsa)
     if rc == 0 and tripped:
         rc = EXIT_DEGRADED
@@ -354,6 +436,86 @@ def cmd_reproduce(args: argparse.Namespace) -> int:
         _emit(f"report written to {args.out}")
     else:
         _emit(report)
+    return 0
+
+
+def cmd_monitor(args: argparse.Namespace) -> int:
+    """``monitor``: serve a ``--metrics-out`` dump over HTTP.
+
+    Re-reads the file on every request, so pointing it at a dump that a
+    concurrent run keeps rewriting gives a poor-man's live dashboard.
+    """
+    from repro.obs.live import TelemetryServer, parse_listen
+
+    path = Path(args.metrics)
+    try:
+        json.loads(path.read_text())
+    except OSError as exc:
+        print(f"error: cannot read metrics dump: {exc}", file=sys.stderr)
+        return 1
+    except json.JSONDecodeError as exc:
+        print(f"error: {args.metrics} is not a metrics dump: {exc}",
+              file=sys.stderr)
+        return 1
+
+    def state_fn() -> dict:
+        return json.loads(path.read_text())
+
+    try:
+        host, port = parse_listen(args.listen)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    server = TelemetryServer(host=host, port=port, state_fn=state_fn)
+    server.start()
+    _emit(f"telemetry listening on {server.url} (serving {args.metrics})")
+    try:
+        if args.linger is not None:
+            time.sleep(args.linger)
+        else:
+            while True:
+                time.sleep(3600)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+    return 0
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    """``explain``: render ``--provenance-out`` audit records."""
+    from repro.obs.provenance import load_jsonl, render_record
+
+    try:
+        records = load_jsonl(args.provenance)
+    except OSError as exc:
+        print(f"error: cannot read provenance file: {exc}", file=sys.stderr)
+        return 1
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if not records:
+        _emit("no provenance records")
+        return 0
+    if args.index is not None:
+        if not 0 <= args.index < len(records):
+            print(
+                f"error: --index {args.index} out of range "
+                f"(0..{len(records) - 1})",
+                file=sys.stderr,
+            )
+            return 2
+        chosen = [(args.index, records[args.index])]
+    else:
+        chosen = list(enumerate(records))
+    event_name = None
+    if getattr(args, "model", None):
+        with Path(args.model).open("rb") as fh:
+            elsa: ELSA = pickle.load(fh)
+        if elsa.model is not None:
+            event_name = elsa.model.event_name
+    for i, rec in chosen:
+        _emit(render_record(rec, index=i, event_name=event_name))
     return 0
 
 
@@ -476,6 +638,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--resume-from", dest="resume_from", metavar="FILE", default=None,
         help="resume a killed run from this checkpoint file",
     )
+    p.add_argument(
+        "--listen", metavar="HOST:PORT", default=None,
+        help="serve /metrics, /health and /state over HTTP during the "
+             "run (port 0 picks a free port)",
+    )
+    p.add_argument(
+        "--linger", type=float, metavar="SECONDS", default=0.0,
+        help="keep the --listen server up this long after the run",
+    )
+    p.add_argument(
+        "--truth", metavar="FILE", default=None,
+        help="ground-truth JSON: score predictions in-stream on the "
+             "online scoreboard",
+    )
+    p.add_argument(
+        "--provenance-out", dest="provenance_out", metavar="FILE",
+        default=None,
+        help="dump per-prediction audit records as JSON lines",
+    )
     p.set_defaults(func=cmd_predict)
 
     p = sub.add_parser("evaluate", help="score predictions vs ground truth")
@@ -510,6 +691,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--metrics", required=True,
                    help="JSON file written by --metrics-out")
     p.set_defaults(func=cmd_stats)
+
+    p = sub.add_parser(
+        "monitor",
+        help="serve a --metrics-out dump on the telemetry endpoints",
+    )
+    p.add_argument("--metrics", required=True,
+                   help="JSON file written by --metrics-out")
+    p.add_argument("--listen", metavar="HOST:PORT", required=True,
+                   help="bind address (port 0 picks a free port)")
+    p.add_argument("--linger", type=float, metavar="SECONDS", default=None,
+                   help="serve this long then exit (default: until ctrl-c)")
+    p.set_defaults(func=cmd_monitor)
+
+    p = sub.add_parser(
+        "explain",
+        help="render prediction audit records (see predict "
+             "--provenance-out)",
+    )
+    p.add_argument("--provenance", required=True,
+                   help="JSON-lines file written by --provenance-out")
+    p.add_argument("--index", type=int, default=None,
+                   help="render only this record (0-based)")
+    p.add_argument("--model", default=None,
+                   help="model pickle: resolve event ids to template text")
+    p.set_defaults(func=cmd_explain)
 
     for sp in sub.choices.values():
         _add_global_options(sp, suppress=True)

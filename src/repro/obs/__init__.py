@@ -36,19 +36,30 @@ from repro.obs.metrics import (
 )
 from repro.obs.tracing import (
     Span,
+    active_roots,
     current_span,
     reset_tracing,
     span,
     span_roots,
     span_tree,
 )
+from repro.obs.live import (
+    TelemetryServer,
+    health_report,
+    render_prometheus,
+)
+from repro.obs.provenance import FlightRecorder, PredictionProvenance
 
 __all__ = [
     "Counter",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "PredictionProvenance",
     "Span",
+    "TelemetryServer",
+    "active_roots",
     "configure_logging",
     "counter",
     "current_span",
@@ -56,7 +67,9 @@ __all__ = [
     "gauge",
     "get_logger",
     "get_registry",
+    "health_report",
     "histogram",
+    "render_prometheus",
     "reset",
     "reset_tracing",
     "span",
@@ -66,8 +79,18 @@ __all__ = [
 
 
 def export_state() -> dict:
-    """Everything observed so far, as one JSON-serializable dict."""
-    return {"metrics": get_registry().snapshot(), "spans": span_tree()}
+    """Everything observed so far, as one JSON-serializable dict.
+
+    Safe to call concurrently with an active run: metric snapshots take
+    the registry and per-metric locks, and spans still open anywhere in
+    the process are included marked ``done: false`` with their live
+    durations — so a mid-run ``/state`` poll sees the stage currently
+    executing, not just finished history.
+    """
+    return {
+        "metrics": get_registry().snapshot(),
+        "spans": span_tree(include_active=True),
+    }
 
 
 def reset() -> None:

@@ -1,0 +1,327 @@
+"""Live telemetry: Prometheus exposition + a zero-dependency HTTP server.
+
+A ``--metrics-out`` dump shows a run post-mortem; a running predictor
+deserves to be watched *while it runs* (Park et al.'s extreme-scale
+log-analytics systems treat real-time monitoring endpoints as a
+first-class subsystem).  This module renders the process-local
+:class:`~repro.obs.metrics.MetricsRegistry` in the Prometheus text
+exposition format — the registry's counter/gauge/histogram model maps
+1:1 — and serves it from a background ``http.server`` thread:
+
+* ``GET /metrics`` — Prometheus text format (``# TYPE`` headers,
+  cumulative ``_bucket{le="..."}`` histogram series);
+* ``GET /health``  — ok/degraded/failing JSON aggregated from the
+  resilience gauges (circuit-breaker states, dead-letter depth,
+  checkpoint age, drift alerts); HTTP 200 unless failing (503);
+* ``GET /state``   — the full :func:`repro.obs.export_state` snapshot
+  as JSON, including in-progress spans (``done: false``).
+
+Everything is stdlib; the server thread is a daemon, so an exiting CLI
+never hangs on it.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.obs.metrics import counter as _counter
+
+__all__ = [
+    "TelemetryServer",
+    "health_report",
+    "parse_listen",
+    "prom_name",
+    "render_prometheus",
+]
+
+_NAME_BAD = re.compile(r"[^a-zA-Z0-9_:]")
+_BREAKER_STATE = re.compile(r"^resilience\.breaker\.(?P<name>.+)\.state$")
+
+#: seconds after which the last checkpoint is considered stale
+CHECKPOINT_STALE_SECONDS = 600.0
+
+
+def prom_name(name: str, kind: str = "gauge") -> str:
+    """Registry name → Prometheus series name.
+
+    Dots (our namespace separator) become underscores; counters get the
+    conventional ``_total`` suffix.
+    """
+    out = _NAME_BAD.sub("_", name)
+    if out and out[0].isdigit():
+        out = "_" + out
+    if kind == "counter" and not out.endswith("_total"):
+        out += "_total"
+    return out
+
+
+def _fmt(value: float) -> str:
+    """Prometheus sample value: integers without the trailing ``.0``."""
+    value = float(value)
+    if value.is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def render_prometheus(snapshot: Dict[str, dict]) -> str:
+    """Render a :meth:`MetricsRegistry.snapshot` in text exposition format.
+
+    Histograms are converted from the registry's per-bucket counts to
+    the cumulative ``_bucket{le="..."}`` series Prometheus expects,
+    closed by ``le="+Inf"``, ``_sum`` and ``_count``.
+    """
+    lines: List[str] = []
+    for name, m in sorted(snapshot.items()):
+        kind = m.get("kind", "gauge")
+        pname = prom_name(name, kind)
+        if kind in ("counter", "gauge"):
+            lines.append(f"# TYPE {pname} {kind}")
+            lines.append(f"{pname} {_fmt(m.get('value', 0.0))}")
+        elif kind == "histogram":
+            lines.append(f"# TYPE {pname} histogram")
+            cum = 0
+            counts = m.get("counts", [])
+            bounds = m.get("buckets", [])
+            for bound, n in zip(bounds, counts):
+                cum += n
+                lines.append(
+                    f'{pname}_bucket{{le="{bound:g}"}} {_fmt(cum)}'
+                )
+            if len(counts) > len(bounds):  # overflow bucket
+                cum += counts[-1]
+            lines.append(f'{pname}_bucket{{le="+Inf"}} {_fmt(cum)}')
+            lines.append(f"{pname}_sum {_fmt(m.get('sum', 0.0))}")
+            lines.append(f"{pname}_count {_fmt(m.get('count', 0))}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def health_report(
+    snapshot: Optional[Dict[str, dict]] = None,
+    now: Optional[float] = None,
+    checkpoint_stale_seconds: float = CHECKPOINT_STALE_SECONDS,
+) -> dict:
+    """Aggregate the resilience gauges into one ok/degraded/failing verdict.
+
+    Rules (documented in docs/observability.md):
+
+    * any circuit breaker half-open or open → **degraded**; two or more
+      open (every guarded component down) → **failing**;
+    * dead-letter buffer non-empty, the sanitizer's ``degraded`` flag
+      set, a drift alert raised, or the last checkpoint older than
+      ``checkpoint_stale_seconds`` → **degraded**.
+    """
+    if snapshot is None:
+        from repro import obs
+
+        snapshot = obs.get_registry().snapshot()
+    now = time.time() if now is None else now
+
+    checks: Dict[str, dict] = {}
+    reasons: List[str] = []
+    open_breakers = 0
+    degraded = False
+
+    for name, m in snapshot.items():
+        match = _BREAKER_STATE.match(name)
+        if not match:
+            continue
+        state = float(m.get("value", 0.0))
+        label = {0.0: "closed", 1.0: "half_open", 2.0: "open"}.get(
+            state, "unknown"
+        )
+        checks[f"breaker.{match.group('name')}"] = {
+            "state": label, "ok": state == 0.0,
+        }
+        if state >= 2.0:
+            open_breakers += 1
+            reasons.append(f"breaker {match.group('name')} open")
+        elif state > 0.0:
+            degraded = True
+            reasons.append(f"breaker {match.group('name')} half-open")
+
+    depth = float(snapshot.get("resilience.dead_letter_size", {}).get(
+        "value", 0.0))
+    checks["dead_letter"] = {"depth": depth, "ok": depth == 0}
+    if depth > 0:
+        degraded = True
+        reasons.append(f"dead-letter depth {int(depth)}")
+
+    if float(snapshot.get("resilience.degraded", {}).get("value", 0.0)):
+        degraded = True
+        checks["ingest"] = {"ok": False}
+        reasons.append("ingestion degraded (records dropped/repaired)")
+
+    if float(snapshot.get("scoreboard.drift_alert", {}).get("value", 0.0)):
+        degraded = True
+        checks["drift"] = {"ok": False}
+        reasons.append("model drift alert raised")
+
+    ck = snapshot.get("resilience.checkpoint_unix_seconds")
+    if ck is not None and float(ck.get("value", 0.0)) > 0:
+        age = now - float(ck["value"])
+        stale = age > checkpoint_stale_seconds
+        checks["checkpoint"] = {"age_seconds": age, "ok": not stale}
+        if stale:
+            degraded = True
+            reasons.append(f"last checkpoint {age:.0f}s old")
+
+    if open_breakers >= 2:
+        status = "failing"
+    elif open_breakers or degraded:
+        status = "degraded"
+    else:
+        status = "ok"
+    return {"status": status, "reasons": reasons, "checks": checks}
+
+
+def parse_listen(spec: str) -> Tuple[str, int]:
+    """``HOST:PORT`` → ``(host, port)``; port 0 asks for an ephemeral one."""
+    host, sep, port = spec.rpartition(":")
+    if not sep or not port.isdigit():
+        raise ValueError(f"--listen wants HOST:PORT, got {spec!r}")
+    return host or "127.0.0.1", int(port)
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes /metrics, /health and /state against the owning server."""
+
+    server_version = "elsa-telemetry/1"
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        _counter("telemetry.http_requests").inc()
+        try:
+            state = self.server.state_fn()  # type: ignore[attr-defined]
+            path = self.path.split("?", 1)[0]
+            if path == "/metrics":
+                body = render_prometheus(state.get("metrics", {}))
+                self._reply(
+                    200, body,
+                    "text/plain; version=0.0.4; charset=utf-8",
+                )
+            elif path == "/health":
+                report = health_report(state.get("metrics", {}))
+                code = 503 if report["status"] == "failing" else 200
+                self._reply(code, json.dumps(report, indent=1) + "\n")
+            elif path == "/state":
+                self._reply(
+                    200, json.dumps(state, default=str, indent=1) + "\n"
+                )
+            elif path == "/":
+                self._reply(
+                    200,
+                    "elsa-repro live telemetry: /metrics /health /state\n",
+                    "text/plain; charset=utf-8",
+                )
+            else:
+                self._reply(404, "not found\n", "text/plain; charset=utf-8")
+        except Exception as exc:  # never kill the serving thread
+            _counter("telemetry.http_errors").inc()
+            try:
+                self._reply(500, f"error: {exc}\n",
+                            "text/plain; charset=utf-8")
+            except OSError:
+                pass
+
+    def _reply(self, code: int, body: str,
+               content_type: str = "application/json") -> None:
+        payload = body.encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def log_message(self, format: str, *args) -> None:
+        pass  # request logging would drown the structured log stream
+
+
+class TelemetryServer:
+    """Background thread serving the live telemetry endpoints.
+
+    Parameters
+    ----------
+    host, port:
+        Bind address; port 0 picks an ephemeral port (read ``.port``
+        after :meth:`start`).
+    state_fn:
+        Zero-argument callable returning an ``export_state``-shaped dict
+        (``{"metrics": ..., "spans": ...}``).  Defaults to the live
+        :func:`repro.obs.export_state`, so a running pipeline is
+        observable with no extra wiring; ``elsa-repro monitor`` passes a
+        loader over a ``--metrics-out`` file instead.
+
+    Usage::
+
+        with TelemetryServer(port=0) as srv:
+            print(srv.url)      # http://127.0.0.1:54321
+            ...                 # run the pipeline
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        state_fn: Optional[Callable[[], dict]] = None,
+    ) -> None:
+        self.host = host
+        self.requested_port = int(port)
+        self._state_fn = state_fn or self._live_state
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    @staticmethod
+    def _live_state() -> dict:
+        from repro import obs  # lazy: obs/__init__ imports this module
+
+        return obs.export_state()
+
+    @property
+    def port(self) -> int:
+        """The bound port (valid after :meth:`start`)."""
+        if self._httpd is None:
+            return self.requested_port
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        """Base URL of the running server."""
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "TelemetryServer":
+        """Bind and start serving from a daemon thread; returns self."""
+        if self._httpd is not None:
+            raise RuntimeError("server already started")
+        self._httpd = ThreadingHTTPServer(
+            (self.host, self.requested_port), _Handler
+        )
+        self._httpd.daemon_threads = True
+        self._httpd.state_fn = self._state_fn  # type: ignore[attr-defined]
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="elsa-telemetry",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Shut the server down and join its thread."""
+        if self._httpd is None:
+            return
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        self._httpd = None
+        self._thread = None
+
+    def __enter__(self) -> "TelemetryServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()

@@ -69,7 +69,8 @@ class Counter:
             self._value = 0.0
 
     def to_dict(self) -> dict:
-        return {"kind": self.kind, "value": self._value}
+        with self._lock:
+            return {"kind": self.kind, "value": self._value}
 
 
 class Gauge:
@@ -106,7 +107,8 @@ class Gauge:
             self._value = 0.0
 
     def to_dict(self) -> dict:
-        return {"kind": self.kind, "value": self._value}
+        with self._lock:
+            return {"kind": self.kind, "value": self._value}
 
 
 class Histogram:
@@ -222,15 +224,16 @@ class Histogram:
             self._max = None
 
     def to_dict(self) -> dict:
-        return {
-            "kind": self.kind,
-            "buckets": list(self.bounds),
-            "counts": list(self._counts),
-            "sum": self._sum,
-            "count": self._count,
-            "min": self._min,
-            "max": self._max,
-        }
+        with self._lock:
+            return {
+                "kind": self.kind,
+                "buckets": list(self.bounds),
+                "counts": list(self._counts),
+                "sum": self._sum,
+                "count": self._count,
+                "min": self._min,
+                "max": self._max,
+            }
 
 
 class MetricsRegistry:

@@ -1,0 +1,233 @@
+"""Prediction provenance: who fired, why, and with what evidence.
+
+A prediction without an audit trail is an alarm nobody can argue with.
+Every prediction the online engines emit gets a
+:class:`PredictionProvenance` record — the triggering chain with its
+per-signal delays θ, the anchor sample and count that tripped the
+detector, the detector's own parameters, the outlier-train window that
+shaped the prediction interval, the attached locations, and the
+wall-clock lead time — kept in a bounded :class:`FlightRecorder` ring
+buffer (crash-box semantics: the last N predictions survive, the
+ancient ones age out).
+
+The records are deliberately plain data: this module imports nothing
+from :mod:`repro.prediction`, so the ``obs`` package stays importable
+from every layer.  ``elsa-repro predict --provenance-out`` dumps the
+buffer as JSON-lines; ``elsa-repro explain`` renders it for humans.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, IO, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "FlightRecorder",
+    "PredictionProvenance",
+    "load_jsonl",
+    "render_record",
+]
+
+#: predictions kept in a flight recorder before the oldest age out
+DEFAULT_CAPACITY = 512
+
+
+@dataclass(frozen=True)
+class PredictionProvenance:
+    """The full audit record behind one emitted prediction.
+
+    ``chain`` is the triggering correlation chain as ``(event_type,
+    delay)`` pairs — the delays are the per-signal θ offsets (in
+    samples) the miner learned.  ``window`` describes the outlier-train
+    window that shaped the prediction interval: the adaptive per-chain
+    quantiles when known, the fixed chain span otherwise.
+    """
+
+    source: str
+    chain: Tuple[Tuple[int, int], ...]
+    anchor_event: int
+    fatal_event: int
+    anchor_sample: int
+    anchor_value: float
+    detector: Dict[str, float]
+    window: Dict[str, float]
+    anchor_location: str
+    locations: Tuple[str, ...]
+    trigger_time: float
+    emitted_at: float
+    predicted_time: float
+
+    @property
+    def analysis_time(self) -> float:
+        """Seconds the analysis consumed before the alarm was visible."""
+        return self.emitted_at - self.trigger_time
+
+    @property
+    def lead_time(self) -> float:
+        """Wall-clock seconds of warning the operator actually gets."""
+        return self.predicted_time - self.emitted_at
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (one line of the ``--provenance-out`` dump)."""
+        return {
+            "source": self.source,
+            "chain": [[int(t), int(d)] for t, d in self.chain],
+            "anchor_event": int(self.anchor_event),
+            "fatal_event": int(self.fatal_event),
+            "anchor_sample": int(self.anchor_sample),
+            "anchor_value": float(self.anchor_value),
+            "detector": dict(self.detector),
+            "window": dict(self.window),
+            "anchor_location": self.anchor_location,
+            "locations": list(self.locations),
+            "trigger_time": float(self.trigger_time),
+            "emitted_at": float(self.emitted_at),
+            "predicted_time": float(self.predicted_time),
+            "analysis_time": float(self.analysis_time),
+            "lead_time": float(self.lead_time),
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "PredictionProvenance":
+        """Inverse of :meth:`to_dict` (derived fields recomputed)."""
+        return cls(
+            source=str(d["source"]),
+            chain=tuple((int(t), int(dl)) for t, dl in d["chain"]),
+            anchor_event=int(d["anchor_event"]),
+            fatal_event=int(d["fatal_event"]),
+            anchor_sample=int(d["anchor_sample"]),
+            anchor_value=float(d["anchor_value"]),
+            detector=dict(d["detector"]),
+            window=dict(d["window"]),
+            anchor_location=str(d["anchor_location"]),
+            locations=tuple(d["locations"]),
+            trigger_time=float(d["trigger_time"]),
+            emitted_at=float(d["emitted_at"]),
+            predicted_time=float(d["predicted_time"]),
+        )
+
+
+class FlightRecorder:
+    """Bounded, thread-safe ring buffer of provenance records.
+
+    Like its aviation namesake it never fills up and never blocks the
+    thing it observes: appends are O(1), the oldest records age out
+    past ``capacity``, and a concurrent dump sees a consistent copy.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = int(capacity)
+        self._buf: Deque[PredictionProvenance] = deque(maxlen=self.capacity)
+        self._appended = 0
+        self._lock = threading.Lock()
+
+    def append(self, record: PredictionProvenance) -> None:
+        """Record one prediction's provenance."""
+        with self._lock:
+            self._buf.append(record)
+            self._appended += 1
+
+    def __len__(self) -> int:
+        return len(self._buf)
+
+    @property
+    def appended(self) -> int:
+        """Total records ever appended (including aged-out ones)."""
+        return self._appended
+
+    @property
+    def dropped(self) -> int:
+        """Records that aged out of the ring."""
+        with self._lock:
+            return self._appended - len(self._buf)
+
+    def records(self) -> List[PredictionProvenance]:
+        """Current contents, oldest first (copy)."""
+        with self._lock:
+            return list(self._buf)
+
+    def clear(self) -> None:
+        """Empty the buffer (the appended total survives)."""
+        with self._lock:
+            self._buf.clear()
+
+    def dump_jsonl(self, fh: IO[str]) -> int:
+        """Write one JSON object per line; returns the line count."""
+        records = self.records()
+        for rec in records:
+            fh.write(json.dumps(rec.to_dict()) + "\n")
+        return len(records)
+
+
+def load_jsonl(path) -> List[dict]:
+    """Read a ``--provenance-out`` JSON-lines file back into dicts."""
+    records: List[dict] = []
+    with open(path) as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"{path}:{lineno}: not a provenance line: {exc}"
+                ) from exc
+    return records
+
+
+def _fmt_chain(chain: Sequence[Sequence[int]]) -> str:
+    return " -> ".join(f"{t}(+{d})" for t, d in chain)
+
+
+def render_record(
+    record: dict,
+    index: Optional[int] = None,
+    event_name=None,
+) -> str:
+    """Human-readable rendering of one provenance dict.
+
+    ``event_name`` is an optional ``int -> str`` resolver (the trained
+    model's template text) applied to the anchor/fatal event ids.
+    """
+    def name(tid: int) -> str:
+        if event_name is None:
+            return f"event {tid}"
+        return f"event {tid} '{str(event_name(tid))[:40]}'"
+
+    head = f"prediction #{index}" if index is not None else "prediction"
+    detector = record.get("detector", {})
+    window = record.get("window", {})
+    det_bits = " ".join(
+        f"{k}={v:g}" if isinstance(v, (int, float)) else f"{k}={v}"
+        for k, v in sorted(detector.items())
+    )
+    if window.get("kind") == "quantile":
+        win = (
+            f"adaptive quantile window [q10={window['lo']:g}, "
+            f"q50={window['med']:g}, q90={window['hi']:g}] samples"
+        )
+    else:
+        win = f"fixed chain span {window.get('span', 0):g} samples"
+    lines = [
+        f"{head}: {name(record['fatal_event'])} "
+        f"predicted at t={record['predicted_time']:.1f} "
+        f"(source={record.get('source', '?')})",
+        f"  triggered by : {name(record['anchor_event'])} at "
+        f"{record['anchor_location']} — sample {record['anchor_sample']} "
+        f"count {record['anchor_value']:g} tripped the detector",
+        f"  detector     : {det_bits}",
+        f"  chain (θ)    : {_fmt_chain(record.get('chain', ()))} "
+        f"(delays in samples)",
+        f"  train window : {win}",
+        f"  analysis     : {record['analysis_time']:.3f}s "
+        f"(visible at t={record['emitted_at']:.1f})",
+        f"  lead time    : {record['lead_time']:.1f}s of usable warning",
+        f"  locations    : {' '.join(record.get('locations', ()))}",
+    ]
+    return "\n".join(lines)

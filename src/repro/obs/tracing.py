@@ -22,11 +22,12 @@ parallel miners trace independently; the finished-root buffer is shared
 from __future__ import annotations
 
 import threading
-from time import perf_counter
+from time import perf_counter, time as wall_time
 from typing import Any, Dict, List, Optional
 
 __all__ = [
     "Span",
+    "active_roots",
     "current_span",
     "reset_tracing",
     "span",
@@ -39,31 +40,54 @@ MAX_ROOT_SPANS = 1024
 
 
 class Span:
-    """One timed stage: name, attributes, children, wall duration."""
+    """One timed stage: name, attributes, children, wall duration.
 
-    __slots__ = ("name", "attrs", "children", "t_wall", "_t0", "_done")
+    ``t_start`` is the wall-clock epoch (``time.time()``) at which the
+    span opened; durations still come from the monotonic
+    ``perf_counter``.  The epoch lets traces exported from separate
+    processes — e.g. a checkpointed run and its resumed continuation —
+    be laid on one shared timeline.
+
+    A per-span lock guards the attribute dict and child list so a
+    concurrent exporter (``obs.export_state`` from the telemetry
+    server thread) can serialize a span that is still being mutated.
+    """
+
+    __slots__ = (
+        "name", "attrs", "children", "t_wall", "t_start", "_t0",
+        "_done", "_lock",
+    )
 
     def __init__(self, name: str, attrs: Optional[Dict[str, Any]] = None):
         self.name = name
         self.attrs: Dict[str, Any] = dict(attrs or {})
         self.children: List["Span"] = []
         self.t_wall: float = 0.0
+        self.t_start: float = 0.0
         self._t0: float = 0.0
         self._done = False
+        self._lock = threading.Lock()
 
     def __setitem__(self, key: str, value: Any) -> None:
         """Attach/overwrite one attribute: ``sp["records"] = n``."""
-        self.attrs[key] = value
+        with self._lock:
+            self.attrs[key] = value
 
     def __getitem__(self, key: str) -> Any:
         return self.attrs[key]
 
     def _start(self) -> None:
+        self.t_start = wall_time()
         self._t0 = perf_counter()
 
     def _finish(self) -> None:
         self.t_wall = perf_counter() - self._t0
         self._done = True
+
+    @property
+    def done(self) -> bool:
+        """Whether the span has finished."""
+        return self._done
 
     @property
     def duration(self) -> float:
@@ -88,12 +112,27 @@ class Span:
         return sorted(names)
 
     def to_dict(self) -> dict:
-        """JSON-serializable subtree."""
+        """JSON-serializable subtree.
+
+        Safe to call from another thread while the span is still open:
+        attrs/children are copied under the span lock, an in-progress
+        span reports its live duration, and ``done`` distinguishes the
+        two cases.
+        """
+        with self._lock:
+            attrs = dict(self.attrs)
+            children = list(self.children)
+            done = self._done
+            wall = self.t_wall if done else (
+                perf_counter() - self._t0 if self._t0 else 0.0
+            )
         return {
             "name": self.name,
-            "wall_seconds": self.t_wall,
-            "attrs": dict(self.attrs),
-            "children": [c.to_dict() for c in self.children],
+            "wall_seconds": wall,
+            "t_start": self.t_start,
+            "done": done,
+            "attrs": attrs,
+            "children": [c.to_dict() for c in children],
         }
 
     def render(self, indent: int = 0) -> str:
@@ -121,6 +160,9 @@ class _TraceState(threading.local):
 _state = _TraceState()
 _roots: List[Span] = []
 _roots_lock = threading.Lock()
+#: root spans currently open, across all threads (id(span) -> span) —
+#: the telemetry server exports these as ``done: false`` trees.
+_active: Dict[int, Span] = {}
 
 
 class _SpanContext:
@@ -138,7 +180,12 @@ class _SpanContext:
     def __enter__(self) -> Span:
         stack = _state.stack
         if stack:
-            stack[-1].children.append(self._span)
+            parent = stack[-1]
+            with parent._lock:
+                parent.children.append(self._span)
+        else:
+            with _roots_lock:
+                _active[id(self._span)] = self._span
         stack.append(self._span)
         self._span._start()
         return self._span
@@ -147,13 +194,14 @@ class _SpanContext:
         sp = self._span
         sp._finish()
         if exc_type is not None:
-            sp.attrs["error"] = f"{exc_type.__name__}: {exc}"
+            sp["error"] = f"{exc_type.__name__}: {exc}"
         stack = _state.stack
         # Pop back to this span even if inner spans leaked (defensive).
         while stack and stack.pop() is not sp:
             pass
         if not stack:
             with _roots_lock:
+                _active.pop(id(sp), None)
                 _roots.append(sp)
                 if len(_roots) > MAX_ROOT_SPANS:
                     del _roots[: len(_roots) - MAX_ROOT_SPANS]
@@ -181,13 +229,28 @@ def span_roots() -> List[Span]:
         return list(_roots)
 
 
-def span_tree() -> List[dict]:
-    """All finished root spans as JSON-serializable dicts."""
-    return [sp.to_dict() for sp in span_roots()]
+def active_roots() -> List[Span]:
+    """Root spans currently open, across all threads (copy)."""
+    with _roots_lock:
+        return list(_active.values())
+
+
+def span_tree(include_active: bool = False) -> List[dict]:
+    """All finished root spans as JSON-serializable dicts.
+
+    With ``include_active`` the currently open root spans (any thread)
+    are appended, marked ``done: false`` and carrying their live
+    durations — what a mid-run ``/state`` snapshot should show.
+    """
+    trees = [sp.to_dict() for sp in span_roots()]
+    if include_active:
+        trees.extend(sp.to_dict() for sp in active_roots())
+    return trees
 
 
 def reset_tracing() -> None:
     """Drop finished roots and this thread's active stack."""
     with _roots_lock:
         _roots.clear()
+        _active.clear()
     _state.stack.clear()

@@ -33,8 +33,11 @@ from repro.prediction.evaluation import (
     evaluate_predictions,
 )
 from repro.prediction.metalearn import MetaConfig, MetaPredictor
+from repro.prediction.scoreboard import DriftDetector, OnlineScoreboard
 
 __all__ = [
+    "DriftDetector",
+    "OnlineScoreboard",
     "AnalysisTimeModel",
     "Prediction",
     "PredictorConfig",

@@ -30,6 +30,7 @@ import numpy as np
 
 from repro import obs
 from repro.obs.metrics import TIME_BUCKETS
+from repro.obs.provenance import FlightRecorder, PredictionProvenance
 from repro.location.propagation import LocationIndex, LocationPredictor
 from repro.mining.correlations import CorrelationChain
 from repro.mining.grite import GriteConfig
@@ -275,6 +276,8 @@ class HybridPredictor:
         self.n_too_late: int = 0
         #: anchors whose detection degraded in the last run (error boundary)
         self.degraded_anchors: List[int] = []
+        #: audit records of the last emitted predictions (ring buffer)
+        self.flight_recorder = FlightRecorder()
 
     # -- helpers ------------------------------------------------------------
 
@@ -287,6 +290,76 @@ class HybridPredictor:
         if nb is None:
             return self.config.default_threshold
         return nb.threshold
+
+    def _detector_meta(self, tid: int) -> Dict[str, float]:
+        """The provenance description of the detector guarding ``tid``.
+
+        Mirrors :meth:`_make_detector`'s construction exactly, so the
+        audit record states the parameters the detector actually ran
+        with — identical between the batch and streaming engines.
+        """
+        nb = self.behaviors.get(tid)
+        if (
+            nb is not None
+            and nb.signal_class == SignalClass.PERIODIC
+            and nb.period
+        ):
+            return {
+                "kind": "periodic",
+                "period": float(nb.period),
+                "amplitude": float(max(nb.mean_rate * nb.period, 1.0)),
+            }
+        return {
+            "kind": "median",
+            "threshold": float(self._threshold_for(tid)),
+            "window": float(self.config.detector_window),
+            "warmup": float(self.config.detector_warmup),
+        }
+
+    @staticmethod
+    def _window_meta(
+        quantiles: Optional[Tuple[int, int, int]], chain: CorrelationChain
+    ) -> Dict[str, float]:
+        """Provenance for the outlier-train window that shaped the
+        prediction interval: adaptive quantiles when learned, the fixed
+        chain span otherwise."""
+        if quantiles is not None:
+            q_lo, q_med, q_hi = quantiles
+            return {
+                "kind": "quantile",
+                "lo": float(q_lo),
+                "med": float(q_med),
+                "hi": float(q_hi),
+            }
+        return {"kind": "span", "span": float(chain.span)}
+
+    def _record_provenance(
+        self,
+        pred: Prediction,
+        chain: CorrelationChain,
+        s: int,
+        anchor_value: float,
+        quantiles: Optional[Tuple[int, int, int]],
+        anchor_loc: str,
+    ) -> None:
+        """Append the audit record for one emitted prediction."""
+        self.flight_recorder.append(
+            PredictionProvenance(
+                source=self.source_name,
+                chain=pred.chain_key,
+                anchor_event=pred.anchor_event,
+                fatal_event=pred.fatal_event,
+                anchor_sample=int(s),
+                anchor_value=float(anchor_value),
+                detector=self._detector_meta(chain.anchor),
+                window=self._window_meta(quantiles, chain),
+                anchor_location=anchor_loc,
+                locations=pred.locations,
+                trigger_time=pred.trigger_time,
+                emitted_at=pred.emitted_at,
+                predicted_time=pred.predicted_time,
+            )
+        )
 
     def _make_detector(self, tid: int):
         """The online detector for one anchor (median or periodic)."""
@@ -380,6 +453,7 @@ class HybridPredictor:
         self.n_too_late = 0
         active: Dict[Tuple, float] = {}
         predictions: List[Prediction] = []
+        anchor_signals: Dict[int, np.ndarray] = {}
 
         # Process triggers in time order across all chains.
         triggers: List[Tuple[int, CorrelationChain]] = []
@@ -434,6 +508,13 @@ class HybridPredictor:
             )
             predictions.append(pred)
             self.chain_usage[pred.chain_key] += 1
+            if chain.anchor not in anchor_signals:
+                anchor_signals[chain.anchor] = signals.signal(chain.anchor)
+            self._record_provenance(
+                pred, chain, s,
+                anchor_value=float(anchor_signals[chain.anchor][s]),
+                quantiles=quantiles, anchor_loc=anchor_loc,
+            )
 
         predictions.sort(key=lambda p: p.emitted_at)
         sp["predictions"] = len(predictions)

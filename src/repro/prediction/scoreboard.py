@@ -1,0 +1,468 @@
+"""Rolling online self-evaluation of a streaming predictor.
+
+Offline, :func:`repro.prediction.evaluation.evaluate_predictions` scores
+a finished run.  Online-fault-classification practice (Netti et al.,
+arXiv:1810.11208) instead evaluates the predictor *continuously* as
+ground truth arrives: every fault that lands in the stream is matched
+against the predictions already emitted, every prediction is resolved
+once its acceptance window closes, and sliding-window precision/recall
+gauges tell the operator whether the model is still earning its keep.
+
+:class:`OnlineScoreboard` implements exactly the offline matching rules
+(same :class:`~repro.prediction.evaluation.EvaluationConfig` slack and
+location-coverage logic), incrementally:
+
+* a *fault* is resolvable the moment it arrives — only predictions with
+  ``emitted_at <= fail_time`` can ever claim it, and those are all in
+  the past by then;
+* a *prediction* is resolvable once the stream clock passes its
+  acceptance window's end — no future fault can redeem it.
+
+Because the rules match, the scoreboard's cumulative precision/recall
+over a fully replayed trace equal the offline
+:class:`~repro.prediction.evaluation.EvaluationResult` exactly (the
+property ``tests/test_scoreboard.py`` enforces).
+
+:class:`DriftDetector` watches the live signal mix and message-arrival
+rate against the fitted model's expectations — the paper's motivation
+for adaptive re-characterization — and raises an ``obs`` warning plus
+the ``scoreboard.drift_alert`` gauge when the stream no longer looks
+like the training data.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Deque, Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro import obs
+from repro.prediction.engine import Prediction
+from repro.prediction.evaluation import EvaluationConfig
+from repro.simulation.trace import FaultEvent
+
+__all__ = ["DriftDetector", "OnlineScoreboard", "LEAD_TIME_BUCKETS"]
+
+log = obs.get_logger(__name__)
+
+#: lead times run seconds-to-hours, unlike the analysis-time range
+LEAD_TIME_BUCKETS: Tuple[float, ...] = (
+    10.0, 30.0, 60.0, 120.0, 300.0, 600.0, 1800.0, 3600.0, 7200.0, 21600.0,
+)
+
+
+class OnlineScoreboard:
+    """Match emitted predictions against in-stream ground truth.
+
+    Parameters
+    ----------
+    faults:
+        Known ground-truth faults (a replayed trace); they are consumed
+        as the stream clock passes their ``fail_time``.  More can arrive
+        later via :meth:`add_fault` (a live deployment confirming
+        failures after the fact).
+    config:
+        The offline matching rules; defaults match
+        :func:`evaluate_predictions`.
+    window_seconds:
+        Width of the sliding window behind the ``scoreboard.window_*``
+        gauges (default six hours).
+    """
+
+    def __init__(
+        self,
+        faults: Sequence[FaultEvent] = (),
+        config: Optional[EvaluationConfig] = None,
+        window_seconds: float = 21600.0,
+    ) -> None:
+        self.config = config or EvaluationConfig()
+        self.window_seconds = float(window_seconds)
+        self._pending_faults: List[FaultEvent] = sorted(
+            faults, key=lambda f: f.fail_time
+        )
+        self._fault_ptr = 0
+        self._preds: List[Prediction] = []
+        self._unresolved: List[Prediction] = []
+        self._matched: Set[int] = set()  # id(pred) of correct predictions
+        #: (resolve_time, correct) per resolved prediction, time order
+        self._resolved: Deque[Tuple[float, bool]] = deque()
+        #: (fail_time, predicted, lead|None) per arrived fault
+        self._fault_results: Deque[Tuple[float, bool, Optional[float]]] = (
+            deque()
+        )
+        self.now = float("-inf")
+        # cumulative tallies (the offline-equality side)
+        self.n_predictions = 0
+        self.n_correct = 0
+        self.n_faults = 0
+        self.n_predicted_faults = 0
+        self._lead_hist = obs.histogram(
+            "scoreboard.lead_time_seconds", buckets=LEAD_TIME_BUCKETS
+        )
+
+    # -- feeding ------------------------------------------------------------
+
+    def record_prediction(self, prediction: Prediction) -> None:
+        """A prediction was just emitted by the streaming engine."""
+        self._preds.append(prediction)
+        self._unresolved.append(prediction)
+        self.n_predictions += 1
+        obs.counter("scoreboard.predictions").inc()
+
+    def add_fault(self, fault: FaultEvent) -> None:
+        """Ground truth learned after construction (confirmed failure)."""
+        if fault.fail_time < self.now:
+            raise ValueError(
+                f"fault at {fault.fail_time} is behind the stream clock "
+                f"{self.now}"
+            )
+        self._pending_faults.append(fault)
+        self._pending_faults.sort(key=lambda f: f.fail_time)
+        # the consumed prefix stays consumed; re-sync the pointer
+        self._fault_ptr = sum(
+            1 for f in self._pending_faults if f.fail_time < self.now
+        )
+
+    # -- the clock ----------------------------------------------------------
+
+    def advance(self, now: float) -> None:
+        """Move the stream clock forward; resolve what it passed."""
+        if now < self.now:
+            return
+        self.now = now
+        while self._fault_ptr < len(self._pending_faults):
+            fault = self._pending_faults[self._fault_ptr]
+            if fault.fail_time > now:
+                break
+            self._resolve_fault(fault)
+            self._fault_ptr += 1
+        still_open: List[Prediction] = []
+        for pred in self._unresolved:
+            if self.config.acceptance_end(pred) < now:
+                self._resolve_prediction(pred)
+            else:
+                still_open.append(pred)
+        self._unresolved = still_open
+        self._trim_window()
+        self._publish()
+
+    def finalize(self) -> None:
+        """End of stream: resolve every still-open prediction.
+
+        No further ground truth can arrive, so an open acceptance
+        window settles with the matches it has — the same verdict the
+        offline evaluation reaches.
+        """
+        for pred in self._unresolved:
+            self._resolve_prediction(pred)
+        self._unresolved = []
+        self._trim_window()
+        self._publish()
+
+    # -- matching (identical rules to evaluate_predictions) -----------------
+
+    def _resolve_fault(self, fault: FaultEvent) -> None:
+        self.n_faults += 1
+        obs.counter("scoreboard.faults_seen").inc()
+        covered: Set[str] = set()
+        lead: Optional[float] = None
+        fault_locs = set(fault.locations)
+        for pred in self._preds:
+            if not (pred.emitted_at
+                    <= fault.fail_time
+                    <= self.config.acceptance_end(pred)):
+                continue
+            overlap = fault_locs.intersection(pred.locations)
+            if not overlap:
+                continue
+            self._matched.add(id(pred))
+            covered.update(overlap)
+            this_lead = fault.fail_time - pred.emitted_at
+            if lead is None or this_lead > lead:
+                lead = this_lead
+        coverage = (
+            len(covered) / len(fault.locations) if fault.locations else 0.0
+        )
+        predicted = coverage >= self.config.coverage_threshold
+        if predicted:
+            self.n_predicted_faults += 1
+            obs.counter("scoreboard.faults_predicted").inc()
+            if lead is not None:
+                self._lead_hist.observe(lead)
+        else:
+            lead = None
+            log.info(
+                "fault missed by the live predictor",
+                extra=obs.logging.kv(
+                    fault_id=fault.fault_id,
+                    category=fault.category,
+                    coverage=round(coverage, 3),
+                ),
+            )
+        self._fault_results.append((fault.fail_time, predicted, lead))
+
+    def _resolve_prediction(self, pred: Prediction) -> None:
+        correct = id(pred) in self._matched
+        if correct:
+            self.n_correct += 1
+            obs.counter("scoreboard.predictions_correct").inc()
+        obs.counter("scoreboard.predictions_resolved").inc()
+        self._resolved.append((self.config.acceptance_end(pred), correct))
+
+    def _trim_window(self) -> None:
+        horizon = self.now - self.window_seconds
+        while self._resolved and self._resolved[0][0] < horizon:
+            self._resolved.popleft()
+        while self._fault_results and self._fault_results[0][0] < horizon:
+            self._fault_results.popleft()
+
+    # -- outputs ------------------------------------------------------------
+
+    @property
+    def precision(self) -> float:
+        """Cumulative precision over resolved predictions."""
+        resolved = self.n_predictions - len(self._unresolved)
+        return self.n_correct / resolved if resolved else 0.0
+
+    @property
+    def recall(self) -> float:
+        """Cumulative recall over arrived faults."""
+        return self.n_predicted_faults / self.n_faults if self.n_faults else 0.0
+
+    @property
+    def window_precision(self) -> float:
+        """Precision over the sliding window."""
+        if not self._resolved:
+            return 0.0
+        return sum(1 for _, ok in self._resolved if ok) / len(self._resolved)
+
+    @property
+    def window_recall(self) -> float:
+        """Recall over the sliding window."""
+        if not self._fault_results:
+            return 0.0
+        hit = sum(1 for _, ok, _ in self._fault_results if ok)
+        return hit / len(self._fault_results)
+
+    def _publish(self) -> None:
+        obs.gauge("scoreboard.precision").set(self.precision)
+        obs.gauge("scoreboard.recall").set(self.recall)
+        obs.gauge("scoreboard.window_precision").set(self.window_precision)
+        obs.gauge("scoreboard.window_recall").set(self.window_recall)
+        obs.gauge("scoreboard.window_predictions").set(len(self._resolved))
+        obs.gauge("scoreboard.window_faults").set(len(self._fault_results))
+
+    def snapshot(self) -> dict:
+        """Current scoreboard as one JSON-ready dict."""
+        return {
+            "now": self.now,
+            "predictions": self.n_predictions,
+            "predictions_unresolved": len(self._unresolved),
+            "predictions_correct": self.n_correct,
+            "faults_seen": self.n_faults,
+            "faults_predicted": self.n_predicted_faults,
+            "precision": self.precision,
+            "recall": self.recall,
+            "window_precision": self.window_precision,
+            "window_recall": self.window_recall,
+        }
+
+    def summary(self) -> str:
+        """One status line for the console."""
+        return (
+            f"scoreboard: precision={self.precision:.1%} "
+            f"recall={self.recall:.1%} "
+            f"({self.n_correct}/{self.n_predictions - len(self._unresolved)} "
+            f"correct, {self.n_predicted_faults}/{self.n_faults} faults "
+            f"predicted, window p={self.window_precision:.1%} "
+            f"r={self.window_recall:.1%})"
+        )
+
+
+class DriftDetector:
+    """Flag divergence between the live stream and the fitted model.
+
+    Three signals, all cheap enough for per-sample updates:
+
+    * **arrival rate** — a fast EWMA of messages per sample against
+      the training-time expectation (template-arrival rate drift);
+    * **tracked rate** — hits on the tracked (stable) event types;
+      catches known traffic going silent or being replaced by novel
+      templates while total volume looks normal;
+    * **signal mix** — the relative shares of the tracked types
+      (signal-class mix drift).  Smoothing the *counts* rather than
+      per-sample shares keeps the estimate stable for sparse types.
+
+    The fitted model supplies the total-rate expectation and selects
+    the tracked set — the types whose training occupancy clears a
+    floor (bursty fault-driven types, e.g. the chain anchors, have
+    train-window rates that do not predict any particular test window,
+    so judging drift on them would flag ordinary replay).  The
+    tracked-rate and mix signals use a fast-vs-slow dual-EWMA scheme:
+    a fast tracker (``alpha``) is compared against a slowly adapting
+    baseline (``slow_alpha``).  Abrupt shifts open a wide fast/slow
+    gap and alert at the transition; the baseline then follows, so the
+    alert marks the change episode rather than latching forever.
+
+    Expect alert episodes during the first hours of a fresh stream:
+    the online template classifier does not map messages to exactly
+    the same ids as the offline fit and converges over that period, a
+    genuine (and self-resolving) mix change.  Once the stream is
+    established, nominal replay stays well under the threshold.
+
+    The drift score is the worst of the divergences: absolute
+    log-ratios for the two rates (symmetric in floods and silences)
+    and the L1 distance between the fast and baseline mixes (a
+    completely displaced mix scores 2.0).  Past ``threshold`` (after
+    ``warmup`` samples, during which the baseline also tracks fast so
+    it starts from live data rather than the fitted init) a warning is
+    logged, the ``scoreboard.drift_alert`` gauge goes to 1 and
+    ``scoreboard.drift_alerts`` counts the episode — the cue that the
+    paper's adaptive re-characterization should re-fit.  The default
+    threshold of 0.9 fires when a rate is off ~2.5× or most of the
+    tracked mix has moved; ordinary test-window jitter (including the
+    injected fault bursts) scores well below it.
+    """
+
+    def __init__(
+        self,
+        expected_rate: float,
+        expected_mix: Mapping[int, float],
+        alpha: float = 0.05,
+        threshold: float = 0.9,
+        warmup: int = 64,
+        expected_tracked_rate: Optional[float] = None,
+        slow_alpha: Optional[float] = None,
+    ) -> None:
+        if expected_rate <= 0:
+            raise ValueError("expected_rate must be positive")
+        self.expected_rate = float(expected_rate)
+        total = sum(expected_mix.values())
+        self.expected_mix: Dict[int, float] = (
+            {t: v / total for t, v in expected_mix.items()} if total
+            else dict(expected_mix)
+        )
+        self.alpha = float(alpha)
+        self.slow_alpha = (
+            float(slow_alpha) if slow_alpha is not None else self.alpha / 50.0
+        )
+        self.threshold = float(threshold)
+        self.warmup = int(warmup)
+        self.expected_tracked_rate = (
+            float(expected_tracked_rate)
+            if expected_tracked_rate is not None else None
+        )
+        self._rate_ewma = self.expected_rate
+        base = self.expected_tracked_rate or 1.0
+        self._count_fast: Dict[int, float] = {
+            t: v * base for t, v in self.expected_mix.items()
+        }
+        self._count_slow: Dict[int, float] = dict(self._count_fast)
+        self._tracked_fast = self.expected_tracked_rate
+        self._tracked_slow = self.expected_tracked_rate
+        self._seen = 0
+        self.score = 0.0
+        self.alerted = False
+        #: rising-edge count, mirroring the ``scoreboard.drift_alerts``
+        #: counter (an episode = one contiguous over-threshold stretch)
+        self.alert_episodes = 0
+
+    @classmethod
+    def from_behaviors(
+        cls,
+        behaviors: Mapping[int, "object"],
+        anchors: Sequence[int] = (),
+        min_occupancy: float = 0.05,
+        **kwargs,
+    ) -> "DriftDetector":
+        """Baseline from the offline characterization.
+
+        ``mean_rate`` is per-sample, so the expected stream rate is the
+        sum over every characterized event type; the tracked mix covers
+        the types whose training occupancy is at least
+        ``min_occupancy`` (the stable background — see the class note
+        on why bursty anchors are excluded).  ``anchors`` is only the
+        last-resort mix when nothing clears the floor.
+        """
+        rate = sum(
+            max(getattr(nb, "mean_rate", 0.0), 0.0)
+            for nb in behaviors.values()
+        )
+        mix = {
+            tid: max(getattr(nb, "mean_rate", 0.0), 0.0)
+            for tid, nb in behaviors.items()
+            if getattr(nb, "occupancy", 0.0) >= min_occupancy
+        }
+        mix = {t: v for t, v in mix.items() if v > 0}
+        tracked_rate: Optional[float] = sum(mix.values())
+        if not mix:
+            mix = {tid: 1.0 for tid in anchors} or {0: 1.0}
+            tracked_rate = None
+        return cls(
+            expected_rate=max(rate, 1e-9),
+            expected_mix=mix,
+            expected_tracked_rate=tracked_rate,
+            **kwargs,
+        )
+
+    @staticmethod
+    def _log_ratio(live: float, expected: float) -> float:
+        """|log(live/expected)|, floored so a dead stream stays finite."""
+        floor = 1e-3 * expected
+        return abs(math.log(max(live, floor) / expected))
+
+    def observe(self, msg_count: float, type_counts: Mapping[int, int]) -> None:
+        """One closed sample: total messages + per-event-type counts.
+
+        ``type_counts`` may cover every event type of the sample or any
+        superset of the tracked types; untracked keys are ignored.
+        """
+        a = self.alpha
+        self._seen += 1
+        # during warmup the baseline tracks at full speed so both EWMAs
+        # start from live data rather than the fitted initialization
+        a_slow = a if self._seen <= self.warmup else self.slow_alpha
+        self._rate_ewma += a * (float(msg_count) - self._rate_ewma)
+        hits = 0.0
+        for tid in self._count_fast:
+            c = float(type_counts.get(tid, 0))
+            hits += c
+            self._count_fast[tid] += a * (c - self._count_fast[tid])
+            self._count_slow[tid] += a_slow * (c - self._count_slow[tid])
+        if self._tracked_fast is not None:
+            self._tracked_fast += a * (hits - self._tracked_fast)
+            self._tracked_slow += a_slow * (hits - self._tracked_slow)
+        if self._seen <= self.warmup:
+            return
+        rate_drift = self._log_ratio(self._rate_ewma, self.expected_rate)
+        tracked_drift = 0.0
+        if self._tracked_fast is not None and self._tracked_slow > 0:
+            tracked_drift = self._log_ratio(
+                self._tracked_fast, self._tracked_slow
+            )
+        slow_total = sum(self._count_slow.values())
+        mix_drift = 0.0
+        if slow_total > 0:
+            # absolute per-type change relative to baseline traffic:
+            # tiny types cannot dominate the way share-space L1 lets
+            # them, and a fully displaced mix still scores 2.0
+            mix_drift = sum(
+                abs(self._count_fast[t] - self._count_slow[t])
+                for t in self._count_fast
+            ) / slow_total
+        self.score = max(rate_drift, tracked_drift, mix_drift)
+        obs.gauge("scoreboard.drift_score").set(self.score)
+        alert = self.score > self.threshold
+        obs.gauge("scoreboard.drift_alert").set(1.0 if alert else 0.0)
+        if alert and not self.alerted:
+            self.alert_episodes += 1
+            obs.counter("scoreboard.drift_alerts").inc()
+            log.warning(
+                "live stream drifting from the fitted model",
+                extra=obs.logging.kv(
+                    score=round(self.score, 3),
+                    rate_ewma=round(self._rate_ewma, 2),
+                    expected_rate=round(self.expected_rate, 2),
+                ),
+            )
+        self.alerted = alert

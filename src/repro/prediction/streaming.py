@@ -73,10 +73,18 @@ class StreamingHybridPredictor(HybridPredictor):
         self._cur_msg_count = 0
         self._cur_anchor_counts: Dict[int, int] = {}
         self._cur_anchor_locs: Dict[int, List[str]] = {}
+        # full per-type counts, kept only while a drift detector is
+        # attached (advisory telemetry — not part of checkpoint state)
+        self._cur_type_counts: Dict[int, int] = {}
         self._active: Dict[Tuple, float] = {}
         self._predictions: List[Prediction] = []
         self.chain_usage = Counter()
         self.n_too_late = 0
+        #: optional live self-evaluation / drift watchers (see
+        #: :mod:`repro.prediction.scoreboard`); both default off so the
+        #: byte-identical-to-batch invariant is unconditional.
+        self.scoreboard = None
+        self.drift_detector = None
 
     # -- feeding -------------------------------------------------------------
 
@@ -110,6 +118,10 @@ class StreamingHybridPredictor(HybridPredictor):
                     self._cur_anchor_counts.get(tid, 0) + 1
                 )
                 self._cur_anchor_locs.setdefault(tid, []).append(rec.location)
+            if self.drift_detector is not None and tid is not None:
+                self._cur_type_counts[tid] = (
+                    self._cur_type_counts.get(tid, 0) + 1
+                )
             self._n_fed += 1
 
     def finish(self) -> List[Prediction]:
@@ -123,10 +135,41 @@ class StreamingHybridPredictor(HybridPredictor):
         self._finished = True
         predictions = sorted(self._predictions, key=lambda p: p.emitted_at)
         self._predictions = predictions
+        if self.scoreboard is not None:
+            self.scoreboard.advance(self.t_end)
+            self.scoreboard.finalize()
         obs.counter("predictor.runs").inc()
         obs.counter("predictor.predictions_issued").inc(len(predictions))
         obs.counter("predictor.predictions_too_late").inc(self.n_too_late)
         return predictions
+
+    # -- live self-evaluation -----------------------------------------------
+
+    def attach_scoreboard(self, scoreboard) -> None:
+        """Attach an :class:`~repro.prediction.scoreboard.OnlineScoreboard`.
+
+        From then on every emitted prediction is registered with it and
+        the scoreboard clock advances as samples close, so its
+        sliding-window gauges update live (attach before feeding).
+        """
+        self.scoreboard = scoreboard
+
+    def attach_drift_detector(self, detector=None):
+        """Watch the live stream for divergence from the fitted model.
+
+        ``detector`` defaults to a
+        :class:`~repro.prediction.scoreboard.DriftDetector` whose
+        baseline comes from the trained per-signal characterization.
+        Returns the attached detector.
+        """
+        if detector is None:
+            from repro.prediction.scoreboard import DriftDetector
+
+            detector = DriftDetector.from_behaviors(
+                self.behaviors, self._anchors
+            )
+        self.drift_detector = detector
+        return detector
 
     # -- per-sample engine -----------------------------------------------------
 
@@ -152,17 +195,30 @@ class StreamingHybridPredictor(HybridPredictor):
             is_outlier, _corrected = result
             if is_outlier:
                 flagged[tid] = True
+        n_before = len(self._predictions)
         if flagged:
-            self._trigger_chains(s, flagged, locs, analysis_t)
+            self._trigger_chains(s, flagged, counts, locs, analysis_t)
+        if self.drift_detector is not None:
+            self.drift_detector.observe(
+                self._cur_msg_count, self._cur_type_counts
+            )
+        if self.scoreboard is not None:
+            for pred in self._predictions[n_before:]:
+                self.scoreboard.record_prediction(pred)
+            self.scoreboard.advance(
+                self.t_start + (s + 1) * self.sampling_period
+            )
         self._k += 1
         self._cur_msg_count = 0
         self._cur_anchor_counts = {}
         self._cur_anchor_locs = {}
+        self._cur_type_counts = {}
 
     def _trigger_chains(
         self,
         s: int,
         flagged: Dict[int, bool],
+        counts: Dict[int, int],
         locs: Dict[int, List[str]],
         analysis_t: float,
     ) -> None:
@@ -213,6 +269,11 @@ class StreamingHybridPredictor(HybridPredictor):
             )
             self._predictions.append(pred)
             self.chain_usage[pred.chain_key] += 1
+            self._record_provenance(
+                pred, chain, s,
+                anchor_value=float(counts.get(chain.anchor, 0)),
+                quantiles=quantiles, anchor_loc=anchor_loc,
+            )
 
     # -- checkpoint serialization ---------------------------------------------
 

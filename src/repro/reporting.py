@@ -120,20 +120,75 @@ def render_table4() -> str:
     return "\n".join(lines)
 
 
-def _render_span_dict(node: dict, indent: int = 0) -> List[str]:
-    """One line per span of an exported (JSON) span tree."""
+def histogram_quantile(hist: dict, q: float) -> float:
+    """Quantile estimate from a dumped histogram's cumulative buckets.
+
+    ``hist`` is a :class:`repro.obs.metrics.Histogram` ``to_dict``:
+    per-bucket ``counts`` (last entry the +inf bucket) over upper-bound
+    ``buckets``.  The estimate interpolates linearly inside the bucket
+    that crosses rank ``q * count``; the open +inf bucket reports the
+    observed ``max`` (the only bound it has).
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("quantile must be in [0, 1]")
+    bounds = list(hist.get("buckets", ()))
+    counts = list(hist.get("counts", ()))
+    total = hist.get("count", 0)
+    if not total or len(counts) != len(bounds) + 1:
+        return float("nan")
+    rank = q * total
+    cum = 0
+    estimate = None
+    for i, c in enumerate(counts[:-1]):
+        prev = cum
+        cum += c
+        if cum >= rank:
+            lo = bounds[i - 1] if i else min(hist.get("min", 0.0), bounds[0])
+            hi = bounds[i]
+            frac = (rank - prev) / c if c else 1.0
+            estimate = lo + frac * (hi - lo)
+            break
+    mx = hist.get("max")
+    if estimate is None:
+        return float(mx) if mx is not None else bounds[-1]
+    # interpolation can overshoot the data inside a sparse bucket; the
+    # registry tracks the true extremes, so clamp to them.
+    if mx is not None:
+        estimate = min(estimate, float(mx))
+    mn = hist.get("min")
+    if mn is not None:
+        estimate = max(estimate, float(mn))
+    return estimate
+
+
+def _render_span_dict(
+    node: dict, indent: int = 0, t_base: Optional[float] = None
+) -> List[str]:
+    """One line per span of an exported (JSON) span tree.
+
+    Shows each span's start offset from the root (spans carry wall-clock
+    ``t_start``) and marks spans still open at export time (``done``
+    false — a live ``/state`` snapshot can contain them).
+    """
     attrs = " ".join(
         f"{k}={v}" for k, v in sorted(node.get("attrs", {}).items())
     )
+    t_start = node.get("t_start")
+    if t_base is None and t_start is not None:
+        t_base = t_start
     line = (
         "  " * indent
         + f"{node['name']}  {node.get('wall_seconds', 0.0) * 1000:.1f}ms"
     )
+    if t_start is not None and t_base is not None:
+        line += f"  @+{t_start - t_base:.3f}s"
+    if node.get("done") is False:
+        line += "  (running)"
     if attrs:
         line += f"  [{attrs}]"
     lines = [line]
     for child in node.get("children", ()):
-        lines.extend(_render_span_dict(child, indent + 1))
+        lines.extend(_render_span_dict(child, indent + 1, t_base))
     return lines
 
 
@@ -156,6 +211,13 @@ def render_observability(state: Dict) -> str:
                     f"n={count} mean={mean:.4g} "
                     f"min={m.get('min')} max={m.get('max')}"
                 )
+                if count:
+                    p50, p90, p99 = (
+                        histogram_quantile(m, q) for q in (0.5, 0.9, 0.99)
+                    )
+                    value += (
+                        f" p50={p50:.4g} p90={p90:.4g} p99={p99:.4g}"
+                    )
             else:
                 value = f"{m.get('value', 0):g}"
             parts.append(f"| {name} | {m.get('kind', '?')} | {value} |")

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import json
 import os
+import time
 from pathlib import Path
 from typing import List, Optional, Sequence
 
@@ -63,6 +64,8 @@ def save_checkpoint(
     obs.gauge("resilience.checkpoint_records_done").set(
         predictor.n_records_fed
     )
+    # the /health endpoint turns this into a checkpoint-age check
+    obs.gauge("resilience.checkpoint_unix_seconds").set(time.time())
 
 
 def load_checkpoint(path: os.PathLike) -> dict:

@@ -255,3 +255,115 @@ class TestResilienceFlags:
         ])
         assert rc == 0
         assert json.loads(out2.read_text()) == json.loads(preds.read_text())
+
+
+class TestLiveTelemetryFlags:
+    """--listen/--truth/--provenance-out plus monitor and explain."""
+
+    def test_parser_accepts_the_live_flags(self):
+        ns = build_parser().parse_args([
+            "predict", "--model", "m", "--log", "l", "--t-start", "0",
+            "--out", "o", "--listen", "127.0.0.1:0", "--linger", "2",
+            "--truth", "t.json", "--provenance-out", "p.jsonl",
+        ])
+        assert ns.listen == "127.0.0.1:0"
+        assert ns.linger == 2.0
+        assert ns.provenance_out == "p.jsonl"
+
+    def test_predict_with_truth_prints_the_scoreboard(
+        self, workdir, tmp_path, capsys
+    ):
+        d, log, truth, model, preds, meta = workdir
+        rc = main([
+            "predict", "--model", str(model), "--log", str(log),
+            "--t-start", str(meta["train_end"]),
+            "--out", str(tmp_path / "p.json"), "--truth", str(truth),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "scoreboard: precision=" in out
+
+    def test_predict_serves_and_dumps_provenance(
+        self, workdir, tmp_path, capsys
+    ):
+        d, log, truth, model, preds, meta = workdir
+        prov = tmp_path / "prov.jsonl"
+        rc = main([
+            "predict", "--model", str(model), "--log", str(log),
+            "--t-start", str(meta["train_end"]),
+            "--out", str(tmp_path / "p.json"),
+            "--listen", "127.0.0.1:0", "--provenance-out", str(prov),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "telemetry listening on http://127.0.0.1:" in out
+        n_preds = len(json.loads(
+            (tmp_path / "p.json").read_text())["predictions"])
+        lines = [l for l in prov.read_text().splitlines() if l]
+        assert len(lines) == n_preds
+        rec = json.loads(lines[0])
+        assert {"chain", "anchor_event", "lead_time"} <= set(rec)
+
+    def test_explain_renders_records(self, workdir, tmp_path, capsys):
+        d, log, truth, model, preds, meta = workdir
+        prov = tmp_path / "prov.jsonl"
+        rc = main([
+            "predict", "--model", str(model), "--log", str(log),
+            "--t-start", str(meta["train_end"]), "--quiet",
+            "--out", str(tmp_path / "p.json"),
+            "--provenance-out", str(prov),
+        ])
+        assert rc == 0
+        capsys.readouterr()
+        rc = main([
+            "explain", "--provenance", str(prov), "--index", "0",
+            "--model", str(model),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "prediction #0" in out
+        assert "lead time" in out
+
+    def test_explain_index_out_of_range_is_exit_2(
+        self, workdir, tmp_path, capsys
+    ):
+        d, log, truth, model, preds, meta = workdir
+        prov = tmp_path / "prov2.jsonl"
+        rc = main([
+            "predict", "--model", str(model), "--log", str(log),
+            "--t-start", str(meta["train_end"]), "--quiet",
+            "--out", str(tmp_path / "p.json"),
+            "--provenance-out", str(prov),
+        ])
+        assert rc == 0
+        assert main(["explain", "--provenance", str(prov),
+                     "--index", "9999"]) == 2
+
+    def test_explain_missing_file_is_exit_1(self, tmp_path):
+        assert main([
+            "explain", "--provenance", str(tmp_path / "absent.jsonl"),
+        ]) == 1
+
+    def test_monitor_rejects_bad_inputs(self, tmp_path):
+        assert main([
+            "monitor", "--metrics", str(tmp_path / "absent.json"),
+            "--listen", "127.0.0.1:0",
+        ]) == 1
+        dump = tmp_path / "m.json"
+        dump.write_text('{"metrics": {}, "spans": []}')
+        assert main([
+            "monitor", "--metrics", str(dump), "--listen", "nonsense",
+        ]) == 2
+
+    def test_monitor_serves_a_dump(self, tmp_path, capsys):
+        dump = tmp_path / "m.json"
+        dump.write_text(json.dumps({
+            "metrics": {"a.b": {"kind": "counter", "value": 4.0}},
+            "spans": [],
+        }))
+        rc = main([
+            "monitor", "--metrics", str(dump),
+            "--listen", "127.0.0.1:0", "--linger", "0",
+        ])
+        assert rc == 0
+        assert "telemetry listening on" in capsys.readouterr().out

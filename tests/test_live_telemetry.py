@@ -1,0 +1,214 @@
+"""Live telemetry: Prometheus exposition, health rules, the HTTP server."""
+
+import json
+import re
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import obs
+from repro.obs.live import (
+    TelemetryServer,
+    health_report,
+    parse_listen,
+    prom_name,
+    render_prometheus,
+)
+
+#: a valid exposition line: comment, or `name{labels} value`
+SAMPLE_LINE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{le=\"[^\"]+\"\})? -?[0-9.e+naif-]+$"
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    obs.reset()
+    yield
+    obs.reset()
+
+
+def http_get(url):
+    try:
+        with urllib.request.urlopen(url, timeout=5) as resp:
+            return resp.status, resp.read().decode(), dict(resp.headers)
+    except urllib.error.HTTPError as err:
+        return err.code, err.read().decode(), dict(err.headers)
+
+
+class TestPromNames:
+    def test_dots_become_underscores(self):
+        assert prom_name("predictor.runs") == "predictor_runs"
+
+    def test_counters_get_the_total_suffix(self):
+        assert prom_name("predictor.runs", "counter") == (
+            "predictor_runs_total"
+        )
+        assert prom_name("x_total", "counter") == "x_total"
+
+    def test_hostile_characters_sanitized(self):
+        assert prom_name("a-b c%d") == "a_b_c_d"
+        assert prom_name("0day") == "_0day"
+
+
+class TestRenderPrometheus:
+    def test_counters_and_gauges(self):
+        obs.counter("predictor.runs").inc(3)
+        obs.gauge("elsa.chains_predictive").set(2.5)
+        text = render_prometheus(obs.get_registry().snapshot())
+        assert "# TYPE predictor_runs_total counter" in text
+        assert "predictor_runs_total 3" in text
+        assert "# TYPE elsa_chains_predictive gauge" in text
+        assert "elsa_chains_predictive 2.5" in text
+
+    def test_histogram_buckets_are_cumulative(self):
+        h = obs.histogram("t.lat", buckets=(1.0, 2.0, 4.0))
+        h.observe_many([0.5, 1.5, 3.0, 9.0])
+        text = render_prometheus(obs.get_registry().snapshot())
+        assert '# TYPE t_lat histogram' in text
+        assert 't_lat_bucket{le="1"} 1' in text
+        assert 't_lat_bucket{le="2"} 2' in text
+        assert 't_lat_bucket{le="4"} 3' in text
+        assert 't_lat_bucket{le="+Inf"} 4' in text
+        assert "t_lat_sum 14" in text
+        assert "t_lat_count 4" in text
+
+    def test_every_line_is_well_formed(self):
+        obs.counter("a.b").inc()
+        obs.gauge("c.d").set(-1.25)
+        obs.histogram("e.f", buckets=(1, 10)).observe(3)
+        for line in render_prometheus(
+            obs.get_registry().snapshot()
+        ).splitlines():
+            if line.startswith("# TYPE "):
+                continue
+            assert SAMPLE_LINE.match(line), line
+
+    def test_every_family_has_a_type_header(self):
+        obs.counter("a.b").inc()
+        obs.histogram("e.f", buckets=(1,)).observe(0.5)
+        text = render_prometheus(obs.get_registry().snapshot())
+        families = set()
+        for line in text.splitlines():
+            if line.startswith("# TYPE "):
+                families.add(line.split()[2])
+            else:
+                name = line.split("{", 1)[0].split()[0]
+                base = re.sub(r"_(bucket|sum|count)$", "", name)
+                assert base in families or name in families, line
+
+    def test_empty_snapshot_renders_empty(self):
+        assert render_prometheus({}) == ""
+
+
+class TestHealthRules:
+    def test_all_quiet_is_ok(self):
+        report = health_report({})
+        assert report["status"] == "ok"
+        assert report["reasons"] == []
+
+    def test_half_open_breaker_degrades(self):
+        snap = {"resilience.breaker.mining.state": {"value": 1.0}}
+        assert health_report(snap)["status"] == "degraded"
+
+    def test_one_open_breaker_degrades_two_fail(self):
+        one = {"resilience.breaker.a.state": {"value": 2.0}}
+        assert health_report(one)["status"] == "degraded"
+        two = dict(one)
+        two["resilience.breaker.b.state"] = {"value": 2.0}
+        report = health_report(two)
+        assert report["status"] == "failing"
+        assert len(report["reasons"]) == 2
+
+    def test_dead_letter_depth_degrades(self):
+        snap = {"resilience.dead_letter_size": {"value": 3.0}}
+        report = health_report(snap)
+        assert report["status"] == "degraded"
+        assert report["checks"]["dead_letter"]["depth"] == 3.0
+
+    def test_drift_alert_degrades(self):
+        snap = {"scoreboard.drift_alert": {"value": 1.0}}
+        assert health_report(snap)["status"] == "degraded"
+
+    def test_checkpoint_age(self):
+        fresh = {"resilience.checkpoint_unix_seconds": {"value": 1000.0}}
+        assert health_report(fresh, now=1100.0)["status"] == "ok"
+        assert health_report(fresh, now=1000.0 + 601.0)["status"] == (
+            "degraded"
+        )
+        # no checkpointing configured → no checkpoint check at all
+        assert "checkpoint" not in health_report({}, now=0.0)["checks"]
+
+
+class TestParseListen:
+    def test_host_and_port(self):
+        assert parse_listen("0.0.0.0:9100") == ("0.0.0.0", 9100)
+
+    def test_bare_port_defaults_host(self):
+        assert parse_listen(":0") == ("127.0.0.1", 0)
+
+    @pytest.mark.parametrize("bad", ["nonsense", "host:", "host:abc", "9100"])
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(ValueError):
+            parse_listen(bad)
+
+
+class TestTelemetryServer:
+    def test_serves_the_live_registry(self):
+        obs.counter("predictor.predictions_issued").inc(7)
+        with TelemetryServer(port=0) as srv:
+            code, body, headers = http_get(srv.url + "/metrics")
+            assert code == 200
+            assert "0.0.4" in headers["Content-Type"]
+            assert "predictor_predictions_issued_total 7" in body
+
+    def test_health_transitions_with_breaker_state(self):
+        with TelemetryServer(port=0) as srv:
+            code, body, _ = http_get(srv.url + "/health")
+            assert code == 200
+            assert json.loads(body)["status"] == "ok"
+
+            obs.gauge("resilience.breaker.signals.state").set(2.0)
+            code, body, _ = http_get(srv.url + "/health")
+            assert code == 200  # degraded still serves 200
+            assert json.loads(body)["status"] == "degraded"
+
+            obs.gauge("resilience.breaker.mining.state").set(2.0)
+            code, body, _ = http_get(srv.url + "/health")
+            assert code == 503  # everything guarded is down
+            assert json.loads(body)["status"] == "failing"
+
+    def test_state_is_the_full_export(self):
+        obs.counter("a.b").inc()
+        with obs.span("outer"):
+            pass
+        with TelemetryServer(port=0) as srv:
+            code, body, _ = http_get(srv.url + "/state")
+        state = json.loads(body)
+        assert code == 200
+        assert state["metrics"]["a.b"]["value"] == 1
+        assert state["spans"][0]["name"] == "outer"
+        assert state["spans"][0]["done"] is True
+
+    def test_unknown_path_is_404_and_index_lists_routes(self):
+        with TelemetryServer(port=0) as srv:
+            assert http_get(srv.url + "/nope")[0] == 404
+            code, body, _ = http_get(srv.url + "/")
+            assert code == 200 and "/metrics" in body
+
+    def test_request_counter_ticks(self):
+        with TelemetryServer(port=0) as srv:
+            http_get(srv.url + "/metrics")
+            http_get(srv.url + "/health")
+        snap = obs.get_registry().snapshot()
+        assert snap["telemetry.http_requests"]["value"] >= 2
+
+    def test_custom_state_fn(self):
+        frozen = {
+            "metrics": {"x.y": {"kind": "counter", "value": 5.0}},
+            "spans": [],
+        }
+        with TelemetryServer(port=0, state_fn=lambda: frozen) as srv:
+            _, body, _ = http_get(srv.url + "/metrics")
+            assert "x_y_total 5" in body

@@ -214,6 +214,58 @@ class TestSpans:
         assert "fit" in text and "records=5" in text and "ms" in text
 
 
+class TestSpanClock:
+    def test_spans_carry_wall_clock_start_and_done(self):
+        import time
+
+        before = time.time()
+        with span("fit"):
+            with span("mine"):
+                pass
+        tree = obs.span_tree()
+        root, child = tree[0], tree[0]["children"][0]
+        assert before <= root["t_start"] <= time.time()
+        assert root["t_start"] <= child["t_start"]
+        assert root["done"] is True and child["done"] is True
+
+    def test_mid_run_export_marks_open_spans(self):
+        with span("outer"):
+            state = obs.export_state()
+            (node,) = [s for s in state["spans"] if s["name"] == "outer"]
+            assert node["done"] is False
+            assert node["wall_seconds"] >= 0  # live duration so far
+        # after exit the same span exports as finished
+        (node,) = [s for s in obs.span_tree() if s["name"] == "outer"]
+        assert node["done"] is True
+
+    def test_concurrent_export_while_instrumenting(self):
+        """export_state is safe against a thread mutating spans/metrics."""
+        errors = []
+        stop = threading.Event()
+
+        def exporter():
+            try:
+                while not stop.is_set():
+                    state = obs.export_state()
+                    json.dumps(state)  # must always be serializable
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        t = threading.Thread(target=exporter)
+        t.start()
+        try:
+            for i in range(300):
+                obs.counter("c.load").inc()
+                obs.histogram("h.load", buckets=(1, 2)).observe(i % 3)
+                with span("root", i=i):
+                    with span("child"):
+                        pass
+        finally:
+            stop.set()
+            t.join()
+        assert errors == []
+
+
 class TestExportAndReset:
     def test_export_state_shape(self):
         obs.counter("c").inc()

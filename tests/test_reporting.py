@@ -5,7 +5,9 @@ import pytest
 from repro.reporting import (
     PAPER_TABLE3,
     TABLE4_ROWS,
+    histogram_quantile,
     render_fig9,
+    render_observability,
     render_table3,
     render_table4,
     run_methods,
@@ -52,3 +54,102 @@ class TestMethodsAndRendering:
             assert 0.0 <= m.result.precision <= 1.0
             assert 0.0 <= m.result.recall <= 1.0
             assert m.n_chains > 0
+
+
+class TestHistogramQuantile:
+    HIST = {
+        "kind": "histogram",
+        "buckets": [1.0, 2.0, 4.0],
+        "counts": [2, 2, 0, 1],  # per-bucket, trailing +inf slot
+        "count": 5,
+        "sum": 9.0,
+        "min": 0.5,
+        "max": 7.0,
+    }
+
+    def test_interpolates_inside_the_crossing_bucket(self):
+        assert histogram_quantile(self.HIST, 0.5) == pytest.approx(1.25)
+
+    def test_tail_quantiles_come_from_the_overflow_max(self):
+        assert histogram_quantile(self.HIST, 0.99) == 7.0
+        assert histogram_quantile(self.HIST, 1.0) == 7.0
+
+    def test_clamped_to_observed_extremes(self):
+        sparse = {
+            "buckets": [0.25, 0.5],
+            "counts": [0, 1, 0],
+            "count": 1,
+            "min": 0.3,
+            "max": 0.3,
+        }
+        assert histogram_quantile(sparse, 0.5) == 0.3
+        assert histogram_quantile(sparse, 0.99) == 0.3
+
+    def test_empty_histogram_is_nan(self):
+        import math
+
+        empty = {"buckets": [1.0], "counts": [0, 0], "count": 0}
+        assert math.isnan(histogram_quantile(empty, 0.5))
+
+    def test_out_of_range_quantile_rejected(self):
+        with pytest.raises(ValueError):
+            histogram_quantile(self.HIST, 1.5)
+
+
+class TestRenderObservability:
+    STATE = {
+        "metrics": {
+            "a.counter": {"kind": "counter", "value": 3.0},
+            "lat.hist": {
+                "kind": "histogram",
+                "buckets": [1.0, 2.0, 4.0],
+                "counts": [2, 2, 0, 1],
+                "count": 5,
+                "sum": 9.0,
+                "min": 0.5,
+                "max": 7.0,
+            },
+        },
+        "spans": [
+            {
+                "name": "fit",
+                "wall_seconds": 0.5,
+                "t_start": 100.0,
+                "done": True,
+                "attrs": {"records": 10},
+                "children": [
+                    {
+                        "name": "mine",
+                        "wall_seconds": 0.2,
+                        "t_start": 100.25,
+                        "done": False,
+                        "attrs": {},
+                        "children": [],
+                    },
+                ],
+            },
+        ],
+    }
+
+    def test_histogram_rows_carry_percentiles(self):
+        text = render_observability(self.STATE)
+        assert "p50=1.25" in text
+        assert "p90=7" in text
+        assert "p99=7" in text
+
+    def test_span_lines_show_offsets_and_running_marker(self):
+        text = render_observability(self.STATE)
+        assert "fit  500.0ms  @+0.000s" in text
+        assert "mine  200.0ms  @+0.250s  (running)" in text
+
+    def test_spans_without_clock_fields_still_render(self):
+        legacy = {
+            "metrics": {},
+            "spans": [{
+                "name": "old", "wall_seconds": 0.1,
+                "attrs": {}, "children": [],
+            }],
+        }
+        text = render_observability(legacy)
+        assert "old  100.0ms" in text
+        assert "@+" not in text

@@ -1,0 +1,206 @@
+"""Online self-evaluation: scoreboard-vs-offline equality, drift detection."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro import obs
+from repro.prediction.evaluation import evaluate_predictions
+from repro.prediction.scoreboard import DriftDetector, OnlineScoreboard
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    obs.reset()
+    yield
+    obs.reset()
+
+
+@pytest.fixture()
+def classified(fitted_elsa, small_scenario):
+    helo_state = fitted_elsa.online_state_dict()
+    stream = fitted_elsa.make_stream(
+        small_scenario.records,
+        small_scenario.train_end,
+        small_scenario.t_end,
+    )
+    yield stream
+    fitted_elsa.restore_online_state(helo_state)
+
+
+class TestScoreboardEquality:
+    def test_online_equals_offline_exactly(
+        self, fitted_elsa, small_scenario, classified
+    ):
+        """Not a tolerance: the same matching rules, the same numbers."""
+        predictions = fitted_elsa.hybrid_predictor().run(classified)
+        offline = evaluate_predictions(predictions, small_scenario.test_faults)
+
+        board = OnlineScoreboard(faults=small_scenario.test_faults)
+        for pred in predictions:
+            board.record_prediction(pred)
+        board.advance(small_scenario.t_end)
+        board.finalize()
+
+        assert board.precision == offline.precision
+        assert board.recall == offline.recall
+        assert board.n_predictions == len(predictions)
+
+    def test_incremental_clock_reaches_the_same_verdict(
+        self, fitted_elsa, small_scenario, classified
+    ):
+        """Advancing hour by hour (live style) changes nothing."""
+        predictions = fitted_elsa.hybrid_predictor().run(classified)
+        offline = evaluate_predictions(predictions, small_scenario.test_faults)
+
+        board = OnlineScoreboard(faults=small_scenario.test_faults)
+        t = small_scenario.train_end
+        pending = sorted(predictions, key=lambda p: p.emitted_at)
+        i = 0
+        while t < small_scenario.t_end:
+            t = min(t + 3600.0, small_scenario.t_end)
+            while i < len(pending) and pending[i].emitted_at <= t:
+                board.record_prediction(pending[i])
+                i += 1
+            board.advance(t)
+        board.finalize()
+        assert board.precision == offline.precision
+        assert board.recall == offline.recall
+
+    def test_gauges_published(self, fitted_elsa, small_scenario, classified):
+        predictions = fitted_elsa.hybrid_predictor().run(classified)
+        board = OnlineScoreboard(faults=small_scenario.test_faults)
+        for pred in predictions:
+            board.record_prediction(pred)
+        board.advance(small_scenario.t_end)
+        board.finalize()
+        snap = obs.get_registry().snapshot()
+        assert snap["scoreboard.precision"]["value"] == board.precision
+        assert snap["scoreboard.recall"]["value"] == board.recall
+        assert snap["scoreboard.predictions"]["value"] == len(predictions)
+        if board.n_predicted_faults:
+            assert (
+                snap["scoreboard.lead_time_seconds"]["count"]
+                == board.n_predicted_faults
+            )
+
+    def test_window_rates_stay_in_range(self):
+        board = OnlineScoreboard()
+        assert board.window_precision == 0.0
+        assert board.window_recall == 0.0
+        assert "precision" in board.snapshot()
+        assert "scoreboard" in board.summary()
+
+    def test_fault_behind_the_clock_rejected(self, small_scenario):
+        board = OnlineScoreboard()
+        board.advance(1e9)
+        with pytest.raises(ValueError):
+            board.add_fault(small_scenario.test_faults[0])
+
+
+NOMINAL = (11.0, {1: 5, 2: 6})
+
+
+def make_detector(**kwargs):
+    kwargs.setdefault("expected_rate", 11.0)
+    kwargs.setdefault("expected_mix", {1: 5.0, 2: 6.0})
+    kwargs.setdefault("expected_tracked_rate", 11.0)
+    kwargs.setdefault("warmup", 10)
+    return DriftDetector(**kwargs)
+
+
+def run_samples(det, n, rate, counts):
+    for _ in range(n):
+        det.observe(rate, counts)
+
+
+class TestDriftDetector:
+    def test_quiet_on_a_nominal_stream(self):
+        det = make_detector()
+        run_samples(det, 400, *NOMINAL)
+        assert det.score < det.threshold
+        assert det.alert_episodes == 0
+        assert not det.alerted
+
+    def test_warmup_is_silent(self):
+        det = make_detector()
+        run_samples(det, 10, 300.0, {1: 150, 2: 150})  # insane but warming
+        assert det.score == 0.0
+        assert not det.alerted
+
+    def test_message_flood_alerts(self):
+        det = make_detector()
+        run_samples(det, 100, *NOMINAL)
+        run_samples(det, 300, 33.0, {1: 15, 2: 18})
+        assert det.alerted
+        assert det.alert_episodes >= 1
+
+    def test_tracked_types_going_silent_alerts(self):
+        det = make_detector()
+        run_samples(det, 100, *NOMINAL)
+        # same volume, but none of it hits the tracked types any more
+        run_samples(det, 300, 11.0, {9: 11})
+        assert det.alerted
+
+    def test_mix_swap_alerts_without_rate_change(self):
+        det = make_detector()
+        run_samples(det, 100, *NOMINAL)
+        run_samples(det, 300, 11.0, {1: 11, 2: 0})
+        assert det.alert_episodes >= 1
+
+    def test_dead_stream_alerts(self):
+        det = make_detector()
+        run_samples(det, 100, *NOMINAL)
+        run_samples(det, 300, 0.0, {})
+        assert det.alerted
+
+    def test_baseline_adapts_so_alerts_are_episodes_not_latches(self):
+        det = make_detector()
+        run_samples(det, 100, *NOMINAL)
+        run_samples(det, 40, 33.0, {1: 15, 2: 18})
+        assert det.alerted
+        # back to nominal: the episode ends
+        run_samples(det, 400, *NOMINAL)
+        assert not det.alerted
+
+    def test_obs_wiring(self):
+        det = make_detector()
+        run_samples(det, 100, *NOMINAL)
+        run_samples(det, 300, 33.0, {1: 15, 2: 18})
+        snap = obs.get_registry().snapshot()
+        assert snap["scoreboard.drift_score"]["value"] == det.score
+        assert snap["scoreboard.drift_alert"]["value"] == 1.0
+        assert snap["scoreboard.drift_alerts"]["value"] == det.alert_episodes
+
+    def test_bad_rate_rejected(self):
+        with pytest.raises(ValueError):
+            DriftDetector(expected_rate=0.0, expected_mix={1: 1.0})
+
+
+class TestFromBehaviors:
+    def test_tracked_set_is_the_stable_background(self):
+        behaviors = {
+            1: SimpleNamespace(mean_rate=4.0, occupancy=0.9),
+            2: SimpleNamespace(mean_rate=2.0, occupancy=0.4),
+            7: SimpleNamespace(mean_rate=0.5, occupancy=0.001),  # bursty
+        }
+        det = DriftDetector.from_behaviors(behaviors, anchors=(7,))
+        assert set(det.expected_mix) == {1, 2}
+        assert det.expected_rate == pytest.approx(6.5)
+        assert det.expected_tracked_rate == pytest.approx(6.0)
+
+    def test_anchor_fallback_when_nothing_is_stable(self):
+        behaviors = {
+            7: SimpleNamespace(mean_rate=0.5, occupancy=0.001),
+        }
+        det = DriftDetector.from_behaviors(behaviors, anchors=(7,))
+        assert set(det.expected_mix) == {7}
+        assert det.expected_tracked_rate is None
+
+    def test_streaming_attach_uses_the_model(self, fitted_elsa, small_scenario):
+        predictor = fitted_elsa.streaming_predictor(
+            small_scenario.train_end, small_scenario.t_end
+        )
+        det = predictor.attach_drift_detector()
+        assert predictor.drift_detector is det
+        assert det.expected_rate > 0
