@@ -289,6 +289,14 @@ def cmd_predict(args: argparse.Namespace) -> int:
     of the run (plus ``--linger`` seconds); ``--truth`` scores emitted
     predictions in-stream on the online scoreboard; ``--provenance-out``
     dumps each prediction's audit record as JSON lines.
+
+    ``--self-heal`` (implied by ``--model-store``) runs the lifecycle
+    loop instead: drift or recall degradation triggers a shadow retrain,
+    a validation gate compares candidate and incumbent on a held-out
+    slice, and the winner is hot-swapped into the stream (see
+    :mod:`repro.lifecycle.healing`).  With ``--model-store`` every
+    accepted version is pickled, so ``--resume-from`` restores the
+    swapped model rather than the seed.
     """
     with Path(args.model).open("rb") as fh:
         elsa: ELSA = pickle.load(fh)
@@ -313,7 +321,38 @@ def cmd_predict(args: argparse.Namespace) -> int:
         resume_from = getattr(args, "resume_from", None)
         ckpt_path = getattr(args, "checkpoint", None) or resume_from
         ckpt_every = getattr(args, "checkpoint_every", None)
-        if resume_from or ckpt_path or ckpt_every:
+        model_store = getattr(args, "model_store", None)
+        self_heal = getattr(args, "self_heal", False) or bool(model_store)
+        if self_heal:
+            from repro.lifecycle import SelfHealingRun
+            from repro.resilience.checkpoint import load_checkpoint
+
+            every = ckpt_every or (4096 if ckpt_path else None)
+            if resume_from and Path(resume_from).exists():
+                run = SelfHealingRun.resume(
+                    elsa, load_checkpoint(resume_from),
+                    faults=faults or (), store_dir=model_store,
+                    checkpoint_path=ckpt_path, checkpoint_every=every,
+                )
+                _emit(
+                    f"resumed from {resume_from} at record "
+                    f"{run.predictor.n_records_fed} on model "
+                    f"v{run.manager.active_version}"
+                )
+            else:
+                run = SelfHealingRun(
+                    elsa, args.t_start, t_end,
+                    faults=faults or (), store_dir=model_store,
+                    checkpoint_path=ckpt_path, checkpoint_every=every,
+                )
+            predictor = run.predictor
+            scoreboard = run.scoreboard
+            predictions = run.run(elsa._sanitize(records))
+            _emit(run.summary())
+            tripped = predictor.breakers.tripped()
+            if tripped:
+                _emit(f"circuit breakers tripped during run: {tripped}")
+        elif resume_from or ckpt_path or ckpt_every:
             from repro.resilience.checkpoint import (
                 ResumableRun,
                 load_checkpoint,
@@ -656,6 +695,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--provenance-out", dest="provenance_out", metavar="FILE",
         default=None,
         help="dump per-prediction audit records as JSON lines",
+    )
+    p.add_argument(
+        "--self-heal", dest="self_heal", action="store_true",
+        help="run the model-lifecycle loop: shadow-retrain on drift or "
+             "recall degradation, validate, and hot-swap (needs --truth "
+             "for the validation gate to ever accept a candidate)",
+    )
+    p.add_argument(
+        "--model-store", dest="model_store", metavar="DIR", default=None,
+        help="directory for pickled model versions (lets a resumed run "
+             "restore a hot-swapped model); implies --self-heal",
     )
     p.set_defaults(func=cmd_predict)
 

@@ -83,25 +83,14 @@ class AdaptiveELSA(ELSA):
         the last two months in the on-line module" — and is classified
         with the *online* HELO table so event-type ids stay stable
         across updates (new message shapes mint new ids at the end).
+
+        The re-learn itself is :meth:`~repro.core.elsa.ELSA.learn_candidate`;
+        this method is the adopt-unconditionally policy around it (the
+        self-healing lifecycle loop validates before adopting instead).
         """
-        cfg = self.config
         keep = keep_seconds if keep_seconds is not None else (
-            cfg.online_keep_seconds
+            self.config.online_keep_seconds
         )
         t0 = max(0.0, now - keep)
-        window = [r for r in records if t0 <= r.timestamp < now]
-        if not window:
-            raise ValueError("empty update window")
-        if cfg.use_mined_templates:
-            ids = self._online_helo.observe_many(
-                [r.message for r in window]
-            )
-            n_types = len(self._online_helo.table)
-        else:
-            ids = [r.event_type for r in window]
-            n_types = max(
-                self.model.n_types,
-                max((i for i in ids if i is not None), default=0) + 1,
-            )
-        self.model = self._learn(window, ids, n_types, t0, now)
+        self.model = self.learn_candidate(records, t0, now)
         return self.model

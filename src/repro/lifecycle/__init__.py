@@ -1,0 +1,40 @@
+"""Model lifecycle: versioned snapshots, self-healing, degradation ladder.
+
+The detect→react loop the paper's online story needs: the
+:class:`~repro.lifecycle.manager.ModelManager` owns versioned immutable
+model snapshots, :class:`~repro.lifecycle.healing.SelfHealingRun`
+shadow-retrains and hot-swaps the streaming predictor when drift or
+recall triggers fire, and the
+:class:`~repro.lifecycle.ladder.DegradationLadder` keeps the predictor
+on a declared rung (hybrid → signals-only → rate baseline) while
+circuit breakers are open.  See ``docs/resilience.md``.
+
+``healing`` is imported lazily: it pulls in the checkpoint/streaming
+stack, which itself imports :mod:`repro.prediction.engine` — and the
+engine imports this package's ladder.  Lazy loading keeps that edge
+acyclic.
+"""
+
+from repro.lifecycle.ladder import DegradationLadder, Rung
+from repro.lifecycle.manager import ModelManager, ModelVersion
+
+__all__ = [
+    "DegradationLadder",
+    "LifecyclePolicy",
+    "ModelManager",
+    "ModelVersion",
+    "Rung",
+    "SelfHealingRun",
+]
+
+_LAZY = {"LifecyclePolicy", "SelfHealingRun"}
+
+
+def __getattr__(name: str):
+    if name in _LAZY:
+        from repro.lifecycle import healing
+
+        return getattr(healing, name)
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}"
+    )

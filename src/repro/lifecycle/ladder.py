@@ -1,0 +1,146 @@
+"""The graceful-degradation ladder: hybrid → signals-only → rate baseline.
+
+Table 3 of the paper prices each layer of the hybrid method: the full
+correlation+location pipeline earns the best precision, pure signal
+analysis (the prior-ELSA method) keeps most of the recall without
+location attachment, and even a crude per-type rate threshold beats
+silence.  The ladder encodes that ordering as explicit *rungs* and lets
+the existing circuit breakers drive which rung the predictor runs on:
+
+* ``HYBRID`` — everything healthy;
+* ``SIGNALS_ONLY`` — the "locations" breaker is open: predictions still
+  fire off signal analysis but locations degrade to the anchor node
+  (the prior-ELSA behaviour);
+* ``RATE_BASELINE`` — the "signals" breaker is open too: the online
+  detectors are unavailable, so anchors fall back to a per-type mean
+  rate threshold — crude, loud, but never silent.
+
+Movement is **monotone**: one rung per :meth:`DegradationLadder.update`
+call, toward the target the breaker set implies — the ladder never
+skips a rung in either direction, and it always reports where it is
+(``lifecycle.ladder_rung`` gauge, ``/health``, ``/state``).  The
+hypothesis property test in ``tests/test_lifecycle.py`` enforces both
+invariants under arbitrary breaker open/close sequences.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Mapping, Optional, Tuple
+
+from repro import obs
+
+__all__ = ["DegradationLadder", "Rung"]
+
+log = obs.get_logger(__name__)
+
+
+class Rung(enum.IntEnum):
+    """Ladder position; higher = more degraded."""
+
+    HYBRID = 0
+    SIGNALS_ONLY = 1
+    RATE_BASELINE = 2
+
+
+class DegradationLadder:
+    """Breaker-driven rung selection with one-step monotone movement.
+
+    Parameters
+    ----------
+    rate_baseline_factor, rate_baseline_min_count:
+        The bottom rung's crude outlier rule: a per-sample count is
+        flagged when it exceeds ``max(factor * mean_rate, min_count)``.
+    """
+
+    def __init__(
+        self,
+        rate_baseline_factor: float = 4.0,
+        rate_baseline_min_count: float = 3.0,
+    ) -> None:
+        self.rate_baseline_factor = float(rate_baseline_factor)
+        self.rate_baseline_min_count = float(rate_baseline_min_count)
+        self.rung = Rung.HYBRID
+        #: (from, to) per transition, in order — the audit trail the
+        #: monotonicity property checks
+        self.transitions: List[Tuple[int, int]] = []
+        obs.gauge("lifecycle.ladder_rung").set(float(self.rung))
+
+    @staticmethod
+    def target_for(tripped: Mapping[str, str]) -> Rung:
+        """The rung a breaker set calls for (``ComponentBreakers.tripped``).
+
+        The "signals" component is the deeper dependency: without the
+        online detectors nothing above the rate baseline can run, so an
+        open signals breaker targets the bottom rung regardless of the
+        locations breaker.
+        """
+        if "signals" in tripped:
+            return Rung.RATE_BASELINE
+        if "locations" in tripped:
+            return Rung.SIGNALS_ONLY
+        return Rung.HYBRID
+
+    def update(self, tripped: Mapping[str, str]) -> Rung:
+        """Move (at most) one rung toward what ``tripped`` implies.
+
+        Returns the rung in force *after* the move.  Descending and
+        climbing both go one rung per call, so recovery retraces the
+        same rungs degradation took.
+        """
+        target = self.target_for(tripped)
+        if target == self.rung:
+            return self.rung
+        step = 1 if target > self.rung else -1
+        new = Rung(int(self.rung) + step)
+        self._transition(new)
+        return self.rung
+
+    def restore(self, rung: int) -> None:
+        """Jump straight to a checkpointed rung (resume only)."""
+        rung = Rung(int(rung))
+        if rung != self.rung:
+            self._transition(rung)
+
+    def _transition(self, new: Rung) -> None:
+        old = self.rung
+        self.rung = new
+        self.transitions.append((int(old), int(new)))
+        obs.gauge("lifecycle.ladder_rung").set(float(new))
+        obs.counter("lifecycle.ladder_transitions").inc()
+        level = log.warning if new > old else log.info
+        level(
+            "degradation ladder moved",
+            extra=obs.logging.kv(
+                from_rung=old.name.lower(), to_rung=new.name.lower()
+            ),
+        )
+
+    # -- the bottom rung's detector -----------------------------------------
+
+    def rate_baseline_outlier(
+        self, value: float, mean_rate: Optional[float]
+    ) -> bool:
+        """Crude per-type rate check used while on ``RATE_BASELINE``.
+
+        ``mean_rate`` is the training-time per-sample rate of the event
+        type (``NormalBehavior.mean_rate``); unknown types use the count
+        floor alone.
+        """
+        threshold = self.rate_baseline_min_count
+        if mean_rate is not None and mean_rate > 0:
+            threshold = max(
+                self.rate_baseline_factor * mean_rate, threshold
+            )
+        if value > threshold:
+            obs.counter("lifecycle.rate_baseline_triggers").inc()
+            return True
+        return False
+
+    def state(self) -> dict:
+        """JSON-ready rendering for ``/state``."""
+        return {
+            "rung": int(self.rung),
+            "rung_name": self.rung.name.lower(),
+            "transitions": [list(t) for t in self.transitions],
+        }

@@ -1,0 +1,222 @@
+"""Versioned, immutable model snapshots for the self-healing loop.
+
+A hot-swappable predictor needs somewhere to stand: every model that
+ever served predictions must stay identifiable (provenance records name
+the version that emitted them), the active version must survive a crash
+(checkpoints carry it, the store re-loads it), and a bad candidate must
+be rejectable without touching the incumbent.  :class:`ModelManager`
+owns exactly that: a monotonically numbered registry of
+:class:`~repro.core.model.TrainedModel` snapshots — HELO table, signal
+characterizations, thresholds, mined chains — treated as immutable once
+registered, an ``active_version`` pointer, and an event log of every
+transition (register / activate / rollback) in a bounded
+:class:`~repro.obs.provenance.FlightRecorder`.
+
+With a ``store_dir`` each registered model is also pickled to
+``model_v<N>.pkl`` so a resumed run can restore the *swapped* model
+rather than the seed — the property the CI soak job enforces.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro import obs
+from repro.obs.provenance import FlightRecorder, LifecycleEvent
+
+__all__ = ["ModelManager", "ModelVersion"]
+
+log = obs.get_logger(__name__)
+
+#: models kept in memory; older ones are evicted (re-loadable from the
+#: store when one was configured)
+KEEP_IN_MEMORY = 4
+
+
+@dataclass(frozen=True)
+class ModelVersion:
+    """Metadata of one registered snapshot (the model itself is heavy)."""
+
+    version: int
+    reason: str
+    stream_time: float
+    n_types: int
+    n_chains: int
+    path: Optional[str] = None
+    scores: Dict[str, float] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "version": self.version,
+            "reason": self.reason,
+            "stream_time": float(self.stream_time),
+            "n_types": self.n_types,
+            "n_chains": self.n_chains,
+            "path": self.path,
+            "scores": dict(self.scores),
+        }
+
+
+class ModelManager:
+    """Registry of versioned model snapshots + the active pointer.
+
+    Parameters
+    ----------
+    store_dir:
+        Optional directory for pickled snapshots.  Created on first
+        use; each registration writes ``model_v<N>.pkl`` atomically
+        (temp + rename), so a crash mid-write never corrupts an
+        existing version.
+    """
+
+    def __init__(self, store_dir: Optional[os.PathLike] = None) -> None:
+        self.store_dir = Path(store_dir) if store_dir is not None else None
+        self._versions: Dict[int, ModelVersion] = {}
+        self._models: Dict[int, object] = {}
+        self._order: List[int] = []  # registration order, for eviction
+        self.active_version = 0
+        self.events = FlightRecorder()
+
+    # -- registration --------------------------------------------------------
+
+    def register(
+        self,
+        model,
+        reason: str,
+        stream_time: float,
+        scores: Optional[Dict[str, float]] = None,
+        version: Optional[int] = None,
+    ) -> ModelVersion:
+        """Snapshot ``model`` under the next version number.
+
+        ``version`` overrides the number only when resuming from a
+        checkpoint (the counter must continue, not restart); it must not
+        collide with an existing registration.
+        """
+        if version is None:
+            version = max(self._versions, default=0) + 1
+        version = int(version)
+        if version in self._versions:
+            raise ValueError(f"model version {version} already registered")
+        path = self._persist(model, version)
+        mv = ModelVersion(
+            version=version,
+            reason=reason,
+            stream_time=float(stream_time),
+            n_types=int(getattr(model, "n_types", 0)),
+            n_chains=len(getattr(model, "predictive_chains", ())),
+            path=path,
+            scores=dict(scores or {}),
+        )
+        self._versions[version] = mv
+        self._models[version] = model
+        self._order.append(version)
+        self._evict()
+        self.events.append(
+            LifecycleEvent("register", stream_time, mv.to_dict())
+        )
+        obs.counter("lifecycle.models_registered").inc()
+        return mv
+
+    def _persist(self, model, version: int) -> Optional[str]:
+        if self.store_dir is None:
+            return None
+        self.store_dir.mkdir(parents=True, exist_ok=True)
+        path = self.store_dir / f"model_v{version}.pkl"
+        tmp = path.with_name(path.name + ".tmp")
+        with open(tmp, "wb") as fh:
+            pickle.dump(model, fh)
+        os.replace(tmp, path)
+        return str(path)
+
+    def _evict(self) -> None:
+        """Drop old in-memory models, never the active one."""
+        while len(self._models) > KEEP_IN_MEMORY:
+            for v in self._order:
+                if v in self._models and v != self.active_version:
+                    del self._models[v]
+                    break
+            else:
+                return
+
+    # -- the active pointer --------------------------------------------------
+
+    def activate(self, version: int, stream_time: float) -> ModelVersion:
+        """Point the predictor at ``version`` (it must be registered)."""
+        mv = self._versions[version]
+        previous = self.active_version
+        self.active_version = version
+        self.events.append(
+            LifecycleEvent(
+                "activate", stream_time,
+                {"version": version, "previous": previous},
+            )
+        )
+        obs.gauge("lifecycle.model_version").set(float(version))
+        log.info(
+            "model version activated",
+            extra=obs.logging.kv(version=version, previous=previous),
+        )
+        return mv
+
+    def rollback(self, stream_time: float, detail: dict) -> None:
+        """Record a rejected candidate; the incumbent stays active."""
+        self.events.append(
+            LifecycleEvent(
+                "rollback", stream_time,
+                dict(detail, incumbent=self.active_version),
+            )
+        )
+        obs.counter("lifecycle.rollbacks").inc()
+        log.warning(
+            "candidate model rejected; incumbent stays",
+            extra=obs.logging.kv(
+                incumbent=self.active_version,
+                reason=str(detail.get("reason", "?")),
+            ),
+        )
+
+    # -- lookups -------------------------------------------------------------
+
+    @property
+    def active(self):
+        """The active model object (loads from the store if evicted)."""
+        return self.get(self.active_version)
+
+    def version_info(self, version: int) -> ModelVersion:
+        return self._versions[version]
+
+    def get(self, version: int):
+        """The model object for ``version`` (memory, then store)."""
+        model = self._models.get(version)
+        if model is not None:
+            return model
+        mv = self._versions.get(version)
+        if mv is None or mv.path is None:
+            raise KeyError(f"model version {version} is not available")
+        with open(mv.path, "rb") as fh:
+            model = pickle.load(fh)
+        self._models[version] = model
+        self._order.append(version)
+        self._evict()
+        return model
+
+    @staticmethod
+    def load_snapshot(path: os.PathLike):
+        """Unpickle one stored snapshot (checkpoint resume path)."""
+        with open(path, "rb") as fh:
+            return pickle.load(fh)
+
+    def state(self) -> dict:
+        """JSON-ready rendering for ``/state``."""
+        return {
+            "active_version": self.active_version,
+            "versions": [
+                self._versions[v].to_dict() for v in sorted(self._versions)
+            ],
+            "events": [e.to_dict() for e in self.events.records()],
+        }

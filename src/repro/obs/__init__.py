@@ -48,13 +48,18 @@ from repro.obs.live import (
     health_report,
     render_prometheus,
 )
-from repro.obs.provenance import FlightRecorder, PredictionProvenance
+from repro.obs.provenance import (
+    FlightRecorder,
+    LifecycleEvent,
+    PredictionProvenance,
+)
 
 __all__ = [
     "Counter",
     "FlightRecorder",
     "Gauge",
     "Histogram",
+    "LifecycleEvent",
     "MetricsRegistry",
     "PredictionProvenance",
     "Span",
@@ -69,13 +74,38 @@ __all__ = [
     "get_registry",
     "health_report",
     "histogram",
+    "register_state_section",
     "render_prometheus",
     "reset",
     "reset_tracing",
     "span",
     "span_roots",
     "span_tree",
+    "unregister_state_section",
 ]
+
+
+#: extra ``export_state`` sections: name -> zero-arg provider returning a
+#: JSON-serializable value.  Subsystems with structured state beyond
+#: metrics/spans (e.g. the model lifecycle) register here so ``/state``
+#: carries them without obs knowing their shape.
+_state_sections: dict = {}
+
+
+def register_state_section(name: str, provider) -> None:
+    """Expose ``provider()`` under ``name`` in every ``export_state``.
+
+    Re-registering a name replaces the previous provider (a rebuilt
+    subsystem simply takes over its section).
+    """
+    if name in ("metrics", "spans"):
+        raise ValueError(f"state section name {name!r} is reserved")
+    _state_sections[name] = provider
+
+
+def unregister_state_section(name: str) -> None:
+    """Remove a section; unknown names are ignored."""
+    _state_sections.pop(name, None)
 
 
 def export_state() -> dict:
@@ -85,15 +115,24 @@ def export_state() -> dict:
     the registry and per-metric locks, and spans still open anywhere in
     the process are included marked ``done: false`` with their live
     durations — so a mid-run ``/state`` poll sees the stage currently
-    executing, not just finished history.
+    executing, not just finished history.  Registered state sections
+    are appended under their own keys; a provider that raises reports
+    the error string instead of taking the whole export down.
     """
-    return {
+    state = {
         "metrics": get_registry().snapshot(),
         "spans": span_tree(include_active=True),
     }
+    for name, provider in list(_state_sections.items()):
+        try:
+            state[name] = provider()
+        except Exception as exc:  # provider bugs must not kill /state
+            state[name] = {"error": f"{type(exc).__name__}: {exc}"}
+    return state
 
 
 def reset() -> None:
-    """Clear the default registry and the finished-span buffer."""
+    """Clear the registry, the finished-span buffer, and state sections."""
     get_registry().reset()
     reset_tracing()
+    _state_sections.clear()

@@ -112,7 +112,8 @@ def health_report(
     * any circuit breaker half-open or open → **degraded**; two or more
       open (every guarded component down) → **failing**;
     * dead-letter buffer non-empty, the sanitizer's ``degraded`` flag
-      set, a drift alert raised, or the last checkpoint older than
+      set, a drift alert raised, the degradation ladder off its top
+      rung, or the last checkpoint older than
       ``checkpoint_stale_seconds`` → **degraded**.
     """
     if snapshot is None:
@@ -160,6 +161,15 @@ def health_report(
         degraded = True
         checks["drift"] = {"ok": False}
         reasons.append("model drift alert raised")
+
+    rung = float(snapshot.get("lifecycle.ladder_rung", {}).get("value", 0.0))
+    if rung > 0:
+        degraded = True
+        label = {1.0: "signals_only", 2.0: "rate_baseline"}.get(
+            rung, f"rung {rung:g}"
+        )
+        checks["ladder"] = {"rung": rung, "ok": False}
+        reasons.append(f"predictor degraded to {label}")
 
     ck = snapshot.get("resilience.checkpoint_unix_seconds")
     if ck is not None and float(ck.get("value", 0.0)) > 0:

@@ -26,6 +26,7 @@ from typing import Deque, Dict, IO, List, Optional, Sequence, Tuple
 
 __all__ = [
     "FlightRecorder",
+    "LifecycleEvent",
     "PredictionProvenance",
     "load_jsonl",
     "render_record",
@@ -33,6 +34,38 @@ __all__ = [
 
 #: predictions kept in a flight recorder before the oldest age out
 DEFAULT_CAPACITY = 512
+
+
+@dataclass(frozen=True)
+class LifecycleEvent:
+    """One model-lifecycle transition, in the same audit-trail spirit.
+
+    ``kind`` is the transition ("register", "swap", "rollback",
+    "retrain_started", "trigger", "ladder", ...); ``stream_time`` is the
+    simulated stream clock at which it happened and ``detail`` carries
+    the transition-specific payload (versions, scores, reasons).  Kept
+    in the same bounded :class:`FlightRecorder` rings as prediction
+    provenance — the recorder only requires ``to_dict``.
+    """
+
+    kind: str
+    stream_time: float
+    detail: Dict[str, object]
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "stream_time": float(self.stream_time),
+            "detail": dict(self.detail),
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "LifecycleEvent":
+        return cls(
+            kind=str(d["kind"]),
+            stream_time=float(d["stream_time"]),
+            detail=dict(d.get("detail", {})),
+        )
 
 
 @dataclass(frozen=True)
@@ -111,23 +144,25 @@ class PredictionProvenance:
 
 
 class FlightRecorder:
-    """Bounded, thread-safe ring buffer of provenance records.
+    """Bounded, thread-safe ring buffer of audit records.
 
     Like its aviation namesake it never fills up and never blocks the
     thing it observes: appends are O(1), the oldest records age out
     past ``capacity``, and a concurrent dump sees a consistent copy.
+    Any record exposing ``to_dict()`` fits — prediction provenance and
+    lifecycle events share the same crash-box semantics.
     """
 
     def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.capacity = int(capacity)
-        self._buf: Deque[PredictionProvenance] = deque(maxlen=self.capacity)
+        self._buf: Deque = deque(maxlen=self.capacity)
         self._appended = 0
         self._lock = threading.Lock()
 
-    def append(self, record: PredictionProvenance) -> None:
-        """Record one prediction's provenance."""
+    def append(self, record) -> None:
+        """Record one audit record (anything with ``to_dict``)."""
         with self._lock:
             self._buf.append(record)
             self._appended += 1
@@ -146,7 +181,7 @@ class FlightRecorder:
         with self._lock:
             return self._appended - len(self._buf)
 
-    def records(self) -> List[PredictionProvenance]:
+    def records(self) -> List:
         """Current contents, oldest first (copy)."""
         with self._lock:
             return list(self._buf)

@@ -25,6 +25,11 @@ import threading
 from time import perf_counter, time as wall_time
 from typing import Any, Dict, List, Optional
 
+from repro.obs.logging import get_logger
+from repro.obs.metrics import counter
+
+log = get_logger(__name__)
+
 __all__ = [
     "Span",
     "active_roots",
@@ -51,14 +56,25 @@ class Span:
     A per-span lock guards the attribute dict and child list so a
     concurrent exporter (``obs.export_state`` from the telemetry
     server thread) can serialize a span that is still being mutated.
+
+    An optional ``deadline_s`` arms a soft watchdog: a span that runs
+    past its deadline increments ``watchdog.deadline_exceeded`` and
+    logs a warning when it finally finishes, and is flagged
+    ``deadline_exceeded: true`` in live exports even *before* it
+    returns — so a wedged stage is visible from ``/state`` mid-run.
     """
 
     __slots__ = (
         "name", "attrs", "children", "t_wall", "t_start", "_t0",
-        "_done", "_lock",
+        "_done", "_lock", "deadline_s", "_deadline_fired",
     )
 
-    def __init__(self, name: str, attrs: Optional[Dict[str, Any]] = None):
+    def __init__(
+        self,
+        name: str,
+        attrs: Optional[Dict[str, Any]] = None,
+        deadline_s: Optional[float] = None,
+    ):
         self.name = name
         self.attrs: Dict[str, Any] = dict(attrs or {})
         self.children: List["Span"] = []
@@ -67,6 +83,8 @@ class Span:
         self._t0: float = 0.0
         self._done = False
         self._lock = threading.Lock()
+        self.deadline_s = deadline_s
+        self._deadline_fired = False
 
     def __setitem__(self, key: str, value: Any) -> None:
         """Attach/overwrite one attribute: ``sp["records"] = n``."""
@@ -83,6 +101,21 @@ class Span:
     def _finish(self) -> None:
         self.t_wall = perf_counter() - self._t0
         self._done = True
+        if self.deadline_s is not None and self.t_wall > self.deadline_s:
+            self._fire_deadline(self.t_wall)
+
+    def _fire_deadline(self, elapsed: float) -> None:
+        """Count/log a deadline overrun exactly once per span."""
+        with self._lock:
+            if self._deadline_fired:
+                return
+            self._deadline_fired = True
+            self.attrs["deadline_exceeded"] = True
+        counter("watchdog.deadline_exceeded").inc()
+        log.warning(
+            "span exceeded its deadline: %s took %.2fs (deadline %.2fs)",
+            self.name, elapsed, self.deadline_s,
+        )
 
     @property
     def done(self) -> bool:
@@ -126,6 +159,16 @@ class Span:
             wall = self.t_wall if done else (
                 perf_counter() - self._t0 if self._t0 else 0.0
             )
+        if (
+            not done
+            and self.deadline_s is not None
+            and wall > self.deadline_s
+        ):
+            # A still-open span past its deadline: fire the watchdog now
+            # so the overrun is visible while the stage is wedged, not
+            # only after it (maybe never) returns.
+            self._fire_deadline(wall)
+            attrs["deadline_exceeded"] = True
         return {
             "name": self.name,
             "wall_seconds": wall,
@@ -207,14 +250,20 @@ class _SpanContext:
                     del _roots[: len(_roots) - MAX_ROOT_SPANS]
 
 
-def span(stage: str, **attrs: Any) -> _SpanContext:
+def span(
+    stage: str, deadline_s: Optional[float] = None, **attrs: Any
+) -> _SpanContext:
     """Open a timed span for ``stage``::
 
         with span("mine", trains=len(trains)) as sp:
             chains = ...
             sp["chains"] = len(chains)
+
+    ``deadline_s`` arms the soft watchdog (see :class:`Span`): exceeding
+    it bumps ``watchdog.deadline_exceeded`` and logs a warning — the
+    stage still runs to completion, the overrun just stops being silent.
     """
-    return _SpanContext(Span(stage, attrs))
+    return _SpanContext(Span(stage, attrs, deadline_s=deadline_s))
 
 
 def current_span() -> Optional[Span]:

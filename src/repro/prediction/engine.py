@@ -34,6 +34,7 @@ from repro.obs.provenance import FlightRecorder, PredictionProvenance
 from repro.location.propagation import LocationIndex, LocationPredictor
 from repro.mining.correlations import CorrelationChain
 from repro.mining.grite import GriteConfig
+from repro.lifecycle.ladder import Rung
 from repro.prediction.analysis_time import AnalysisTimeModel
 from repro.resilience.breaker import ComponentBreakers
 from repro.signals.characterize import NormalBehavior
@@ -278,6 +279,20 @@ class HybridPredictor:
         self.degraded_anchors: List[int] = []
         #: audit records of the last emitted predictions (ring buffer)
         self.flight_recorder = FlightRecorder()
+        #: optional graceful-degradation ladder (see :meth:`attach_ladder`)
+        self.ladder = None
+
+    def attach_ladder(self, ladder) -> None:
+        """Drive a :class:`~repro.lifecycle.ladder.DegradationLadder`.
+
+        The ladder follows this predictor's circuit breakers — one rung
+        per update, reported through ``lifecycle.ladder_rung`` — and
+        arms the bottom rung's per-type rate baseline: while on
+        ``RATE_BASELINE``, an anchor whose guarded detector is
+        unavailable falls back to the crude mean-rate threshold instead
+        of going silent.
+        """
+        self.ladder = ladder
 
     # -- helpers ------------------------------------------------------------
 
@@ -400,6 +415,12 @@ class HybridPredictor:
             )
             if result is None:
                 self.degraded_anchors.append(tid)
+                if self.ladder is not None:
+                    self.ladder.update(self.breakers.tripped())
+                    if self.ladder.rung == Rung.RATE_BASELINE:
+                        out[tid] = self._rate_baseline_outliers(
+                            tid, stream.signals.signal(tid)
+                        )
                 continue
             out[tid] = result.indices
         if self.degraded_anchors:
@@ -407,6 +428,18 @@ class HybridPredictor:
                 len(self.degraded_anchors)
             )
         return out
+
+    def _rate_baseline_outliers(
+        self, tid: int, signal: np.ndarray
+    ) -> np.ndarray:
+        """The bottom rung's crude per-type rate threshold, vectorized."""
+        nb = self.behaviors.get(tid)
+        mean_rate = nb.mean_rate if nb is not None else None
+        flagged = [
+            s for s, value in enumerate(signal)
+            if self.ladder.rate_baseline_outlier(float(value), mean_rate)
+        ]
+        return np.array(flagged, dtype=np.int64)
 
     def _attach_locations(
         self, chain: CorrelationChain, anchor_loc: str
@@ -433,7 +466,12 @@ class HybridPredictor:
         with obs.span(
             "predict", source=self.source_name, chains=len(self.chains)
         ) as sp:
+            if self.ladder is not None:
+                self.ladder.update(self.breakers.tripped())
             predictions = self._run_traced(stream, sp)
+            if self.ladder is not None:
+                self.ladder.update(self.breakers.tripped())
+                sp["ladder_rung"] = int(self.ladder.rung)
         self._record_metrics(predictions, sp.t_wall)
         return predictions
 

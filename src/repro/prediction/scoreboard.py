@@ -34,7 +34,17 @@ from __future__ import annotations
 
 import math
 from collections import deque
-from typing import Deque, Dict, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import (
+    Callable,
+    Deque,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro import obs
 from repro.prediction.engine import Prediction
@@ -244,6 +254,11 @@ class OnlineScoreboard:
         hit = sum(1 for _, ok, _ in self._fault_results if ok)
         return hit / len(self._fault_results)
 
+    @property
+    def window_fault_count(self) -> int:
+        """Faults currently inside the sliding window."""
+        return len(self._fault_results)
+
     def _publish(self) -> None:
         obs.gauge("scoreboard.precision").set(self.precision)
         obs.gauge("scoreboard.recall").set(self.recall)
@@ -318,7 +333,10 @@ class DriftDetector:
     it starts from live data rather than the fitted init) a warning is
     logged, the ``scoreboard.drift_alert`` gauge goes to 1 and
     ``scoreboard.drift_alerts`` counts the episode — the cue that the
-    paper's adaptive re-characterization should re-fit.  The default
+    paper's adaptive re-characterization should re-fit.  An optional
+    ``on_drift`` callback fires once per episode (at the rising edge)
+    with the detector itself; the self-healing lifecycle loop hangs its
+    retrain trigger on it.  The default
     threshold of 0.9 fires when a rate is off ~2.5× or most of the
     tracked mix has moved; ordinary test-window jitter (including the
     injected fault bursts) scores well below it.
@@ -333,6 +351,7 @@ class DriftDetector:
         warmup: int = 64,
         expected_tracked_rate: Optional[float] = None,
         slow_alpha: Optional[float] = None,
+        on_drift: Optional[Callable[["DriftDetector"], None]] = None,
     ) -> None:
         if expected_rate <= 0:
             raise ValueError("expected_rate must be positive")
@@ -366,6 +385,11 @@ class DriftDetector:
         #: rising-edge count, mirroring the ``scoreboard.drift_alerts``
         #: counter (an episode = one contiguous over-threshold stretch)
         self.alert_episodes = 0
+        #: optional rising-edge hook: called once per alert episode with
+        #: this detector; the lifecycle loop's retrain trigger.  Settable
+        #: after construction; exceptions are swallowed (a broken hook
+        #: must not take the prediction loop down with it).
+        self.on_drift = on_drift
 
     @classmethod
     def from_behaviors(
@@ -465,4 +489,13 @@ class DriftDetector:
                     expected_rate=round(self.expected_rate, 2),
                 ),
             )
+            if self.on_drift is not None:
+                try:
+                    self.on_drift(self)
+                except Exception:
+                    log.warning(
+                        "on_drift callback failed",
+                        extra=obs.logging.kv(score=round(self.score, 3)),
+                        exc_info=True,
+                    )
         self.alerted = alert

@@ -29,6 +29,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro import obs
+from repro.lifecycle.ladder import Rung
+from repro.prediction.analysis_time import AnalysisTimeModel
 from repro.prediction.engine import HybridPredictor, Prediction
 from repro.signals.outliers import restore_detector
 from repro.simulation.trace import LogRecord
@@ -171,6 +173,38 @@ class StreamingHybridPredictor(HybridPredictor):
         self.drift_detector = detector
         return detector
 
+    # -- model hot-swap -------------------------------------------------------
+
+    def swap_model(self, model) -> None:
+        """Atomically replace the model artifacts mid-stream.
+
+        ``model`` is a :class:`~repro.core.model.TrainedModel` (a
+        validated candidate from the self-healing shadow retrainer).
+        Chains, behaviours, locations, prediction windows and the
+        per-anchor detectors are rebuilt from it; the *stream* state —
+        sample cursor, resume cursor, emitted predictions, suppression
+        map, partial-sample accumulators — is untouched, so no
+        prediction is dropped or duplicated across the swap boundary.
+        Fresh detectors restart their warmup; suppression entries for
+        chains the new model no longer arms simply expire.  Call
+        between ``feed`` chunks (the lifecycle loop does).
+        """
+        if self._finished:
+            raise RuntimeError("stream already finished")
+        self.chains = [
+            c for c in model.predictive_chains
+            if c.confidence >= self.config.min_chain_confidence
+        ]
+        self.behaviors = dict(model.behaviors)
+        self.location_predictor = model.location_predictor
+        self.span_quantiles = dict(model.span_quantiles)
+        self.analysis_model = AnalysisTimeModel.hybrid(len(self.chains))
+        self._anchors = sorted({c.anchor for c in self.chains})
+        self._detectors = {
+            tid: self._make_detector(tid) for tid in self._anchors
+        }
+        obs.counter("lifecycle.predictor_swaps").inc()
+
     # -- per-sample engine -----------------------------------------------------
 
     def _close_sample(self) -> None:
@@ -183,6 +217,9 @@ class StreamingHybridPredictor(HybridPredictor):
                 np.array([self._cur_msg_count], dtype=np.int64)
             )[0]
         )
+        if self.ladder is not None:
+            # one rung step per closed sample, following the breakers
+            self.ladder.update(self.breakers.tripped())
         flagged: Dict[int, bool] = {}
         for tid in self._anchors:
             value = float(counts.get(tid, 0))
@@ -191,6 +228,15 @@ class StreamingHybridPredictor(HybridPredictor):
             )
             if result is None:
                 self.degraded_anchors.append(tid)
+                if (
+                    self.ladder is not None
+                    and self.ladder.rung == Rung.RATE_BASELINE
+                ):
+                    nb = self.behaviors.get(tid)
+                    if self.ladder.rate_baseline_outlier(
+                        value, nb.mean_rate if nb is not None else None
+                    ):
+                        flagged[tid] = True
                 continue
             is_outlier, _corrected = result
             if is_outlier:

@@ -215,3 +215,9 @@ class ComponentBreakers:
             for name, b in self._breakers.items()
             if b.state != BreakerState.CLOSED
         }
+
+    def states(self) -> Dict[str, str]:
+        """Every breaker's current state (the ``/state`` rendering)."""
+        return {
+            name: b.state.value for name, b in self._breakers.items()
+        }

@@ -10,6 +10,8 @@ record iterator, modelling one real-world ingestion pathology:
 * :class:`ClockSkew` — an NTP step moving every subsequent timestamp;
 * :class:`Burst` — a log storm replaying a time window's records many
   times over;
+* :class:`TemplateChurn` — a software upgrade rewriting message
+  templates mid-stream (the drift the self-healing loop must survive);
 * :class:`CorruptLines` — line-level damage (truncation, garbage bytes)
   applied to the *serialized* form.
 
@@ -159,6 +161,43 @@ class Burst(Perturbation):
                     yield rec
             else:
                 yield rec
+
+
+class TemplateChurn(Perturbation):
+    """Rewrite message templates from ``at_fraction`` of the stream on.
+
+    Models a software upgrade changing log formats mid-stream — the
+    paper's "phase shifts in behavior".  Every record after the cut has
+    its message prefixed (``"v2: "`` by default), which changes the
+    token count, so the online HELO classifier cannot generalize the
+    old templates onto the new shapes: it mints *new* template ids for
+    them, the deployed model's anchors go silent, and a frozen-model
+    run loses recall while the tracked-rate drift signal fires.  The
+    self-healing chaos scenario is built on exactly this perturbation.
+
+    ``match`` optionally restricts the rewrite to messages containing
+    that substring (churn only part of the template set).
+    """
+
+    def __init__(
+        self,
+        at_fraction: float = 0.5,
+        prefix: str = "v2: ",
+        match: str = "",
+        seed: int = 0,
+    ) -> None:
+        super().__init__(seed)
+        self.at_fraction = float(at_fraction)
+        self.prefix = str(prefix)
+        self.match = str(match)
+
+    def apply(self, records: Iterable[LogRecord]) -> Iterator[LogRecord]:
+        all_records = list(records)
+        cut = int(len(all_records) * self.at_fraction)
+        for i, rec in enumerate(all_records):
+            if i >= cut and (not self.match or self.match in rec.message):
+                rec = replace(rec, message=self.prefix + rec.message)
+            yield rec
 
 
 class CorruptLines(Perturbation):

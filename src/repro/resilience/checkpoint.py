@@ -10,15 +10,24 @@ replays a killed run from the snapshot with output byte-identical to an
 uninterrupted one — the property ``tests/test_resilience_checkpoint.py``
 enforces.
 
-Format (version 1)::
+Format (version 2)::
 
     {
-      "version": 1,
+      "version": 2,
       "kind": "elsa-online-checkpoint",
       "n_records_done": 1234,          # resume cursor into the window
       "helo": {...} | null,            # OnlineHELO.state_dict()
-      "predictor": {...}               # StreamingHybridPredictor.state_dict()
+      "predictor": {...},              # StreamingHybridPredictor.state_dict()
+      "lifecycle": {                   # model-lifecycle position
+        "model_version": 1,            # active ModelManager version
+        "ladder_rung": 0,              # degradation-ladder rung
+        "model_path": null             # pickled snapshot of the active
+      }                                # model (non-seed versions)
     }
+
+Version-1 checkpoints (no ``lifecycle`` block) still load: a migration
+shim fills in the seed defaults, so a pre-lifecycle run resumes as
+"seed model, top rung" — exactly what it was.
 """
 
 from __future__ import annotations
@@ -35,19 +44,25 @@ from repro.prediction.streaming import StreamingHybridPredictor
 from repro.simulation.trace import LogRecord
 
 CHECKPOINT_KIND = "elsa-online-checkpoint"
-CHECKPOINT_VERSION = 1
+CHECKPOINT_VERSION = 2
+
+#: the ``lifecycle`` block a pre-lifecycle run implies
+DEFAULT_LIFECYCLE = {"model_version": 1, "ladder_rung": 0, "model_path": None}
 
 
 def save_checkpoint(
     path: os.PathLike,
     predictor: StreamingHybridPredictor,
     helo_state: Optional[dict],
+    lifecycle: Optional[dict] = None,
 ) -> None:
     """Atomically write the online state to ``path``.
 
     The temp-file + rename dance means a crash *during* checkpointing
     leaves the previous checkpoint intact — recovery never sees a torn
-    file.
+    file.  ``lifecycle`` carries the active model version and ladder
+    rung; plain (non-self-healing) runs omit it and get the seed
+    defaults.
     """
     state = {
         "version": CHECKPOINT_VERSION,
@@ -55,6 +70,7 @@ def save_checkpoint(
         "n_records_done": predictor.n_records_fed,
         "helo": helo_state,
         "predictor": predictor.state_dict(),
+        "lifecycle": dict(lifecycle or DEFAULT_LIFECYCLE),
     }
     path = Path(path)
     tmp = path.with_name(path.name + ".tmp")
@@ -68,12 +84,34 @@ def save_checkpoint(
     obs.gauge("resilience.checkpoint_unix_seconds").set(time.time())
 
 
+def _migrate_v1(data: dict) -> dict:
+    """v1 → v2: fill in the seed lifecycle block."""
+    out = dict(data)
+    out["version"] = 2
+    out["lifecycle"] = dict(DEFAULT_LIFECYCLE)
+    return out
+
+
+#: stepwise migration shims: version -> upgrade-one-step function
+_MIGRATIONS = {1: _migrate_v1}
+
+
 def load_checkpoint(path: os.PathLike) -> dict:
-    """Read and validate a checkpoint file."""
+    """Read, migrate if needed, and validate a checkpoint file.
+
+    Older checkpoint versions are upgraded in memory one step at a
+    time through ``_MIGRATIONS`` (the file on disk is untouched);
+    unknown or future versions are still rejected.
+    """
     data = json.loads(Path(path).read_text())
     if data.get("kind") != CHECKPOINT_KIND:
         raise ValueError(f"{path} is not an online checkpoint")
-    if data.get("version") != CHECKPOINT_VERSION:
+    version = data.get("version")
+    while version in _MIGRATIONS and version < CHECKPOINT_VERSION:
+        data = _MIGRATIONS[version](data)
+        version = data["version"]
+        obs.counter("resilience.checkpoints_migrated").inc()
+    if version != CHECKPOINT_VERSION:
         raise ValueError(
             f"checkpoint version {data.get('version')!r} not supported"
         )
@@ -137,6 +175,18 @@ class ResumableRun:
             i if (i is not None and i < n_types) else None for i in ids
         ]
 
+    def _lifecycle_state(self) -> Optional[dict]:
+        """The checkpoint's ``lifecycle`` block (seed defaults here;
+        :class:`~repro.lifecycle.healing.SelfHealingRun` overrides)."""
+        return None
+
+    def _after_chunk(self, batch: Sequence[LogRecord]) -> None:
+        """Hook between feeding a chunk and checkpointing it (no-op)."""
+
+    def _chunk_size(self) -> int:
+        """Records per feed chunk (and per ``_after_chunk`` call)."""
+        return self.checkpoint_every or 4096
+
     def _maybe_checkpoint(self) -> None:
         if self.checkpoint_path is None:
             return
@@ -144,6 +194,7 @@ class ResumableRun:
             self.checkpoint_path,
             self.predictor,
             self.elsa.online_state_dict(),
+            lifecycle=self._lifecycle_state(),
         )
 
     def process(
@@ -165,11 +216,12 @@ class ResumableRun:
         todo = window[done:]
         if limit is not None:
             todo = todo[:limit]
-        chunk = self.checkpoint_every or 4096
+        chunk = self._chunk_size()
         for i in range(0, len(todo), chunk):
             batch = todo[i : i + chunk]
             ids = self._classify(batch)
             self.predictor.feed(batch, ids)
+            self._after_chunk(batch)
             if self.checkpoint_every:
                 self._maybe_checkpoint()
         return self.predictor.n_records_fed

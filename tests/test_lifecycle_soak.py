@@ -1,0 +1,98 @@
+"""Kill-and-resume soak for the self-healing lifecycle (``soak`` marker).
+
+The one property a versioned model store must buy: a run that hot-swapped
+to a retrained model, then died, resumes on the *swapped* model — not the
+seed it originally loaded.  The scenario drives a template-churn stream
+until the first validated swap lands, "kills" the run at a checkpoint,
+rebuilds it from disk (checkpoint + model store), and asserts the model
+identity, the lifecycle counters, and that the resumed run completes.
+
+Excluded from tier-1 via ``-m "not soak"``; CI runs it as the
+``lifecycle-soak`` job.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import pytest
+
+from repro.lifecycle import LifecyclePolicy, SelfHealingRun
+from repro.resilience.chaos import TemplateChurn, perturb
+from repro.resilience.checkpoint import load_checkpoint
+
+pytestmark = pytest.mark.soak
+
+SEED = 20120407
+
+POLICY = LifecyclePolicy(
+    retrain_window_seconds=43200.0,
+    min_train_records=300,
+    min_recall_faults=2,
+    recall_trigger_threshold=0.15,
+    cooldown_seconds=3600.0,
+    backoff_initial_seconds=900.0,
+    drift_threshold=1.3,
+)
+
+
+def test_kill_after_swap_resumes_on_swapped_model(
+    fitted_elsa, small_scenario, tmp_path
+):
+    scn = small_scenario
+    seed_n_types = fitted_elsa.model.n_types
+    faults = [
+        f for f in scn.ground_truth.faults
+        if scn.train_end <= f.fail_time < scn.t_end
+    ]
+    test = [r for r in scn.records if r.timestamp >= scn.train_end]
+    churned = perturb(test, TemplateChurn(at_fraction=0.35, seed=SEED))
+
+    ckpt = tmp_path / "ckpt.json"
+    store = tmp_path / "store"
+    elsa = copy.deepcopy(fitted_elsa)
+    run = SelfHealingRun(
+        elsa, scn.train_end, scn.t_end, faults=faults, policy=POLICY,
+        store_dir=store, checkpoint_path=ckpt, checkpoint_every=1024,
+    )
+    stream = elsa._sanitize(churned)
+
+    # drive until the first validated hot-swap, then checkpoint and "die"
+    while run.manager.active_version == 1:
+        before = run.predictor.n_records_fed
+        run.process(stream, limit=2048)
+        assert run.predictor.n_records_fed > before, (
+            "stream exhausted before any hot-swap happened"
+        )
+    swapped_version = run.manager.active_version
+    swapped_info = run.manager.version_info(swapped_version)
+    run._maybe_checkpoint()
+    records_done = run.predictor.n_records_fed
+    del run, elsa  # the crash
+
+    data = load_checkpoint(ckpt)
+    assert data["lifecycle"]["model_version"] == swapped_version
+    assert data["lifecycle"]["model_path"] is not None
+
+    # resume into a pristine copy of the *seed* pipeline — the restore
+    # must come from the model store, not from anything in memory
+    elsa2 = copy.deepcopy(fitted_elsa)
+    resumed = SelfHealingRun.resume(
+        elsa2, data, faults=faults, policy=POLICY,
+        store_dir=store, checkpoint_path=ckpt, checkpoint_every=1024,
+    )
+    assert resumed.manager.active_version == swapped_version
+    assert resumed.predictor.n_records_fed == records_done
+    # the active model is the swapped snapshot: churn minted new
+    # template ids, so its type space is strictly larger than the seed's
+    assert elsa2.model.n_types == swapped_info.n_types
+    assert elsa2.model.n_types > seed_n_types
+
+    # the resumed run keeps going and finishes cleanly on that model
+    predictions = resumed.run(stream)
+    assert resumed.predictor.n_records_fed >= records_done
+    keys = [(p.trigger_time, p.chain_key, p.anchor_event)
+            for p in predictions]
+    assert len(keys) == len(set(keys)), "duplicated predictions"
+    emitted = [p.emitted_at for p in predictions]
+    assert emitted == sorted(emitted)
