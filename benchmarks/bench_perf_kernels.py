@@ -13,13 +13,14 @@ import numpy as np
 import pytest
 
 from repro.helo.online import OnlineHELO
+from repro.signals.bank import VectorizedDetectorBank
 from repro.signals.crosscorr import correlate_outlier_trains
 from repro.signals.extraction import extract_signals
 from repro.signals.outliers import OnlineOutlierDetector
 
 
 def test_perf_online_classification(bg, elsa_bg, benchmark):
-    """Messages/second through the online HELO matcher."""
+    """Messages/second through the online HELO matcher (indexed)."""
     messages = [r.message for r in bg.test_records[:20000]]
     table = elsa_bg._online_helo.table
 
@@ -30,6 +31,29 @@ def test_perf_online_classification(bg, elsa_bg, benchmark):
     ids = benchmark.pedantic(classify, rounds=2, iterations=1)
     hit_rate = sum(1 for i in ids if i is not None) / len(ids)
     assert hit_rate > 0.95  # the mined table covers the stream
+
+
+def test_perf_template_match_linear(bg, elsa_bg, benchmark):
+    """Same matcher with the shape index off — the legacy linear scan.
+
+    Tracked alongside :func:`test_perf_online_classification` so the
+    index's speedup (and any regression of it) is visible in the
+    benchmark history.
+    """
+    messages = [r.message for r in bg.test_records[:20000]]
+    table = elsa_bg._online_helo.table
+
+    def classify():
+        table.use_index = False
+        try:
+            helo = OnlineHELO(table=table)
+            return helo.observe_many(messages)
+        finally:
+            table.use_index = True
+
+    ids = benchmark.pedantic(classify, rounds=2, iterations=1)
+    hit_rate = sum(1 for i in ids if i is not None) / len(ids)
+    assert hit_rate > 0.95
 
 
 def test_perf_signal_extraction(bg, benchmark):
@@ -60,6 +84,49 @@ def test_perf_online_median_filter(benchmark):
 
     result = benchmark.pedantic(scan, rounds=2, iterations=1)
     assert result.flags.size == signal.size
+
+
+def test_perf_detector_bank_tick_many(benchmark):
+    """Samples/second through the vectorized detector bank.
+
+    The batch analogue of :func:`test_perf_online_median_filter`: eight
+    anchors' dual windows stepped together through ``tick_many``.
+    """
+    rng = np.random.default_rng(2)
+    x = rng.poisson(2.0, size=(8, 50000)).astype(np.float64)
+
+    def scan():
+        bank = VectorizedDetectorBank(
+            [OnlineOutlierDetector(threshold=8.0, window=4000)
+             for _ in range(8)]
+        )
+        return bank.process_matrix(x)
+
+    result = benchmark.pedantic(scan, rounds=2, iterations=1)
+    assert result.flags.shape == x.shape
+
+
+def test_perf_streaming_end_to_end(bg, elsa_bg, benchmark):
+    """Records/second through classify + feed + finish (the fast path).
+
+    The headline number: the whole online pipeline consuming the test
+    window in checkpoint-sized chunks.  ``benchmarks/perf_smoke.py``
+    tracks the same figure standalone with a regression gate.
+    """
+    records = bg.test_records
+    ids = elsa_bg._classify(records, online=True)
+
+    def run():
+        elsa_bg.set_fast_path(True)
+        pred = elsa_bg.streaming_predictor(
+            t_start=bg.train_end, t_end=bg.t_end
+        )
+        for a in range(0, len(records), 4096):
+            pred.feed(records[a:a + 4096], ids[a:a + 4096])
+        return pred.finish()
+
+    preds = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert preds  # the scenario must still produce predictions
 
 
 def test_perf_pair_correlation(benchmark):

@@ -1,0 +1,190 @@
+"""End-to-end streaming throughput smoke test with a regression gate.
+
+Measures the full online path — classify, feed, finish — over the
+scaled BlueGene scenario, on both the fast (vectorized) and legacy
+(scalar) paths, verifies the two emit byte-identical predictions, and
+writes ``BENCH_streaming.json`` with records/sec and per-record latency
+percentiles.
+
+The CI gate (``--check``) compares the *fast-vs-legacy speedup ratio*
+against the committed baseline rather than absolute records/sec, so the
+check is independent of runner speed: a >30% drop in the ratio means the
+fast path itself regressed, not the machine.  Refresh the committed
+numbers with ``--update-baseline`` after an intentional change.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf_smoke.py             # measure
+    PYTHONPATH=src python benchmarks/perf_smoke.py --check     # CI gate
+    PYTHONPATH=src python benchmarks/perf_smoke.py --update-baseline
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+#: committed reference numbers (versioned with the code)
+BASELINE_PATH = Path(__file__).parent / "BENCH_streaming.json"
+#: fresh measurements land next to the other benchmark reports
+REPORT_PATH = Path(__file__).parent / "reports" / "BENCH_streaming.json"
+
+#: pre-PR scalar pipeline on the same scenario (best of 3, measured on
+#: the commit before the fast path landed) — kept for the speedup story
+PRE_PR_RECORDS_PER_SEC = 58_979.0
+
+#: the gate: fail when the fast/legacy ratio drops below 70% of baseline
+MAX_RATIO_REGRESSION = 0.30
+
+CHUNK = 4096
+
+
+def _scenario():
+    from repro.core.elsa import ELSA
+    from repro.datasets.scenarios import bluegene_scenario
+
+    sc = bluegene_scenario(
+        duration_days=1.5,
+        seed=42,
+        train_fraction=0.4,
+        fault_rate_scale=1.5,
+        base_rate_per_sec=0.25,
+    )
+    elsa = ELSA(sc.machine)
+    elsa.fit(sc.records, t_train_end=sc.train_end)
+    test = [r for r in sc.records if r.timestamp >= sc.train_end]
+    return sc, elsa, test
+
+
+def _run_once(sc, elsa, test, fast):
+    """One classify+feed+finish pass; per-chunk feed latencies in µs."""
+    from repro.helo.online import OnlineHELO
+
+    elsa.set_fast_path(fast)
+    helo_state = elsa._online_helo.state_dict()
+    pred = elsa.streaming_predictor(t_start=sc.train_end, t_end=sc.t_end)
+    chunk_us = []
+    t0 = time.perf_counter()
+    ids = elsa._classify(test, online=True)
+    for a in range(0, len(test), CHUNK):
+        c0 = time.perf_counter()
+        pred.feed(test[a:a + CHUNK], ids[a:a + CHUNK])
+        chunk_us.append(
+            (time.perf_counter() - c0) * 1e6 / len(test[a:a + CHUNK])
+        )
+    predictions = pred.finish()
+    elapsed = time.perf_counter() - t0
+    elsa._online_helo = OnlineHELO.from_state(helo_state)
+    return elapsed, chunk_us, predictions
+
+
+def measure(trials: int = 3) -> dict:
+    sc, elsa, test = _scenario()
+    n = len(test)
+    out = {}
+    preds = {}
+    for label, fast in (("fast", True), ("legacy", False)):
+        best = float("inf")
+        all_chunk_us = []
+        for _ in range(trials):
+            elapsed, chunk_us, p = _run_once(sc, elsa, test, fast)
+            best = min(best, elapsed)
+            all_chunk_us.extend(chunk_us)
+            preds[label] = p
+        out[label] = {
+            "records_per_sec": round(n / best, 1),
+            "us_per_record": round(best / n * 1e6, 3),
+            "feed_us_per_record_p50": round(
+                float(np.percentile(all_chunk_us, 50)), 3
+            ),
+            "feed_us_per_record_p99": round(
+                float(np.percentile(all_chunk_us, 99)), 3
+            ),
+            "best_seconds": round(best, 4),
+        }
+    identical = json.dumps([p.to_dict() for p in preds["fast"]]) == (
+        json.dumps([p.to_dict() for p in preds["legacy"]])
+    )
+    if not identical:
+        raise SystemExit(
+            "FAIL: fast and legacy paths emitted different predictions"
+        )
+    fast_rps = out["fast"]["records_per_sec"]
+    return {
+        "scenario": {
+            "name": "bluegene-1.5d",
+            "records": n,
+            "predictions": len(preds["fast"]),
+            "trials": trials,
+            "chunk": CHUNK,
+        },
+        "fast": out["fast"],
+        "legacy": out["legacy"],
+        "predictions_identical": identical,
+        "speedup_fast_vs_legacy": round(
+            fast_rps / out["legacy"]["records_per_sec"], 3
+        ),
+        "pre_pr_baseline": {
+            "records_per_sec": PRE_PR_RECORDS_PER_SEC,
+            "note": "scalar pipeline before the fast path landed, "
+                    "same scenario, best of 3",
+        },
+        "speedup_vs_pre_pr": round(fast_rps / PRE_PR_RECORDS_PER_SEC, 2),
+    }
+
+
+def check(result: dict) -> int:
+    """Ratio gate against the committed baseline; returns exit status."""
+    if not BASELINE_PATH.exists():
+        print(f"no committed baseline at {BASELINE_PATH}; skipping gate")
+        return 0
+    baseline = json.loads(BASELINE_PATH.read_text())
+    base_ratio = baseline["speedup_fast_vs_legacy"]
+    cur_ratio = result["speedup_fast_vs_legacy"]
+    floor = base_ratio * (1.0 - MAX_RATIO_REGRESSION)
+    print(
+        f"fast/legacy speedup: current {cur_ratio:.3f}x, "
+        f"baseline {base_ratio:.3f}x, floor {floor:.3f}x"
+    )
+    if cur_ratio < floor:
+        print(
+            f"FAIL: fast-path speedup regressed more than "
+            f"{MAX_RATIO_REGRESSION:.0%} vs the committed baseline"
+        )
+        return 1
+    print("OK: fast path within budget")
+    return 0
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--trials", type=int, default=3)
+    ap.add_argument(
+        "--check", action="store_true",
+        help="fail on >30%% speedup-ratio regression vs the baseline",
+    )
+    ap.add_argument(
+        "--update-baseline", action="store_true",
+        help=f"write the committed baseline at {BASELINE_PATH}",
+    )
+    args = ap.parse_args(argv)
+    result = measure(trials=args.trials)
+    print(json.dumps(result, indent=2))
+    REPORT_PATH.parent.mkdir(parents=True, exist_ok=True)
+    REPORT_PATH.write_text(json.dumps(result, indent=2) + "\n")
+    print(f"wrote {REPORT_PATH}")
+    if args.update_baseline:
+        BASELINE_PATH.write_text(json.dumps(result, indent=2) + "\n")
+        print(f"wrote {BASELINE_PATH}")
+    if args.check:
+        return check(result)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -300,6 +300,7 @@ def cmd_predict(args: argparse.Namespace) -> int:
     """
     with Path(args.model).open("rb") as fh:
         elsa: ELSA = pickle.load(fh)
+    elsa.set_fast_path(getattr(args, "fast_path", True))
     lenient = _apply_resilience(elsa, args)
     try:
         records = _read_records(args.log, args.format, lenient=lenient)
@@ -321,6 +322,7 @@ def cmd_predict(args: argparse.Namespace) -> int:
         resume_from = getattr(args, "resume_from", None)
         ckpt_path = getattr(args, "checkpoint", None) or resume_from
         ckpt_every = getattr(args, "checkpoint_every", None)
+        batch_size = getattr(args, "batch_size", None)
         model_store = getattr(args, "model_store", None)
         self_heal = getattr(args, "self_heal", False) or bool(model_store)
         if self_heal:
@@ -333,6 +335,7 @@ def cmd_predict(args: argparse.Namespace) -> int:
                     elsa, load_checkpoint(resume_from),
                     faults=faults or (), store_dir=model_store,
                     checkpoint_path=ckpt_path, checkpoint_every=every,
+                    batch_size=batch_size,
                 )
                 _emit(
                     f"resumed from {resume_from} at record "
@@ -344,6 +347,7 @@ def cmd_predict(args: argparse.Namespace) -> int:
                     elsa, args.t_start, t_end,
                     faults=faults or (), store_dir=model_store,
                     checkpoint_path=ckpt_path, checkpoint_every=every,
+                    batch_size=batch_size,
                 )
             predictor = run.predictor
             scoreboard = run.scoreboard
@@ -352,17 +356,20 @@ def cmd_predict(args: argparse.Namespace) -> int:
             tripped = predictor.breakers.tripped()
             if tripped:
                 _emit(f"circuit breakers tripped during run: {tripped}")
-        elif resume_from or ckpt_path or ckpt_every:
+        elif resume_from or ckpt_path or ckpt_every or batch_size:
             from repro.resilience.checkpoint import (
                 ResumableRun,
                 load_checkpoint,
             )
 
-            every = ckpt_every or 4096
+            # --batch-size alone selects the streaming engine without
+            # enabling checkpoints (no path to write them to)
+            every = ckpt_every or (4096 if ckpt_path else None)
             if resume_from and Path(resume_from).exists():
                 run = ResumableRun.resume(
                     elsa, load_checkpoint(resume_from),
                     checkpoint_path=ckpt_path, checkpoint_every=every,
+                    batch_size=batch_size,
                 )
                 _emit(
                     f"resumed from {resume_from} at record "
@@ -372,6 +379,7 @@ def cmd_predict(args: argparse.Namespace) -> int:
                 run = ResumableRun(
                     elsa, args.t_start, t_end,
                     checkpoint_path=ckpt_path, checkpoint_every=every,
+                    batch_size=batch_size,
                 )
             predictor = run.predictor
             if faults is not None:
@@ -676,6 +684,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--resume-from", dest="resume_from", metavar="FILE", default=None,
         help="resume a killed run from this checkpoint file",
+    )
+    p.add_argument(
+        "--batch-size", dest="batch_size", type=int, metavar="N",
+        default=None,
+        help="records per feed chunk on the streaming engine (selects "
+             "it when no checkpointing flag does; decouples feed "
+             "granularity from --checkpoint-every)",
+    )
+    p.add_argument(
+        "--fast-path", dest="fast_path",
+        action=argparse.BooleanOptionalAction, default=True,
+        help="vectorized streaming fast path (indexed template matcher "
+             "+ detector bank); --no-fast-path forces the scalar "
+             "reference loops, predictions are identical either way",
     )
     p.add_argument(
         "--listen", metavar="HOST:PORT", default=None,

@@ -87,14 +87,45 @@ class MinedTemplate:
 class TemplateTable:
     """Indexed collection of mined templates with fast lookup.
 
-    Lookup buckets templates by token count, then scans the bucket for a
-    token-wise match.  Buckets hold at most a few dozen templates on real
-    catalogs, so :meth:`classify` is effectively O(message length).
+    Lookup buckets templates by token count; within a bucket the fast
+    path dispatches through two structures instead of scanning:
+
+    * an **exact-shape hash** — fully-constant templates keyed by their
+      token tuple, so constant messages resolve in one dict probe;
+    * a **discrimination index** — wildcarded templates grouped by their
+      constant token at one chosen position (the position that splits
+      the bucket best), so only the matching group plus the templates
+      wildcarded at that position need verification.
+
+    Candidates from both structures are verified with
+    :meth:`MinedTemplate.matches_tokens` and the *lowest* matching id
+    wins.  Ids are dense and assigned in insertion order, so bucket
+    order equals ascending-id order and min-id reproduces the linear
+    scan's first-match semantics bit for bit
+    (:meth:`classify_tokens_linear` keeps the reference scan; property
+    tests assert equivalence).  A bounded memo on normalized token
+    shapes short-circuits repeats entirely — shape cardinality is tiny
+    next to message cardinality because normalization collapses the
+    variable fields.  The index rebuilds lazily after :meth:`add` /
+    :meth:`replace`, amortizing online minting storms.
     """
+
+    #: memo bound; normalized-shape cardinality is typically a few
+    #: hundred, the bound only guards pathological shape churn.
+    _MEMO_MAX = 1 << 16
 
     def __init__(self, templates: Iterable[MinedTemplate] = ()) -> None:
         self._templates: List[MinedTemplate] = []
         self._buckets: Dict[int, List[int]] = {}
+        #: escape hatch: ``False`` routes every lookup through the
+        #: reference linear scan (``--no-fast-path``).
+        self.use_index = True
+        self._index_dirty = True
+        self._exact: Dict[Tuple[str, ...], int] = {}
+        # bucket length -> (disc position or None, constant-token -> tids,
+        #                   tids wildcarded at the disc position)
+        self._disc: Dict[int, Tuple[Optional[int], Dict[str, List[int]], List[int]]] = {}
+        self._memo: Dict[Tuple[str, ...], Optional[int]] = {}
         for t in templates:
             self.add(t)
 
@@ -115,6 +146,7 @@ class TemplateTable:
         )
         self._templates.append(stored)
         self._buckets.setdefault(stored.n_tokens, []).append(tid)
+        self._invalidate_index()
         return stored
 
     def replace(self, tid: int, template: MinedTemplate) -> MinedTemplate:
@@ -130,14 +162,97 @@ class TemplateTable:
             tokens=template.tokens, template_id=tid, support=template.support
         )
         self._templates[tid] = stored
+        self._invalidate_index()
         return stored
 
-    def classify_tokens(self, tokens: Sequence[str]) -> Optional[int]:
-        """Template id matching the tokens, or ``None``."""
+    # -- fast-path index -----------------------------------------------------
+
+    def _invalidate_index(self) -> None:
+        self._index_dirty = True
+        if self._memo:
+            self._memo.clear()
+
+    def _rebuild_index(self) -> None:
+        """Build the exact-shape hash and per-bucket discrimination index."""
+        exact: Dict[Tuple[str, ...], int] = {}
+        disc: Dict[int, Tuple[Optional[int], Dict[str, List[int]], List[int]]] = {}
+        for length, tids in self._buckets.items():
+            wild: List[int] = []
+            for tid in tids:
+                t = self._templates[tid]
+                if t.n_wildcards == 0:
+                    # first-added (lowest id) wins among duplicate shapes,
+                    # mirroring the linear scan
+                    exact.setdefault(t.tokens, tid)  # type: ignore[arg-type]
+                else:
+                    wild.append(tid)
+            if not wild:
+                continue
+            # pick the position where the fewest templates are wildcarded
+            # (those must always be verified), breaking ties by how finely
+            # the constants split the rest
+            best_pos, best_key = None, None
+            for pos in range(length):
+                groups: Dict[str, int] = {}
+                n_wild_here = 0
+                for tid in wild:
+                    tok = self._templates[tid].tokens[pos]
+                    if tok is None:
+                        n_wild_here += 1
+                    else:
+                        groups[tok] = groups.get(tok, 0) + 1
+                key = (n_wild_here, max(groups.values()) if groups else 0)
+                if best_key is None or key < best_key:
+                    best_pos, best_key = pos, key
+            by_token: Dict[str, List[int]] = {}
+            always: List[int] = []
+            for tid in wild:
+                tok = self._templates[tid].tokens[best_pos]
+                if tok is None:
+                    always.append(tid)
+                else:
+                    by_token.setdefault(tok, []).append(tid)
+            disc[length] = (best_pos, by_token, always)
+        self._exact = exact
+        self._disc = disc
+        self._index_dirty = False
+
+    def classify_tokens_linear(self, tokens: Sequence[str]) -> Optional[int]:
+        """Reference linear bucket scan (first match in id order)."""
         for tid in self._buckets.get(len(tokens), ()):
             if self._templates[tid].matches_tokens(tokens):
                 return tid
         return None
+
+    def classify_tokens(self, tokens: Sequence[str]) -> Optional[int]:
+        """Template id matching the tokens, or ``None``."""
+        if not self.use_index:
+            return self.classify_tokens_linear(tokens)
+        key = tuple(tokens)
+        memo = self._memo
+        if key in memo:
+            return memo[key]
+        if self._index_dirty:
+            self._rebuild_index()
+        best = self._exact.get(key)
+        entry = self._disc.get(len(key))
+        if entry is not None:
+            pos, by_token, always = entry
+            templates = self._templates
+            for tid in by_token.get(key[pos], ()):  # type: ignore[index]
+                if (best is None or tid < best) and templates[tid].matches_tokens(key):
+                    best = tid
+                    break  # group lists are id-ordered; first hit is min
+            for tid in always:
+                if best is not None and tid >= best:
+                    break  # id-ordered; nothing smaller remains
+                if templates[tid].matches_tokens(key):
+                    best = tid
+                    break
+        if len(memo) >= self._MEMO_MAX:
+            memo.clear()
+        memo[key] = best
+        return best
 
     def classify(self, message: str) -> Optional[int]:
         """Template id matching a raw message, or ``None``."""

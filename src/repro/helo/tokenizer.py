@@ -65,9 +65,30 @@ def normalize_token(token: str) -> str:
     return token
 
 
+#: memo for :func:`normalize_token`.  The token vocabulary of a log
+#: stream repeats heavily (the same daemons emit the same words), so the
+#: regex cascade in :func:`is_variable_token` runs once per distinct
+#: token instead of once per occurrence.  ``normalize_token`` is a pure
+#: function of its argument, so caching cannot change results; the cache
+#: is cleared wholesale when full, which keeps the hot vocabulary warm
+#: while bounding memory against unbounded unique-id churn.
+_NORM_CACHE: dict = {}
+_NORM_CACHE_MAX = 1 << 16
+
+
 def normalize_tokens(tokens: List[str]) -> List[str]:
     """Replace variable tokens with ``*`` (or ``key:*``) wildcards."""
-    return [normalize_token(t) for t in tokens]
+    cache = _NORM_CACHE
+    out = []
+    for t in tokens:
+        v = cache.get(t)
+        if v is None:
+            v = normalize_token(t)
+            if len(cache) >= _NORM_CACHE_MAX:
+                cache.clear()
+            cache[t] = v
+        out.append(v)
+    return out
 
 
 def signature(tokens: List[str]) -> Tuple[int, str]:

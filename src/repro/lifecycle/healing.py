@@ -131,12 +131,14 @@ class SelfHealingRun(ResumableRun):
         store_dir: Optional[os.PathLike] = None,
         checkpoint_path: Optional[os.PathLike] = None,
         checkpoint_every: Optional[int] = None,
+        batch_size: Optional[int] = None,
         seed_version: int = 1,
     ) -> None:
         super().__init__(
             elsa, t_start, t_end,
             checkpoint_path=checkpoint_path,
             checkpoint_every=checkpoint_every,
+            batch_size=batch_size,
         )
         self.policy = policy or LifecyclePolicy()
         self.manager = manager or ModelManager(store_dir=store_dir)
@@ -181,6 +183,7 @@ class SelfHealingRun(ResumableRun):
         store_dir: Optional[os.PathLike] = None,
         checkpoint_path: Optional[os.PathLike] = None,
         checkpoint_every: Optional[int] = None,
+        batch_size: Optional[int] = None,
     ) -> "SelfHealingRun":
         """Rebuild a self-healing run from a v2 checkpoint.
 
@@ -212,6 +215,7 @@ class SelfHealingRun(ResumableRun):
             store_dir=store_dir,
             checkpoint_path=checkpoint_path,
             checkpoint_every=checkpoint_every,
+            batch_size=batch_size,
             seed_version=version,
         )
         run.predictor.load_state(pstate)
@@ -237,6 +241,8 @@ class SelfHealingRun(ResumableRun):
 
     def _chunk_size(self) -> int:
         chunk = self.policy.heal_check_records
+        if self.batch_size is not None:
+            chunk = min(chunk, self.batch_size)
         if self.checkpoint_every:
             chunk = min(chunk, self.checkpoint_every)
         return chunk

@@ -28,6 +28,7 @@ from repro.obs.metrics import (
     Counter,
     Gauge,
     Histogram,
+    LocalCounters,
     MetricsRegistry,
     counter,
     gauge,
@@ -60,6 +61,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "LifecycleEvent",
+    "LocalCounters",
     "MetricsRegistry",
     "PredictionProvenance",
     "Span",

@@ -20,6 +20,7 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "LocalCounters",
     "MetricsRegistry",
     "DEFAULT_BUCKETS",
     "TIME_BUCKETS",
@@ -234,6 +235,48 @@ class Histogram:
                 "min": self._min,
                 "max": self._max,
             }
+
+
+class LocalCounters:
+    """Lock-free local accumulator for per-record counter increments.
+
+    ``Counter.inc`` takes the metric's lock on every call; in a
+    per-record loop that serializes the hot path on lock traffic.  A
+    ``LocalCounters`` buffers increments in a plain dict (no locks, no
+    registry lookups) and :meth:`flush` applies each name's total with
+    one ``inc`` per *distinct* counter.
+
+    Tradeoff: between flushes, the registry under-reports the buffered
+    amounts — snapshots taken mid-batch lag by at most one batch.  Flush
+    at batch boundaries (and in ``finally`` blocks around long loops) to
+    bound the staleness.  Not thread-safe; use one instance per thread.
+    """
+
+    def __init__(self, registry: Optional["MetricsRegistry"] = None) -> None:
+        self._registry = registry
+        self._pending: Dict[str, float] = {}
+
+    def inc(self, name: str, amount: float = 1.0) -> None:
+        """Buffer ``amount`` for counter ``name`` (must be >= 0)."""
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self._pending[name] = self._pending.get(name, 0.0) + amount
+
+    def flush(self) -> None:
+        """Apply every buffered total to the registry and clear."""
+        if not self._pending:
+            return
+        registry = self._registry or _default_registry
+        pending, self._pending = self._pending, {}
+        for name, amount in pending.items():
+            if amount:
+                registry.counter(name).inc(amount)
+
+    def __enter__(self) -> "LocalCounters":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.flush()
 
 
 class MetricsRegistry:

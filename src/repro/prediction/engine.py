@@ -219,6 +219,10 @@ class PredictorConfig:
     #: paper's hybrid keeps "only the most frequent subset", which is why
     #: its online correlation set is small (62) and its precision high.
     min_chain_confidence: float = 0.5
+    #: route outlier detection through the vectorized detector bank and
+    #: the streaming predictor through the batched feed (bit-identical
+    #: to the scalar path; ``--no-fast-path`` is the escape hatch).
+    fast_path: bool = True
 
 
 class HybridPredictor:
@@ -407,8 +411,35 @@ class HybridPredictor:
         """
         anchors = sorted({c.anchor for c in self.chains})
         out: Dict[int, np.ndarray] = {}
+        detectors = {tid: self._make_detector(tid) for tid in anchors}
+        if anchors and getattr(self.config, "fast_path", True):
+            from repro.signals.bank import BankLayoutError, VectorizedDetectorBank
+
+            try:
+                bank = VectorizedDetectorBank(
+                    [detectors[t] for t in anchors]
+                )
+            except BankLayoutError:
+                # foreign detector classes / desynchronized state: the
+                # scalar loop below handles anything
+                bank = None
+            if bank is not None:
+                x = np.vstack(
+                    [stream.signals.signal(t) for t in anchors]
+                )
+                result = self.breakers.guarded(
+                    "signals", lambda: bank.process_matrix(x)
+                )
+                if result is not None:
+                    for i, tid in enumerate(anchors):
+                        out[tid] = np.flatnonzero(result.flags[i])
+                    return out
+                # the vector attempt failed (and fed the breaker); retry
+                # per anchor with fresh detectors so one pathological
+                # signal degrades one anchor, not the tick
+                detectors = {t: self._make_detector(t) for t in anchors}
         for tid in anchors:
-            detector = self._make_detector(tid)
+            detector = detectors[tid]
             result = self.breakers.guarded(
                 "signals",
                 lambda: detector.process_array(stream.signals.signal(tid)),

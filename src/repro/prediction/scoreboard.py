@@ -352,6 +352,9 @@ class DriftDetector:
         expected_tracked_rate: Optional[float] = None,
         slow_alpha: Optional[float] = None,
         on_drift: Optional[Callable[["DriftDetector"], None]] = None,
+        lag_check_interval: int = 256,
+        lag_window: int = 512,
+        lag_max_lag: int = 64,
     ) -> None:
         if expected_rate <= 0:
             raise ValueError("expected_rate must be positive")
@@ -390,6 +393,25 @@ class DriftDetector:
         #: after construction; exceptions are swallowed (a broken hook
         #: must not take the prediction loop down with it).
         self.on_drift = on_drift
+        # -- advisory lag-correlation check ------------------------------
+        # Every ``lag_check_interval`` samples the recent arrival-rate
+        # history is lag-correlated against a frozen early-stream
+        # baseline window; a strong off-zero lag suggests the stream is
+        # a time-shifted replay of its own past (periodic load shifts),
+        # a weak best correlation that the rhythm itself changed.  The
+        # baseline's centered/scaled form and FFT are computed once and
+        # cached (:class:`~repro.signals.crosscorr.CachedCorrelator`),
+        # so a check costs one FFT of the query window instead of an
+        # O(lags·n) Python loop per tick.  Purely advisory: reported via
+        # the ``scoreboard.drift_lag*`` gauges and the log, never folded
+        # into :attr:`score` (0 disables).
+        self.lag_check_interval = int(lag_check_interval)
+        self.lag_window = int(lag_window)
+        self.lag_max_lag = int(lag_max_lag)
+        self._history: Deque[float] = deque(maxlen=max(self.lag_window, 1))
+        self._correlator = None
+        #: last advisory check's ``(lag, correlation)`` (None = not yet run)
+        self.lag_corr: Optional[Tuple[int, float]] = None
 
     @classmethod
     def from_behaviors(
@@ -443,6 +465,8 @@ class DriftDetector:
         """
         a = self.alpha
         self._seen += 1
+        if self.lag_check_interval > 0:
+            self._observe_lag(float(msg_count))
         # during warmup the baseline tracks at full speed so both EWMAs
         # start from live data rather than the fitted initialization
         a_slow = a if self._seen <= self.warmup else self.slow_alpha
@@ -499,3 +523,32 @@ class DriftDetector:
                         exc_info=True,
                     )
         self.alerted = alert
+
+    def _observe_lag(self, msg_count: float) -> None:
+        """Advisory lag correlation of the rate history (see ``__init__``)."""
+        self._history.append(msg_count)
+        if len(self._history) < self.lag_window:
+            return
+        if self._correlator is None:
+            from repro.signals.crosscorr import CachedCorrelator
+
+            # freeze the first full window as the baseline epoch; its
+            # centered/scaled form is cached across all later checks
+            try:
+                self._correlator = CachedCorrelator(
+                    list(self._history),
+                    min(self.lag_max_lag, self.lag_window - 1),
+                )
+            except ValueError:
+                self.lag_check_interval = 0
+                return
+        if self._seen % self.lag_check_interval:
+            return
+        lag, corr = self._correlator.best(list(self._history))
+        self.lag_corr = (lag, corr)
+        obs.gauge("scoreboard.drift_lag_corr").set(corr)
+        obs.gauge("scoreboard.drift_lag").set(float(lag))
+        log.debug(
+            "advisory lag-correlation drift check",
+            extra=obs.logging.kv(lag=lag, corr=round(corr, 3)),
+        )

@@ -32,6 +32,7 @@ from repro import obs
 from repro.lifecycle.ladder import Rung
 from repro.prediction.analysis_time import AnalysisTimeModel
 from repro.prediction.engine import HybridPredictor, Prediction
+from repro.signals.bank import BankLayoutError, VectorizedDetectorBank
 from repro.signals.outliers import restore_detector
 from repro.simulation.trace import LogRecord
 
@@ -67,7 +68,9 @@ class StreamingHybridPredictor(HybridPredictor):
             np.ceil((self.t_end - self.t_start) / self.sampling_period)
         )
         self._anchors = sorted({c.anchor for c in self.chains})
+        self._anchor_arr = np.asarray(self._anchors, dtype=np.int64)
         self._detectors = {tid: self._make_detector(tid) for tid in self._anchors}
+        self._rebuild_bank()
         # mutable stream state -------------------------------------------------
         self._k = 0  # sample currently accumulating
         self._n_fed = 0  # records consumed so far
@@ -88,6 +91,31 @@ class StreamingHybridPredictor(HybridPredictor):
         self.scoreboard = None
         self.drift_detector = None
 
+    # -- fast path -----------------------------------------------------------
+
+    def _rebuild_bank(self) -> None:
+        """(Re)absorb the scalar detectors into a vectorized bank.
+
+        Call whenever ``self._detectors`` is replaced wholesale
+        (construction, ``load_state``, ``swap_model``).  When the bank is
+        active it owns detection state and the scalar dict is only a
+        construction artifact; :meth:`state_dict` reads the bank.  Any
+        layout the bank cannot express keeps the scalar path.
+        """
+        self._bank = None
+        if (
+            not getattr(self.config, "fast_path", True)
+            or not self._anchors
+            or set(self._detectors) != set(self._anchors)
+        ):
+            return
+        try:
+            self._bank = VectorizedDetectorBank(
+                [self._detectors[t] for t in self._anchors]
+            )
+        except BankLayoutError:
+            self._bank = None
+
     # -- feeding -------------------------------------------------------------
 
     def feed(
@@ -99,11 +127,31 @@ class StreamingHybridPredictor(HybridPredictor):
 
         ``event_ids`` parallels ``records`` (``None`` = unclassified),
         exactly as in :class:`~repro.prediction.engine.TestStream`.
+
+        On the fast path chunks are validated and grouped per sampling
+        interval with numpy and accumulated in bulk; the resulting state
+        transitions (and therefore predictions and checkpoints) are
+        identical to the record-at-a-time reference loop
+        (:meth:`_feed_scalar`), which remains the escape hatch.  The one
+        visible difference: a chunk containing an out-of-window or
+        out-of-order record is rejected *before* any of it is consumed,
+        where the scalar loop consumes the valid prefix first.
         """
         if len(records) != len(event_ids):
             raise ValueError("event_ids must parallel records")
         if self._finished:
             raise RuntimeError("stream already finished")
+        if len(records) > 1 and getattr(self.config, "fast_path", True):
+            self._feed_batched(records, event_ids)
+        else:
+            self._feed_scalar(records, event_ids)
+
+    def _feed_scalar(
+        self,
+        records: Sequence[LogRecord],
+        event_ids: Sequence[Optional[int]],
+    ) -> None:
+        """Reference record-at-a-time feed loop."""
         for rec, tid in zip(records, event_ids):
             if not self.t_start <= rec.timestamp < self.t_end:
                 raise ValueError(
@@ -125,6 +173,253 @@ class StreamingHybridPredictor(HybridPredictor):
                     self._cur_type_counts.get(tid, 0) + 1
                 )
             self._n_fed += 1
+
+    def _feed_batched(
+        self,
+        records: Sequence[LogRecord],
+        event_ids: Sequence[Optional[int]],
+    ) -> None:
+        """Bulk feed: one numpy pass per chunk, per-group accumulation.
+
+        Computes every record's sample index in one vectorized shot,
+        splits the chunk into runs of equal sample index, and applies
+        each run as bulk increments between ``_close_sample`` calls —
+        the same sequence of state transitions the scalar loop produces,
+        minus the per-record interpreter work.
+        """
+        n = len(records)
+        ts = np.fromiter(
+            (r.timestamp for r in records), dtype=np.float64, count=n
+        )
+        bad = (ts < self.t_start) | (ts >= self.t_end)
+        if bad.any():
+            i = int(np.argmax(bad))
+            raise ValueError(
+                f"record at {records[i].timestamp} outside the stream window"
+            )
+        s_arr = ((ts - self.t_start) / self.sampling_period).astype(np.int64)
+        if s_arr[0] < self._k or (s_arr[1:] < s_arr[:-1]).any():
+            raise ValueError("records must arrive in sample order")
+        tids = np.fromiter(
+            (-1 if e is None else e for e in event_ids),
+            dtype=np.int64,
+            count=n,
+        )
+        if self._bank is not None and int(s_arr[-1]) > self._k:
+            self._feed_batched_bank(records, s_arr, tids)
+        else:
+            self._feed_batched_segments(records, s_arr, tids)
+        self._n_fed += n
+
+    def _feed_batched_segments(
+        self,
+        records: Sequence[LogRecord],
+        s_arr: np.ndarray,
+        tids: np.ndarray,
+    ) -> None:
+        """Per-sample-run accumulation; every sample closes via
+        :meth:`_close_sample` (one detector tick each)."""
+        n = len(records)
+        hit_idx = np.flatnonzero(np.isin(tids, self._anchor_arr))
+        cuts = np.flatnonzero(s_arr[1:] != s_arr[:-1]) + 1
+        starts = np.concatenate(([0], cuts))
+        ends = np.concatenate((cuts, [n]))
+        drift = self.drift_detector is not None
+        h = 0
+        n_hits = hit_idx.shape[0]
+        for a, b in zip(starts.tolist(), ends.tolist()):
+            s = int(s_arr[a])
+            while self._k < s:
+                self._close_sample()
+            self._cur_msg_count += b - a
+            counts = self._cur_anchor_counts
+            locs = self._cur_anchor_locs
+            while h < n_hits and hit_idx[h] < b:
+                j = int(hit_idx[h])
+                t = int(tids[j])
+                counts[t] = counts.get(t, 0) + 1
+                locs.setdefault(t, []).append(records[j].location)
+                h += 1
+            if drift:
+                seg = tids[a:b]
+                seg = seg[seg >= 0]
+                if seg.size:
+                    tc = self._cur_type_counts
+                    uniq, cnt = np.unique(seg, return_counts=True)
+                    for t, c in zip(uniq.tolist(), cnt.tolist()):
+                        tc[t] = tc.get(t, 0) + c
+
+    def _feed_batched_bank(
+        self,
+        records: Sequence[LogRecord],
+        s_arr: np.ndarray,
+        tids: np.ndarray,
+    ) -> None:
+        """Close every complete sample of the chunk with *one* bank call.
+
+        Builds the per-sample anchor-count matrix for all samples the
+        chunk completes, runs one :meth:`VectorizedDetectorBank.tick_many`
+        (inside one circuit-breaker boundary — a failure degrades every
+        anchor for the whole chunk, where the scalar loop degrades them
+        tick by tick), then replays the cheap per-sample bookkeeping —
+        ladder, chain triggering, drift, scoreboard — in the exact order
+        :meth:`_close_sample` uses.  Locations and per-type counts are
+        materialized lazily, only for samples that need them.
+        """
+        n = len(records)
+        k0 = self._k
+        m = int(s_arr[-1]) - k0
+        rel = s_arr - k0
+        anchors = self._anchors
+        na = len(anchors)
+        closed = rel < m
+        hit_mask = np.isin(tids, self._anchor_arr)
+        values = np.zeros((na, m), dtype=np.float64)
+        hm = hit_mask & closed
+        if hm.any():
+            np.add.at(
+                values,
+                (np.searchsorted(self._anchor_arr, tids[hm]), rel[hm]),
+                1.0,
+            )
+        for t, c in self._cur_anchor_counts.items():
+            values[int(np.searchsorted(self._anchor_arr, t)), 0] += c
+        msg = np.bincount(rel[closed], minlength=m)
+        msg[0] += self._cur_msg_count
+        result = self.breakers.guarded(
+            "signals", lambda: self._bank.tick_many(values)
+        )
+        flags_mat = result[0] if result is not None else None
+        drift = self.drift_detector is not None
+        if (
+            flags_mat is not None
+            and self.ladder is None
+            and self.scoreboard is None
+            and not drift
+        ):
+            # no per-sample watchers attached: only flagged samples have
+            # any bookkeeping at all, and flags are rare
+            for j in np.flatnonzero(flags_mat.any(axis=0)).tolist():
+                analysis_t = self.analysis_model.time_for(int(msg[j]))
+                flagged = {
+                    anchors[i]: True for i in np.flatnonzero(flags_mat[:, j])
+                }
+                a = int(np.searchsorted(rel, j, "left"))
+                b = int(np.searchsorted(rel, j, "right"))
+                counts = {
+                    anchors[i]: int(values[i, j])
+                    for i in np.flatnonzero(values[:, j])
+                }
+                locs: Dict[int, List[str]] = {}
+                if j == 0:
+                    for t, ls in self._cur_anchor_locs.items():
+                        locs[t] = list(ls)
+                for idx in range(a, b):
+                    if hit_mask[idx]:
+                        locs.setdefault(int(tids[idx]), []).append(
+                            records[idx].location
+                        )
+                self._trigger_chains(
+                    k0 + j, flagged, counts, locs, analysis_t
+                )
+            self._k = k0 + m
+            self._finish_chunk_accumulators(records, rel, tids, hit_mask, m)
+            return
+        for j in range(m):
+            s = k0 + j
+            analysis_t = self.analysis_model.time_for(int(msg[j]))
+            if self.ladder is not None:
+                self.ladder.update(self.breakers.tripped())
+            flagged: Dict[int, bool] = {}
+            if flags_mat is not None:
+                col = flags_mat[:, j]
+                if col.any():
+                    for i in np.flatnonzero(col):
+                        flagged[anchors[i]] = True
+            else:
+                for i, tid in enumerate(anchors):
+                    self.degraded_anchors.append(tid)
+                    if (
+                        self.ladder is not None
+                        and self.ladder.rung == Rung.RATE_BASELINE
+                    ):
+                        nb = self.behaviors.get(tid)
+                        if self.ladder.rate_baseline_outlier(
+                            float(values[i, j]),
+                            nb.mean_rate if nb is not None else None,
+                        ):
+                            flagged[tid] = True
+            n_before = len(self._predictions)
+            if flagged or drift:
+                a = int(np.searchsorted(rel, j, "left"))
+                b = int(np.searchsorted(rel, j, "right"))
+            if flagged:
+                counts = {
+                    anchors[i]: int(values[i, j])
+                    for i in np.flatnonzero(values[:, j])
+                }
+                locs: Dict[int, List[str]] = {}
+                if j == 0:
+                    for t, ls in self._cur_anchor_locs.items():
+                        locs[t] = list(ls)
+                for idx in range(a, b):
+                    if hit_mask[idx]:
+                        locs.setdefault(int(tids[idx]), []).append(
+                            records[idx].location
+                        )
+                self._trigger_chains(s, flagged, counts, locs, analysis_t)
+            if drift:
+                tc: Dict[int, int] = (
+                    dict(self._cur_type_counts) if j == 0 else {}
+                )
+                seg = tids[a:b]
+                seg = seg[seg >= 0]
+                if seg.size:
+                    uniq, cnt = np.unique(seg, return_counts=True)
+                    for t, c in zip(uniq.tolist(), cnt.tolist()):
+                        tc[t] = tc.get(t, 0) + c
+                self.drift_detector.observe(int(msg[j]), tc)
+            if self.scoreboard is not None:
+                for pred in self._predictions[n_before:]:
+                    self.scoreboard.record_prediction(pred)
+                self.scoreboard.advance(
+                    self.t_start + (s + 1) * self.sampling_period
+                )
+            self._k += 1
+        self._finish_chunk_accumulators(records, rel, tids, hit_mask, m)
+
+    def _finish_chunk_accumulators(
+        self,
+        records: Sequence[LogRecord],
+        rel: np.ndarray,
+        tids: np.ndarray,
+        hit_mask: np.ndarray,
+        m: int,
+    ) -> None:
+        """Restart the partial-sample accumulators from the chunk's
+        trailing (still open) sample."""
+        n = len(records)
+        self._cur_msg_count = 0
+        self._cur_anchor_counts = {}
+        self._cur_anchor_locs = {}
+        self._cur_type_counts = {}
+        a = int(np.searchsorted(rel, m, "left"))
+        if a < n:
+            self._cur_msg_count = n - a
+            counts = self._cur_anchor_counts
+            locs = self._cur_anchor_locs
+            for idx in np.flatnonzero(hit_mask[a:]) + a:
+                t = int(tids[idx])
+                counts[t] = counts.get(t, 0) + 1
+                locs.setdefault(t, []).append(records[int(idx)].location)
+            if self.drift_detector is not None:
+                seg = tids[a:]
+                seg = seg[seg >= 0]
+                if seg.size:
+                    tc = self._cur_type_counts
+                    uniq, cnt = np.unique(seg, return_counts=True)
+                    for t, c in zip(uniq.tolist(), cnt.tolist()):
+                        tc[t] = tc.get(t, 0) + c
 
     def finish(self) -> List[Prediction]:
         """Close all remaining samples; returns the full prediction list.
@@ -200,9 +495,11 @@ class StreamingHybridPredictor(HybridPredictor):
         self.span_quantiles = dict(model.span_quantiles)
         self.analysis_model = AnalysisTimeModel.hybrid(len(self.chains))
         self._anchors = sorted({c.anchor for c in self.chains})
+        self._anchor_arr = np.asarray(self._anchors, dtype=np.int64)
         self._detectors = {
             tid: self._make_detector(tid) for tid in self._anchors
         }
+        self._rebuild_bank()
         obs.counter("lifecycle.predictor_swaps").inc()
 
     # -- per-sample engine -----------------------------------------------------
@@ -212,35 +509,63 @@ class StreamingHybridPredictor(HybridPredictor):
         s = self._k
         counts = self._cur_anchor_counts
         locs = self._cur_anchor_locs
-        analysis_t = float(
-            self.analysis_model.times_for(
-                np.array([self._cur_msg_count], dtype=np.int64)
-            )[0]
-        )
+        # scalar form of ``times_for`` — bit-identical (same expression
+        # over float64), without a one-element array per tick
+        analysis_t = self.analysis_model.time_for(self._cur_msg_count)
         if self.ladder is not None:
             # one rung step per closed sample, following the breakers
             self.ladder.update(self.breakers.tripped())
         flagged: Dict[int, bool] = {}
-        for tid in self._anchors:
-            value = float(counts.get(tid, 0))
-            result = self.breakers.guarded(
-                "signals", lambda: self._detectors[tid].process(value)
+        if self._bank is not None:
+            values = np.fromiter(
+                (counts.get(t, 0) for t in self._anchors),
+                dtype=np.float64,
+                count=len(self._anchors),
             )
-            if result is None:
-                self.degraded_anchors.append(tid)
-                if (
-                    self.ladder is not None
-                    and self.ladder.rung == Rung.RATE_BASELINE
-                ):
-                    nb = self.behaviors.get(tid)
-                    if self.ladder.rate_baseline_outlier(
-                        value, nb.mean_rate if nb is not None else None
+            result = self.breakers.guarded(
+                "signals", lambda: self._bank.tick(values)
+            )
+            if result is not None:
+                fl, _corrected = result
+                for i in np.flatnonzero(fl):
+                    flagged[self._anchors[i]] = True
+            else:
+                # the whole tick is inside one error boundary on the
+                # fast path: a failure degrades every anchor for this
+                # sample (the scalar loop degrades them one by one)
+                for tid in self._anchors:
+                    self.degraded_anchors.append(tid)
+                    if (
+                        self.ladder is not None
+                        and self.ladder.rung == Rung.RATE_BASELINE
                     ):
-                        flagged[tid] = True
-                continue
-            is_outlier, _corrected = result
-            if is_outlier:
-                flagged[tid] = True
+                        nb = self.behaviors.get(tid)
+                        if self.ladder.rate_baseline_outlier(
+                            float(counts.get(tid, 0)),
+                            nb.mean_rate if nb is not None else None,
+                        ):
+                            flagged[tid] = True
+        else:
+            for tid in self._anchors:
+                value = float(counts.get(tid, 0))
+                result = self.breakers.guarded(
+                    "signals", lambda: self._detectors[tid].process(value)
+                )
+                if result is None:
+                    self.degraded_anchors.append(tid)
+                    if (
+                        self.ladder is not None
+                        and self.ladder.rung == Rung.RATE_BASELINE
+                    ):
+                        nb = self.behaviors.get(tid)
+                        if self.ladder.rate_baseline_outlier(
+                            value, nb.mean_rate if nb is not None else None
+                        ):
+                            flagged[tid] = True
+                    continue
+                is_outlier, _corrected = result
+                if is_outlier:
+                    flagged[tid] = True
         n_before = len(self._predictions)
         if flagged:
             self._trigger_chains(s, flagged, counts, locs, analysis_t)
@@ -357,11 +682,23 @@ class StreamingHybridPredictor(HybridPredictor):
                 for ckey, n in self.chain_usage.items()
             ],
             "n_too_late": self.n_too_late,
-            "detectors": {
-                str(t): d.state_dict() for t, d in self._detectors.items()
-            },
+            "detectors": self._detector_states(),
             "predictions": [p.to_dict() for p in self._predictions],
         }
+
+    def _detector_states(self) -> Dict[str, dict]:
+        """Per-anchor detector states in the scalar checkpoint format.
+
+        The bank emits the same per-detector dictionaries the scalar
+        objects would, so checkpoints are interchangeable between the
+        fast and legacy paths.
+        """
+        if self._bank is not None:
+            return {
+                str(t): s
+                for t, s in zip(self._anchors, self._bank.state_dicts())
+            }
+        return {str(t): d.state_dict() for t, d in self._detectors.items()}
 
     def load_state(self, state: dict) -> None:
         """Restore a :meth:`state_dict` snapshot onto this instance.
@@ -410,6 +747,7 @@ class StreamingHybridPredictor(HybridPredictor):
         self._detectors = {
             int(t): restore_detector(d) for t, d in state["detectors"].items()
         }
+        self._rebuild_bank()
         self._predictions = [
             Prediction.from_dict(d) for d in state["predictions"]
         ]

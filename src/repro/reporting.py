@@ -223,8 +223,23 @@ def render_observability(state: Dict) -> str:
             parts.append(f"| {name} | {m.get('kind', '?')} | {value} |")
     else:
         parts.append("(no metrics recorded)")
-    parts += ["", "## Stage timings", ""]
     spans = state.get("spans", [])
+    streams = _collect_spans(spans, "stream")
+    if streams:
+        parts += ["", "## Throughput", ""]
+        total_records = sum(
+            int(s.get("attrs", {}).get("records", 0)) for s in streams
+        )
+        total_wall = sum(float(s.get("wall_seconds", 0.0)) for s in streams)
+        if total_wall > 0:
+            parts.append(
+                f"stream: {total_records} records in {total_wall:.2f}s "
+                f"= {total_records / total_wall:,.0f} records/sec"
+                + (f" over {len(streams)} calls" if len(streams) > 1 else "")
+            )
+        else:
+            parts.append(f"stream: {total_records} records (no wall time)")
+    parts += ["", "## Stage timings", ""]
     if spans:
         parts.append("```")
         for root in spans:
@@ -233,6 +248,18 @@ def render_observability(state: Dict) -> str:
     else:
         parts.append("(no spans recorded)")
     return "\n".join(parts)
+
+
+def _collect_spans(roots: List[Dict], name: str) -> List[Dict]:
+    """All spans named ``name`` anywhere in a span-dict forest."""
+    hits: List[Dict] = []
+    stack = list(roots)
+    while stack:
+        node = stack.pop()
+        if node.get("name") == name:
+            hits.append(node)
+        stack.extend(node.get("children", []))
+    return hits
 
 
 def full_reproduction_report(

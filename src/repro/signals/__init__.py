@@ -16,6 +16,9 @@ Modules:
 * :mod:`repro.signals.filtering` — causal moving median/average filters;
 * :mod:`repro.signals.outliers` — offline and online outlier detection
   with replacement;
+* :mod:`repro.signals.bank` — all anchors' online detectors in shared
+  numpy state, ticked with one vectorized pass (the streaming fast
+  path);
 * :mod:`repro.signals.crosscorr` — lagged cross-correlation of outlier
   trains (the seed of GRITE's first level).
 """
@@ -36,7 +39,9 @@ from repro.signals.outliers import (
     detect_outliers_offline,
     periodic_gap_outliers,
 )
+from repro.signals.bank import BankLayoutError, VectorizedDetectorBank
 from repro.signals.crosscorr import (
+    CachedCorrelator,
     PairCorrelation,
     best_lag_correlation,
     correlate_outlier_trains,
@@ -45,6 +50,9 @@ from repro.signals.crosscorr import (
 )
 
 __all__ = [
+    "BankLayoutError",
+    "VectorizedDetectorBank",
+    "CachedCorrelator",
     "SignalSet",
     "extract_signals",
     "haar_dwt",

@@ -1,0 +1,602 @@
+"""Vectorized detector bank: all anchors' dual windows in shared arrays.
+
+The streaming predictor closes every 10-second sample by stepping one
+online detector per anchor.  Each step is cheap, but N Python calls per
+tick (plus a circuit-breaker wrapper per call) dominate the tick cost
+long before the arithmetic does.  The bank holds every anchor's state in
+shared numpy arrays and closes a tick with *one* vectorized pass:
+
+* **median group** (:class:`~repro.signals.outliers.OnlineOutlierDetector`
+  equivalents): raw and corrected histories live in shared ring buffers
+  of shape ``(n, window+1)`` / ``(n, window)``; a per-value histogram per
+  anchor makes the combined-window median an O(bins) cumulative-sum
+  select instead of a sort.
+* **periodic group** (:class:`~repro.signals.outliers.OnlinePeriodicDetector`
+  equivalents): the last-beat/gap-reported state machine as flat arrays.
+
+Exactness, not approximation
+----------------------------
+The scalar semantics are reproduced bit for bit, which is what lets the
+fast path be an implementation detail rather than a model change:
+
+* The combined window ``V_k`` always holds an **odd** number of points
+  (``min(t+1, W+1) + min(t, W)`` is odd for every ``t``), so the median
+  is always a single element of the multiset — never an average — and a
+  histogram selection returns the exact same value a sorted list would.
+* Signal samples are event *counts*: non-negative integers.  Corrected
+  values are either the raw sample or the window median, and a median of
+  integers (odd window) is an integer, so by induction every window
+  value sits on the integer histogram grid.
+* Any anchor whose stream ever leaves the grid (a count beyond
+  ``grid_limit``, or a non-integer value from an external caller) is
+  **demoted**: its exact scalar detector is rebuilt from the ring
+  contents and stepped per tick from then on.  Demotion preserves
+  bit-identical output at the cost of that one anchor's speed.
+
+State compatibility
+-------------------
+:meth:`state_dicts` emits per-anchor dictionaries in the *scalar*
+``state_dict`` format ("median" / "periodic" kinds), and
+:meth:`from_states` accepts the same — so checkpoints written by either
+implementation resume on the other, and ``swap_model`` keeps working.
+Construction raises :class:`BankLayoutError` when the detectors cannot
+share a layout (mixed windows, desynchronized tick counts); callers
+fall back to the scalar loop.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.signals.outliers import (
+    OnlineOutlierDetector,
+    OnlinePeriodicDetector,
+    OutlierResult,
+    _DualWindow,
+    restore_detector,
+)
+
+Detector = Union[OnlineOutlierDetector, OnlinePeriodicDetector]
+
+
+class BankLayoutError(ValueError):
+    """The given detectors cannot share one vectorized layout."""
+
+
+class VectorizedDetectorBank:
+    """Tick-synchronized vector replacement for a set of online detectors.
+
+    Parameters
+    ----------
+    detectors:
+        The scalar detectors to absorb, in the caller's anchor order
+        (the bank answers :meth:`tick` in the same order).  Their current
+        state — including mid-stream window contents — is copied in, so
+        a bank can be built at any point of a stream.  Detectors that
+        cannot be vectorized exactly (off-grid window values) are kept
+        as scalar fallbacks internally.
+    grid_limit:
+        Histogram bins per anchor; values in ``[0, grid_limit)`` on the
+        integer grid are vectorized, anything else demotes its anchor to
+        the scalar path.
+    """
+
+    def __init__(
+        self, detectors: Sequence[Detector], grid_limit: int = 512
+    ) -> None:
+        if not detectors:
+            raise BankLayoutError("empty detector bank")
+        self.n = len(detectors)
+        self.grid_limit = int(grid_limit)
+        self._med_ix: List[int] = []
+        self._per_ix: List[int] = []
+        for i, det in enumerate(detectors):
+            if isinstance(det, OnlineOutlierDetector):
+                self._med_ix.append(i)
+            elif isinstance(det, OnlinePeriodicDetector):
+                self._per_ix.append(i)
+            else:
+                raise BankLayoutError(f"unsupported detector {type(det)!r}")
+        self._build_median([detectors[i] for i in self._med_ix])
+        self._build_periodic([detectors[i] for i in self._per_ix])
+        self._med_ix_arr = np.asarray(self._med_ix, dtype=np.intp)
+        self._per_ix_arr = np.asarray(self._per_ix, dtype=np.intp)
+
+    # -- construction --------------------------------------------------------
+
+    def _build_median(self, dets: List[OnlineOutlierDetector]) -> None:
+        self._demoted: Dict[int, OnlineOutlierDetector] = {}
+        self._nm = len(dets)
+        if not dets:
+            return
+        windows = {d.window for d in dets}
+        warmups = {d.warmup for d in dets}
+        seens = {d._seen for d in dets}
+        if len(windows) != 1 or len(warmups) != 1 or len(seens) != 1:
+            raise BankLayoutError(
+                "median detectors must share window/warmup/seen "
+                f"(got windows={windows}, warmups={warmups}, seens={seens})"
+            )
+        self.window = dets[0].window
+        self.warmup = dets[0].warmup
+        self._seen = dets[0]._seen
+        lens = {(len(d._dual._raw), len(d._dual._corr)) for d in dets}
+        if len(lens) != 1:
+            raise BankLayoutError("median windows are desynchronized")
+        (self._raw_len, self._corr_len) = lens.pop()
+        W = self.window
+        B = self.grid_limit
+        self._thr = np.array([d.threshold for d in dets], dtype=np.float64)
+        self._raw_ring = np.zeros((self._nm, W + 1), dtype=np.float64)
+        self._corr_ring = np.zeros((self._nm, W), dtype=np.float64)
+        self._raw_start = 0
+        self._corr_start = 0
+        self._hist = np.zeros((self._nm, B), dtype=np.int64)
+        for row, det in enumerate(dets):
+            raw = np.fromiter(det._dual._raw, dtype=np.float64,
+                              count=self._raw_len)
+            corr = np.fromiter(det._dual._corr, dtype=np.float64,
+                               count=self._corr_len)
+            if not (self._on_grid(raw).all() and self._on_grid(corr).all()):
+                self._demoted[row] = det
+                continue
+            self._raw_ring[row, : self._raw_len] = raw
+            self._corr_ring[row, : self._corr_len] = corr
+            np.add.at(self._hist[row], raw.astype(np.int64), 1)
+            np.add.at(self._hist[row], corr.astype(np.int64), 1)
+        self._med_act = np.array(
+            [r for r in range(self._nm) if r not in self._demoted],
+            dtype=np.intp,
+        )
+
+    def _build_periodic(self, dets: List[OnlinePeriodicDetector]) -> None:
+        self._np = len(dets)
+        if not dets:
+            return
+        ks = {d._k for d in dets}
+        if len(ks) != 1:
+            raise BankLayoutError(
+                f"periodic detectors must share the tick count (got {ks})"
+            )
+        self._per_k = ks.pop()
+        self._period = np.array([d.period for d in dets], dtype=np.int64)
+        self._amplitude = np.array(
+            [d.amplitude for d in dets], dtype=np.float64
+        )
+        self._gap_factor = np.array(
+            [d.gap_factor for d in dets], dtype=np.float64
+        )
+        self._burst_factor = np.array(
+            [d.burst_factor for d in dets], dtype=np.float64
+        )
+        self._last_beat = np.array(
+            [-1 if d._last_beat is None else d._last_beat for d in dets],
+            dtype=np.int64,
+        )
+        self._gap_reported = np.array(
+            [d._gap_reported for d in dets], dtype=bool
+        )
+
+    def _on_grid(self, v: np.ndarray) -> np.ndarray:
+        q = v.astype(np.int64, copy=False)
+        return (v >= 0) & (v < self.grid_limit) & (q == v)
+
+    # -- demotion ------------------------------------------------------------
+
+    def _demote(self, row: int) -> OnlineOutlierDetector:
+        """Rebuild row's exact scalar detector from the ring contents."""
+        W = self.window
+        raw_idx = (self._raw_start + np.arange(self._raw_len)) % (W + 1)
+        corr_idx = (self._corr_start + np.arange(self._corr_len)) % W
+        det = OnlineOutlierDetector(
+            threshold=float(self._thr[row]), window=W, warmup=self.warmup
+        )
+        det._seen = self._seen
+        det._dual = _DualWindow.from_state(
+            {
+                "capacity": W,
+                "raw": self._raw_ring[row, raw_idx].tolist(),
+                "corr": self._corr_ring[row, corr_idx].tolist(),
+            }
+        )
+        self._demoted[row] = det
+        self._med_act = self._med_act[self._med_act != row]
+        return det
+
+    # -- the tick ------------------------------------------------------------
+
+    def tick(self, values: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Consume one sample per anchor; ``(is_outlier, corrected)``.
+
+        ``values`` is one float per detector in construction order; the
+        returned boolean/float arrays use the same order.
+        """
+        values = np.asarray(values, dtype=np.float64)
+        if values.shape != (self.n,):
+            raise ValueError(f"expected {self.n} values, got {values.shape}")
+        flags = np.zeros(self.n, dtype=bool)
+        corrected = np.zeros(self.n, dtype=np.float64)
+        if self._nm:
+            f, c = self._tick_median(values[self._med_ix_arr])
+            flags[self._med_ix_arr] = f
+            corrected[self._med_ix_arr] = c
+        if self._np:
+            f, c = self._tick_periodic(values[self._per_ix_arr])
+            flags[self._per_ix_arr] = f
+            corrected[self._per_ix_arr] = c
+        return flags, corrected
+
+    def _tick_median(
+        self, v: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        flags = np.zeros(self._nm, dtype=bool)
+        corrected = np.zeros(self._nm, dtype=np.float64)
+        act = self._med_act
+        if act.size:
+            bad = ~self._on_grid(v[act])
+            if bad.any():
+                for row in act[bad]:
+                    self._demote(int(row))
+                act = self._med_act
+        W = self.window
+        if act.size:
+            va = v[act]
+            qa = va.astype(np.int64)
+            hist = self._hist
+            # push raw (evict the oldest when the ring is full)
+            if self._raw_len > W:
+                old = self._raw_ring[act, self._raw_start]
+                hist[act, old.astype(np.int64)] -= 1
+                slot = self._raw_start
+            else:
+                slot = (self._raw_start + self._raw_len) % (W + 1)
+            self._raw_ring[act, slot] = va
+            hist[act, qa] += 1
+            n_raw = min(self._raw_len + 1, W + 1)
+            # exact median: (k+1)-th smallest of the combined window,
+            # which is always odd-sized (see module docstring)
+            n = n_raw + self._corr_len
+            k = n >> 1
+            cum = hist[act].cumsum(axis=1)
+            med = np.argmax(cum > k, axis=1).astype(np.float64)
+            fl = (self._seen >= self.warmup) & (np.abs(va - med) > self._thr[act])
+            co = np.where(fl, med, va)
+            # push corrected (median of an on-grid window is on-grid)
+            if self._corr_len >= W:
+                old = self._corr_ring[act, self._corr_start]
+                hist[act, old.astype(np.int64)] -= 1
+                cslot = self._corr_start
+            else:
+                cslot = (self._corr_start + self._corr_len) % W
+            self._corr_ring[act, cslot] = co
+            hist[act, co.astype(np.int64)] += 1
+            flags[act] = fl
+            corrected[act] = co
+        for row, det in self._demoted.items():
+            out, co = det.process(float(v[row]))
+            flags[row] = out
+            corrected[row] = co
+        # advance the shared ring cursors/counters once per tick
+        if self._raw_len > W:
+            self._raw_start = (self._raw_start + 1) % (W + 1)
+        else:
+            self._raw_len += 1
+        if self._corr_len >= W:
+            self._corr_start = (self._corr_start + 1) % W
+        else:
+            self._corr_len += 1
+        self._seen += 1
+        return flags, corrected
+
+    def _tick_periodic(
+        self, v: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        self._per_k += 1
+        k = self._per_k
+        beat = v > 0
+        burst = beat & (v > self._burst_factor * self._amplitude)
+        corrected = np.where(
+            beat, np.where(burst, self._amplitude, v), 0.0
+        )
+        silent = ~beat
+        gap_hit = (
+            silent
+            & (self._last_beat >= 0)
+            & ~self._gap_reported
+            & ((k - self._last_beat) > self._gap_factor * self._period)
+        )
+        corrected = np.where(gap_hit, self._amplitude, corrected)
+        self._gap_reported = np.where(
+            beat, False, self._gap_reported | gap_hit
+        )
+        self._last_beat = np.where(beat, k, self._last_beat)
+        return burst | gap_hit, corrected
+
+    # -- the multi-tick ------------------------------------------------------
+
+    #: ticks per internal batch; bounds the transient histogram tensors
+    #: at ``n_median * TICK_BLOCK * grid`` elements
+    TICK_BLOCK = 1024
+
+    def tick_many(
+        self, values: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Consume ``m`` samples per anchor in one vectorized pass.
+
+        ``values`` is ``(n, m)`` in construction order; returns
+        ``(flags, corrected)`` of the same shape.  Outputs and the final
+        bank state — rings, histograms, cursors, demotions — are
+        identical to ``m`` sequential :meth:`tick` calls.
+
+        The median group is evaluated *optimistically*: corrections are
+        rare, so the whole block is first computed as if every corrected
+        value equalled its raw sample (which makes the per-tick combined
+        histogram a cumulative sum of sparse deltas).  Rows whose stream
+        does flag an outlier are then patched exactly from that tick
+        onward — anchors are independent, so a patch never crosses rows,
+        and everything before a row's first flag is already exact.
+        """
+        values = np.asarray(values, dtype=np.float64)
+        if values.ndim != 2 or values.shape[0] != self.n:
+            raise ValueError(
+                f"expected ({self.n}, m) matrix, got {values.shape}"
+            )
+        m = values.shape[1]
+        flags = np.zeros((self.n, m), dtype=bool)
+        corrected = np.zeros((self.n, m), dtype=np.float64)
+        for a in range(0, m, self.TICK_BLOCK):
+            b = min(m, a + self.TICK_BLOCK)
+            if self._nm:
+                f, c = self._tick_median_many(values[self._med_ix_arr, a:b])
+                flags[self._med_ix_arr, a:b] = f
+                corrected[self._med_ix_arr, a:b] = c
+            if self._np:
+                f, c = self._tick_periodic_many(
+                    values[self._per_ix_arr, a:b]
+                )
+                flags[self._per_ix_arr, a:b] = f
+                corrected[self._per_ix_arr, a:b] = c
+        return flags, corrected
+
+    def _tick_median_many(
+        self, v: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        nm, m = v.shape
+        flags = np.zeros((nm, m), dtype=bool)
+        corrected = np.zeros((nm, m), dtype=np.float64)
+        act = self._med_act
+        if act.size:
+            bad = ~self._on_grid(v[act]).all(axis=1)
+            if bad.any():
+                # an off-grid value anywhere in the block demotes the row
+                # for the whole block; the scalar replay is exact, so the
+                # outcome matches tick()'s demote-on-arrival
+                for row in act[bad]:
+                    self._demote(int(row))
+                act = self._med_act
+        W = self.window
+        r0 = self._raw_len
+        c0 = self._corr_len
+        if act.size:
+            va = v[act]
+            na = act.size
+            q = va.astype(np.int64)
+            raw_idx = (self._raw_start + np.arange(r0)) % (W + 1)
+            corr_idx = (self._corr_start + np.arange(c0)) % W
+            raw_prev = self._raw_ring[act][:, raw_idx]
+            corr_prev = self._corr_ring[act][:, corr_idx]
+            raw_seq = np.concatenate([raw_prev, va], axis=1)
+            corr_seq = np.concatenate([corr_prev, va], axis=1)
+            # every involved value is on the integer grid, so the live
+            # bins are [0, G); medians can never leave that range
+            G = int(max(raw_seq.max(), corr_seq.max(initial=0.0))) + 1
+            rows = np.arange(na)[:, None]
+            cols = np.arange(m)[None, :]
+            # per-tick deltas of the combined raw+corrected histogram:
+            # raw insert/evict land at their own tick, the corrected
+            # push/evict of tick j-1 become visible at tick j's median
+            D = np.zeros((na, m, G), dtype=np.int32)
+            np.add.at(D, (rows, cols, q), 1)
+            j0r = max(0, (W + 1) - r0)
+            if j0r < m:
+                ev = raw_seq[:, r0 + j0r - (W + 1): r0 + m - (W + 1)]
+                np.add.at(D, (rows, cols[:, j0r:], ev.astype(np.int64)), -1)
+            if m > 1:
+                np.add.at(D, (rows, cols[:, 1:], q[:, :-1]), 1)
+            j0c = max(1, (W + 1) - c0)
+            if j0c < m:
+                ev = corr_seq[:, c0 + j0c - 1 - W: c0 + m - 1 - W]
+                np.add.at(D, (rows, cols[:, j0c:], ev.astype(np.int64)), -1)
+            hist0 = self._hist[act, :G].astype(np.int32)
+            js = np.arange(m)
+            n_win = np.minimum(r0 + js + 1, W + 1) + np.minimum(c0 + js, W)
+            k = (n_win >> 1).astype(np.int32)
+            warm = (self._seen + js) >= self.warmup
+            thr = self._thr[act][:, None]
+            # C[r, t, g]: how many window values of row r at tick t are
+            # <= g — the median is the first bin whose count exceeds k
+            C = (hist0[:, None, :] + D.cumsum(axis=1)).cumsum(axis=2)
+            med = np.argmax(C > k[None, :, None], axis=2).astype(np.float64)
+            fl = warm[None, :] & (np.abs(va - med) > thr)
+            # patch each flagged row exactly from its first correction
+            # on: the optimistic pass pushed the raw value where tick()
+            # would have pushed the median, so replacing that one element
+            # shifts the cumulative counts by +-1 between the two bins —
+            # from tick j+1 (the push) until tick j+W+1 (its eviction)
+            for r in np.flatnonzero(fl.any(axis=1)).tolist():
+                start = 0
+                while True:
+                    nxt = np.flatnonzero(fl[r, start:])
+                    if not nxt.size:
+                        break
+                    j = start + int(nxt[0])
+                    if j + 1 >= m:
+                        break
+                    mj = int(med[r, j])
+                    vj = int(q[r, j])
+                    je = min(j + W + 1, m)
+                    if mj < vj:
+                        C[r, j + 1: je, mj:vj] += 1
+                    else:
+                        C[r, j + 1: je, vj:mj] -= 1
+                    med[r, j + 1:] = np.argmax(
+                        C[r, j + 1:] > k[j + 1:, None], axis=1
+                    )
+                    fl[r, j + 1:] = warm[j + 1:] & (
+                        np.abs(va[r, j + 1:] - med[r, j + 1:])
+                        > self._thr[act[r]]
+                    )
+                    start = j + 1
+            co = np.where(fl, med, va)
+            flags[act] = fl
+            corrected[act] = co
+            # commit: rewrite the rings canonically and rebuild histograms
+            new_rl = min(r0 + m, W + 1)
+            new_cl = min(c0 + m, W)
+            raw_win = raw_seq[:, r0 + m - new_rl:]
+            corr_full = np.concatenate([corr_prev, co], axis=1)
+            corr_win = corr_full[:, c0 + m - new_cl:]
+            self._raw_ring[act, :new_rl] = raw_win
+            if new_cl:
+                self._corr_ring[act, :new_cl] = corr_win
+            self._raw_start = 0
+            self._corr_start = 0
+            for i, row in enumerate(act.tolist()):
+                self._hist[row] = np.bincount(
+                    np.concatenate([raw_win[i], corr_win[i]]).astype(
+                        np.int64
+                    ),
+                    minlength=self.grid_limit,
+                )
+        else:
+            # no vector rows left: advance the shared cursors exactly as
+            # m single ticks would (ring contents are only read per row)
+            self._raw_start = (
+                self._raw_start + max(0, r0 + m - (W + 1))
+            ) % (W + 1)
+            self._corr_start = (self._corr_start + max(0, c0 + m - W)) % W
+        self._raw_len = min(r0 + m, W + 1)
+        self._corr_len = min(c0 + m, W)
+        self._seen += m
+        for row, det in self._demoted.items():
+            for j in range(m):
+                out, cv = det.process(float(v[row, j]))
+                flags[row, j] = out
+                corrected[row, j] = cv
+        return flags, corrected
+
+    def _tick_periodic_many(
+        self, v: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        npr, m = v.shape
+        k0 = self._per_k
+        ks = k0 + 1 + np.arange(m, dtype=np.int64)
+        beat = v > 0
+        amp = self._amplitude[:, None]
+        burst = beat & (v > self._burst_factor[:, None] * amp)
+        corrected = np.where(beat, np.where(burst, amp, v), 0.0)
+        # the state machine is feed-forward: the last beat before each
+        # tick is a prefix maximum, and within one silent run the gap
+        # condition is monotone, so the run's single report is its first
+        # tick over the threshold (suppressed in the leading run when
+        # the gap was already reported before this block)
+        lb_incl = np.maximum.accumulate(
+            np.where(beat, ks[None, :], np.int64(-1)), axis=1
+        )
+        lb_incl = np.maximum(lb_incl, self._last_beat[:, None])
+        lb_prev = np.concatenate(
+            [self._last_beat[:, None], lb_incl[:, :-1]], axis=1
+        )
+        cond = (
+            ~beat
+            & (lb_prev >= 0)
+            & (
+                (ks[None, :] - lb_prev)
+                > self._gap_factor[:, None] * self._period[:, None]
+            )
+        )
+        cond_prev = np.concatenate(
+            [np.zeros((npr, 1), dtype=bool), cond[:, :-1]], axis=1
+        )
+        run_id = beat.cumsum(axis=1)
+        gap_hit = (
+            cond
+            & ~cond_prev
+            & ~((run_id == 0) & self._gap_reported[:, None])
+        )
+        corrected = np.where(gap_hit, amp, corrected)
+        final_run = run_id[:, -1]
+        self._gap_reported = (
+            gap_hit & (run_id == final_run[:, None])
+        ).any(axis=1) | (self._gap_reported & (final_run == 0))
+        self._last_beat = lb_incl[:, -1].copy()
+        self._per_k = k0 + m
+        return burst | gap_hit, corrected
+
+    def process_matrix(self, x: np.ndarray) -> OutlierResult:
+        """Scan ``(n, t)`` signals in one batch (still strictly causal).
+
+        Equivalent to calling each scalar detector's ``process_array`` on
+        its row; detectors are independent, so ticking them together
+        changes nothing but the constant factor.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2 or x.shape[0] != self.n:
+            raise ValueError(f"expected ({self.n}, t) matrix, got {x.shape}")
+        flags, corrected = self.tick_many(x)
+        return OutlierResult(flags=flags, corrected=corrected)
+
+    # -- scalar-compatible state --------------------------------------------
+
+    def state_dicts(self) -> List[dict]:
+        """Per-detector states in the scalar ``state_dict`` format."""
+        out: List[Optional[dict]] = [None] * self.n
+        if self._nm:
+            W = self.window
+            raw_idx = (self._raw_start + np.arange(self._raw_len)) % (W + 1)
+            corr_idx = (self._corr_start + np.arange(self._corr_len)) % W
+            for row, i in enumerate(self._med_ix):
+                det = self._demoted.get(row)
+                if det is not None:
+                    out[i] = det.state_dict()
+                    continue
+                out[i] = {
+                    "kind": "median",
+                    "threshold": float(self._thr[row]),
+                    "window": W,
+                    "warmup": self.warmup,
+                    "seen": self._seen,
+                    "dual": {
+                        "capacity": W,
+                        "raw": self._raw_ring[row, raw_idx].tolist(),
+                        "corr": self._corr_ring[row, corr_idx].tolist(),
+                    },
+                }
+        for row, i in enumerate(self._per_ix):
+            lb = int(self._last_beat[row])
+            out[i] = {
+                "kind": "periodic",
+                "period": int(self._period[row]),
+                "amplitude": float(self._amplitude[row]),
+                "gap_factor": float(self._gap_factor[row]),
+                "burst_factor": float(self._burst_factor[row]),
+                "last_beat": None if lb < 0 else lb,
+                "gap_reported": bool(self._gap_reported[row]),
+                "k": self._per_k,
+            }
+        return out  # type: ignore[return-value]
+
+    def detectors(self) -> List[Detector]:
+        """Materialize equivalent scalar detectors (for fallback paths)."""
+        return [restore_detector(s) for s in self.state_dicts()]
+
+    @classmethod
+    def from_states(
+        cls, states: Sequence[dict], grid_limit: int = 512
+    ) -> "VectorizedDetectorBank":
+        """Rebuild a bank from scalar-format ``state_dict`` entries."""
+        return cls(
+            [restore_detector(s) for s in states], grid_limit=grid_limit
+        )

@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.signals.crosscorr import (
+    CachedCorrelator,
     PairCorrelation,
     best_lag_correlation,
     correlate_outlier_trains,
@@ -45,6 +46,69 @@ class TestCrossCorrelation:
         corr = cross_correlation(rng.normal(size=200),
                                  rng.normal(size=200), 20)
         assert (np.abs(corr) <= 1.0 + 1e-9).all()
+
+
+class TestFFTPath:
+    """The FFT method is the loop method up to float round-off."""
+
+    def test_fft_matches_loop(self):
+        rng = np.random.default_rng(7)
+        x = rng.normal(size=800)
+        y = np.roll(x, 12) + 0.1 * rng.normal(size=800)
+        loop = cross_correlation(x, y, max_lag=64, method="loop")
+        fft = cross_correlation(x, y, max_lag=64, method="fft")
+        np.testing.assert_allclose(fft, loop, atol=1e-8)
+
+    def test_fft_on_sparse_trains(self):
+        # outlier trains are mostly zeros — the production shape
+        rng = np.random.default_rng(8)
+        x = (rng.random(2000) < 0.02).astype(float)
+        y = np.roll(x, 5)
+        loop = cross_correlation(x, y, max_lag=30, method="loop")
+        fft = cross_correlation(x, y, max_lag=30, method="fft")
+        np.testing.assert_allclose(fft, loop, atol=1e-8)
+
+    def test_fft_constant_windows_zero(self):
+        x = np.concatenate([np.ones(50), np.zeros(50)])
+        y = np.ones(100)
+        assert np.allclose(cross_correlation(x, y, 10, method="fft"), 0.0)
+
+    def test_auto_dispatch_small_stays_loop_identical(self):
+        # tiny inputs must route to the loop: auto == loop bit for bit
+        rng = np.random.default_rng(9)
+        x = rng.normal(size=50)
+        y = rng.normal(size=50)
+        auto = cross_correlation(x, y, max_lag=5, method="auto")
+        loop = cross_correlation(x, y, max_lag=5, method="loop")
+        np.testing.assert_array_equal(auto, loop)
+
+    def test_bad_method_rejected(self):
+        with pytest.raises(ValueError):
+            cross_correlation(np.zeros(10), np.zeros(10), 2, method="magic")
+
+    def test_cached_correlator_matches_fft(self):
+        rng = np.random.default_rng(10)
+        x = rng.normal(size=600)
+        cached = CachedCorrelator(x, max_lag=40)
+        for seed in range(3):
+            y = np.roll(x, 9) + 0.2 * np.random.default_rng(seed).normal(
+                size=600
+            )
+            ref = cross_correlation(x, y, max_lag=40, method="fft")
+            np.testing.assert_array_equal(cached.correlate(y), ref)
+
+    def test_cached_correlator_best(self):
+        rng = np.random.default_rng(11)
+        x = rng.normal(size=1000)
+        cached = CachedCorrelator(x, max_lag=30)
+        lag, corr = cached.best(np.roll(x, 13))
+        assert lag == 13
+        assert corr > 0.9
+
+    def test_cached_correlator_length_mismatch(self):
+        cached = CachedCorrelator(np.arange(20.0), max_lag=4)
+        with pytest.raises(ValueError):
+            cached.correlate(np.zeros(19))
 
 
 class TestEffectiveTolerance:

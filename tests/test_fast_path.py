@@ -1,0 +1,422 @@
+"""Equivalence proofs for the streaming fast path.
+
+The fast path (indexed template matcher, vectorized detector bank,
+batched feed) is an implementation detail: every test here pins it to
+the scalar reference implementations bit for bit — on random inputs via
+hypothesis and end-to-end on the shared scenario, including state-dict /
+checkpoint round-trips taken mid-stream.
+"""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.helo.template import MinedTemplate, TemplateTable
+from repro.signals.bank import BankLayoutError, VectorizedDetectorBank
+from repro.signals.outliers import (
+    OnlineOutlierDetector,
+    OnlinePeriodicDetector,
+    restore_detector,
+)
+
+TOKENS = ["alpha", "beta", "gamma", "delta", "eps", "zeta"]
+
+
+# ---------------------------------------------------------------------------
+# indexed template matcher == linear scan
+# ---------------------------------------------------------------------------
+
+@st.composite
+def _template_table(draw):
+    """A table of random templates over a tiny alphabet.
+
+    Shapes collide on purpose (short lengths, small alphabet, frequent
+    wildcards) so the discrimination index, the exact-shape hash, and
+    the min-id tie-break all get exercised.
+    """
+    table = TemplateTable()
+    n = draw(st.integers(1, 12))
+    for _ in range(n):
+        length = draw(st.integers(1, 4))
+        tokens = tuple(
+            None if draw(st.booleans()) and length > 1
+            else draw(st.sampled_from(TOKENS))
+            for _ in range(length)
+        )
+        if all(t is None for t in tokens):
+            tokens = (draw(st.sampled_from(TOKENS)),) + tokens[1:]
+        table.add(MinedTemplate(tokens=tokens, support=1))
+    return table
+
+
+@st.composite
+def _queries(draw):
+    n = draw(st.integers(1, 20))
+    return [
+        [draw(st.sampled_from(TOKENS))
+         for _ in range(draw(st.integers(1, 4)))]
+        for _ in range(n)
+    ]
+
+
+class TestIndexedMatcher:
+    @given(_template_table(), _queries())
+    @settings(max_examples=150, deadline=None)
+    def test_index_matches_linear_scan(self, table, queries):
+        for q in queries:
+            assert table.classify_tokens(q) == table.classify_tokens_linear(q)
+
+    @given(_template_table(), _queries())
+    @settings(max_examples=60, deadline=None)
+    def test_memo_is_stable(self, table, queries):
+        first = [table.classify_tokens(q) for q in queries]
+        second = [table.classify_tokens(q) for q in queries]
+        assert first == second
+
+    @given(_template_table(), _queries(), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_index_survives_table_mutation(self, table, queries, data):
+        """``add``/``replace`` mid-stream invalidate the index correctly."""
+        for q in queries:
+            assert table.classify_tokens(q) == table.classify_tokens_linear(q)
+        length = data.draw(st.integers(1, 4))
+        table.add(MinedTemplate(
+            tokens=tuple(
+                data.draw(st.sampled_from(TOKENS)) for _ in range(length)
+            ),
+            support=1,
+        ))
+        tid = data.draw(st.integers(0, len(table) - 1))
+        old = table[tid]
+        widened = tuple(
+            None if i == 0 and len(old.tokens) > 1 else t
+            for i, t in enumerate(old.tokens)
+        )
+        if any(t is not None for t in widened):
+            table.replace(tid, MinedTemplate(tokens=widened, support=1))
+        for q in queries:
+            assert table.classify_tokens(q) == table.classify_tokens_linear(q)
+
+    def test_disabled_index_is_the_linear_scan(self):
+        table = TemplateTable()
+        table.add(MinedTemplate(tokens=("a", None), support=1))
+        table.add(MinedTemplate(tokens=("a", "b"), support=1))
+        table.use_index = False
+        # the wildcarded earlier template wins even for the exact shape
+        assert table.classify_tokens(["a", "b"]) == 0
+        table.use_index = True
+        assert table.classify_tokens(["a", "b"]) == 0
+
+
+# ---------------------------------------------------------------------------
+# vectorized detector bank == scalar detectors, step for step
+# ---------------------------------------------------------------------------
+
+def _median_pair(thresholds, window, warmup):
+    """(scalar detectors, bank) over fresh median detectors."""
+    scalars = [
+        OnlineOutlierDetector(threshold=t, window=window, warmup=warmup)
+        for t in thresholds
+    ]
+    bank = VectorizedDetectorBank(
+        [OnlineOutlierDetector(threshold=t, window=window, warmup=warmup)
+         for t in thresholds]
+    )
+    return scalars, bank
+
+
+def _assert_same_step(scalars, bank, column):
+    flags, corrected = bank.tick(np.asarray(column, dtype=np.float64))
+    for i, det in enumerate(scalars):
+        out, co = det.process(float(column[i]))
+        assert bool(flags[i]) == out
+        assert float(corrected[i]) == co
+
+
+class TestDetectorBank:
+    @given(
+        st.integers(1, 4),                       # detectors
+        st.integers(2, 7),                       # window
+        st.integers(0, 4),                       # warmup
+        st.lists(st.integers(0, 30), min_size=1, max_size=40),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_median_bank_matches_scalars(self, n, window, warmup, stream):
+        thresholds = [0.5 + 0.5 * i for i in range(n)]
+        scalars, bank = _median_pair(thresholds, window, warmup)
+        for t, v in enumerate(stream):
+            # desynchronize the values across detectors deterministically
+            column = [(v + 3 * i + t * i) % 31 for i in range(n)]
+            _assert_same_step(scalars, bank, column)
+
+    @given(st.lists(st.integers(0, 30), min_size=5, max_size=40))
+    @settings(max_examples=60, deadline=None)
+    def test_off_grid_values_demote_exactly(self, stream):
+        """Values beyond ``grid_limit`` fall back to the scalar detector
+        for that anchor without changing a single output."""
+        scalar = OnlineOutlierDetector(threshold=1.0, window=4, warmup=2)
+        bank = VectorizedDetectorBank(
+            [OnlineOutlierDetector(threshold=1.0, window=4, warmup=2)],
+            grid_limit=8,  # force demotion on any value >= 8
+        )
+        for v in stream:
+            _assert_same_step([scalar], bank, [v])
+        if any(v >= 8 for v in stream):
+            assert bank._demoted  # demotion actually happened
+
+    def test_fractional_value_demotes(self):
+        scalar = OnlineOutlierDetector(threshold=1.0, window=3, warmup=1)
+        bank = VectorizedDetectorBank(
+            [OnlineOutlierDetector(threshold=1.0, window=3, warmup=1)]
+        )
+        for v in [1.0, 2.5, 3.0, 2.5, 9.0, 1.5]:
+            _assert_same_step([scalar], bank, [v])
+        assert bank._demoted
+
+    @given(
+        st.integers(2, 6),                       # period
+        st.lists(st.integers(0, 6), min_size=1, max_size=40),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_periodic_bank_matches_scalars(self, period, stream):
+        scalars = [
+            OnlinePeriodicDetector(period=period, amplitude=2.0),
+            OnlinePeriodicDetector(period=period + 1, amplitude=3.0),
+        ]
+        bank = VectorizedDetectorBank(
+            [OnlinePeriodicDetector(period=period, amplitude=2.0),
+             OnlinePeriodicDetector(period=period + 1, amplitude=3.0)]
+        )
+        for t, v in enumerate(stream):
+            _assert_same_step(scalars, bank, [v, (v + t) % 7])
+
+    @given(
+        st.lists(st.integers(0, 20), min_size=4, max_size=30),
+        st.integers(1, 25),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_state_roundtrip_mid_stream(self, stream, cut):
+        """state_dicts -> from_states mid-stream continues identically,
+        and the emitted states equal the scalar detectors' own."""
+        cut = min(cut, len(stream))
+        scalars = [
+            OnlineOutlierDetector(threshold=1.0, window=3, warmup=2),
+            OnlineOutlierDetector(threshold=2.0, window=3, warmup=2),
+        ]
+        bank = VectorizedDetectorBank(
+            [OnlineOutlierDetector(threshold=1.0, window=3, warmup=2),
+             OnlineOutlierDetector(threshold=2.0, window=3, warmup=2)]
+        )
+        for v in stream[:cut]:
+            _assert_same_step(scalars, bank, [v, v + 1])
+        states = bank.state_dicts()
+        assert json.dumps(states) == json.dumps(
+            [d.state_dict() for d in scalars]
+        )
+        bank = VectorizedDetectorBank.from_states(states)
+        scalars = [restore_detector(s) for s in states]
+        for v in stream[cut:]:
+            _assert_same_step(scalars, bank, [v, v + 1])
+
+    def test_mixed_bank_process_matrix(self, rng):
+        dets = [
+            OnlineOutlierDetector(threshold=1.5, window=5),
+            OnlinePeriodicDetector(period=4, amplitude=2.0),
+            OnlineOutlierDetector(threshold=3.0, window=5),
+        ]
+        x = rng.integers(0, 12, size=(3, 60)).astype(np.float64)
+        bank = VectorizedDetectorBank(
+            [restore_detector(d.state_dict()) for d in dets]
+        )
+        result = bank.process_matrix(x)
+        for i, det in enumerate(dets):
+            ref = det.process_array(x[i])
+            np.testing.assert_array_equal(result.flags[i], ref.flags)
+            np.testing.assert_array_equal(result.corrected[i], ref.corrected)
+
+    @given(
+        st.integers(2, 6),                        # window
+        st.integers(0, 3),                        # warmup
+        st.lists(st.integers(0, 12), min_size=2, max_size=60),
+        st.integers(1, 9),                        # chunk size
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_tick_many_matches_scalars(self, window, warmup, stream, chunk):
+        """Chunked ``tick_many`` = the scalar detectors step by step,
+        outputs and final checkpoint state alike, for any chunking and
+        across internal block boundaries."""
+        def mk():
+            return [
+                OnlineOutlierDetector(
+                    threshold=0.5, window=window, warmup=warmup
+                ),
+                OnlinePeriodicDetector(period=3, amplitude=2.0),
+                OnlineOutlierDetector(
+                    threshold=1.5, window=window, warmup=warmup
+                ),
+            ]
+
+        scalars = mk()
+        bank = VectorizedDetectorBank(mk())
+        bank.TICK_BLOCK = 4  # force multi-block paths on tiny streams
+        matrix = np.array(
+            [
+                [v % 13 for v in stream],
+                [(v * t) % 5 for t, v in enumerate(stream)],
+                [(v + t) % 13 for t, v in enumerate(stream)],
+            ],
+            dtype=np.float64,
+        )
+        for a in range(0, matrix.shape[1], chunk):
+            block = matrix[:, a:a + chunk]
+            flags, corrected = bank.tick_many(block)
+            for i, det in enumerate(scalars):
+                for j in range(block.shape[1]):
+                    out, co = det.process(float(block[i, j]))
+                    assert bool(flags[i, j]) == out
+                    assert float(corrected[i, j]) == co
+        assert json.dumps(bank.state_dicts()) == json.dumps(
+            [d.state_dict() for d in scalars]
+        )
+        # a single tick() continues seamlessly from tick_many state
+        _assert_same_step(scalars, bank, [3.0, 0.0, 7.0])
+
+    @given(
+        st.lists(st.integers(0, 12), min_size=4, max_size=30),
+        st.integers(0, 25),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_tick_many_demotes_off_grid_mid_chunk(self, stream, where):
+        """An off-grid value inside a chunk demotes its anchor without
+        perturbing the other rows or the outputs."""
+        where = min(where, len(stream) - 1)
+        scalars = [
+            OnlineOutlierDetector(threshold=1.0, window=4, warmup=2),
+            OnlineOutlierDetector(threshold=2.0, window=4, warmup=2),
+        ]
+        bank = VectorizedDetectorBank(
+            [OnlineOutlierDetector(threshold=1.0, window=4, warmup=2),
+             OnlineOutlierDetector(threshold=2.0, window=4, warmup=2)],
+            grid_limit=16,
+        )
+        matrix = np.array(
+            [stream, [v + 1 for v in stream]], dtype=np.float64
+        )
+        matrix[0, where] = 99.0  # beyond grid_limit: demotes row 0 only
+        flags, corrected = bank.tick_many(matrix)
+        for i, det in enumerate(scalars):
+            ref = det.process_array(matrix[i])
+            np.testing.assert_array_equal(flags[i], ref.flags)
+            np.testing.assert_array_equal(corrected[i], ref.corrected)
+        assert 0 in bank._demoted and 1 not in bank._demoted
+        assert json.dumps(bank.state_dicts()) == json.dumps(
+            [d.state_dict() for d in scalars]
+        )
+
+    def test_layout_errors(self):
+        with pytest.raises(BankLayoutError):
+            VectorizedDetectorBank([])
+        with pytest.raises(BankLayoutError):
+            VectorizedDetectorBank([
+                OnlineOutlierDetector(threshold=1.0, window=3),
+                OnlineOutlierDetector(threshold=1.0, window=5),
+            ])
+        with pytest.raises(BankLayoutError):
+            VectorizedDetectorBank([object()])
+
+
+# ---------------------------------------------------------------------------
+# end-to-end: fast path == legacy path, through checkpoints
+# ---------------------------------------------------------------------------
+
+def pred_json(predictions):
+    return json.dumps([p.to_dict() for p in predictions])
+
+
+@pytest.fixture()
+def _restore_fast_path(fitted_elsa):
+    """Keep the shared session pipeline on the fast path afterwards."""
+    helo_state = fitted_elsa.online_state_dict()
+    yield
+    fitted_elsa.set_fast_path(True)
+    fitted_elsa.restore_online_state(helo_state)
+
+
+def _stream_predictions(elsa, scenario, fast, chunk=700, hop=None):
+    """Run the streaming engine over the test window.
+
+    ``hop`` round-trips the predictor through ``state_dict`` onto a
+    *fresh* instance after that many chunks — a mid-stream checkpoint
+    crossing the fast/legacy boundary.
+    """
+    elsa.set_fast_path(fast)
+    predictor = elsa.streaming_predictor(scenario.train_end, scenario.t_end)
+    window = [
+        r for r in scenario.records
+        if scenario.train_end <= r.timestamp < scenario.t_end
+    ]
+    for k, i in enumerate(range(0, len(window), chunk)):
+        batch = window[i : i + chunk]
+        ids = elsa._classify(batch, online=True)
+        n_types = elsa.model.n_types
+        ids = [t if (t is not None and t < n_types) else None for t in ids]
+        if hop is not None and k == hop:
+            # checkpoint onto the *other* path mid-stream
+            state = predictor.state_dict()
+            elsa.set_fast_path(not fast)
+            predictor = elsa.streaming_predictor(
+                scenario.train_end, scenario.t_end
+            )
+            predictor.load_state(state)
+        predictor.feed(batch, ids)
+    return predictor.finish()
+
+
+class TestEndToEndEquivalence:
+    def test_fast_equals_legacy(
+        self, fitted_elsa, small_scenario, _restore_fast_path
+    ):
+        helo = fitted_elsa.online_state_dict()
+        fast = _stream_predictions(fitted_elsa, small_scenario, fast=True)
+        fitted_elsa.restore_online_state(helo)
+        legacy = _stream_predictions(fitted_elsa, small_scenario, fast=False)
+        assert fast  # the scenario must actually produce predictions
+        assert pred_json(fast) == pred_json(legacy)
+
+    def test_checkpoint_crosses_paths(
+        self, fitted_elsa, small_scenario, _restore_fast_path
+    ):
+        """A checkpoint written by the fast path resumes on the legacy
+        path (and vice versa) with byte-identical predictions."""
+        helo = fitted_elsa.online_state_dict()
+        reference = _stream_predictions(
+            fitted_elsa, small_scenario, fast=True
+        )
+        fitted_elsa.restore_online_state(helo)
+        fast_to_legacy = _stream_predictions(
+            fitted_elsa, small_scenario, fast=True, hop=2
+        )
+        fitted_elsa.restore_online_state(helo)
+        legacy_to_fast = _stream_predictions(
+            fitted_elsa, small_scenario, fast=False, hop=3
+        )
+        assert pred_json(fast_to_legacy) == pred_json(reference)
+        assert pred_json(legacy_to_fast) == pred_json(reference)
+
+    def test_batched_feed_equals_scalar_feed(
+        self, fitted_elsa, small_scenario, _restore_fast_path
+    ):
+        """Chunk size (including 1-record chunks on the scalar entry
+        point) never changes the output."""
+        helo = fitted_elsa.online_state_dict()
+        big = _stream_predictions(
+            fitted_elsa, small_scenario, fast=True, chunk=5000
+        )
+        fitted_elsa.restore_online_state(helo)
+        tiny = _stream_predictions(
+            fitted_elsa, small_scenario, fast=True, chunk=13
+        )
+        assert pred_json(big) == pred_json(tiny)
