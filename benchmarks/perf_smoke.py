@@ -41,6 +41,14 @@ PRE_PR_RECORDS_PER_SEC = 58_979.0
 #: the gate: fail when the fast/legacy ratio drops below 70% of baseline
 MAX_RATIO_REGRESSION = 0.30
 
+#: the profiler gate: sampling the stage profiler during the fast-path
+#: run may cost at most 5% throughput (extra_info.profiler in the report)
+PROFILER_MAX_OVERHEAD = 1.05
+#: and must attribute at least 90% of sampled wall time to stages
+PROFILER_MIN_ATTRIBUTED = 0.90
+#: attribution is a fraction — don't gate it on a handful of samples
+PROFILER_MIN_SAMPLES = 50
+
 CHUNK = 4096
 
 
@@ -61,8 +69,15 @@ def _scenario():
     return sc, elsa, test
 
 
-def _run_once(sc, elsa, test, fast):
-    """One classify+feed+finish pass; per-chunk feed latencies in µs."""
+def _run_once(sc, elsa, test, fast, spans=False):
+    """One classify+feed+finish pass; per-chunk feed latencies in µs.
+
+    ``spans=True`` wraps the stages in the same transient spans the
+    streaming engine uses, so the sampling profiler has stacks to
+    attribute (the overhead measurement runs both sides with spans on,
+    isolating the profiler thread's own cost).
+    """
+    from repro import obs
     from repro.helo.online import OnlineHELO
 
     elsa.set_fast_path(fast)
@@ -70,17 +85,73 @@ def _run_once(sc, elsa, test, fast):
     pred = elsa.streaming_predictor(t_start=sc.train_end, t_end=sc.t_end)
     chunk_us = []
     t0 = time.perf_counter()
-    ids = elsa._classify(test, online=True)
-    for a in range(0, len(test), CHUNK):
-        c0 = time.perf_counter()
-        pred.feed(test[a:a + CHUNK], ids[a:a + CHUNK])
-        chunk_us.append(
-            (time.perf_counter() - c0) * 1e6 / len(test[a:a + CHUNK])
-        )
-    predictions = pred.finish()
+    if spans:
+        with obs.span("classify", transient=True):
+            ids = elsa._classify(test, online=True)
+        for a in range(0, len(test), CHUNK):
+            c0 = time.perf_counter()
+            with obs.span("feed", transient=True):
+                pred.feed(test[a:a + CHUNK], ids[a:a + CHUNK])
+            chunk_us.append(
+                (time.perf_counter() - c0) * 1e6 / len(test[a:a + CHUNK])
+            )
+        with obs.span("finish", transient=True):
+            predictions = pred.finish()
+    else:
+        ids = elsa._classify(test, online=True)
+        for a in range(0, len(test), CHUNK):
+            c0 = time.perf_counter()
+            pred.feed(test[a:a + CHUNK], ids[a:a + CHUNK])
+            chunk_us.append(
+                (time.perf_counter() - c0) * 1e6 / len(test[a:a + CHUNK])
+            )
+        predictions = pred.finish()
     elapsed = time.perf_counter() - t0
     elsa._online_helo = OnlineHELO.from_state(helo_state)
     return elapsed, chunk_us, predictions
+
+
+def measure_profiler_overhead(sc, elsa, test, trials=3):
+    """Fast path with spans, profiler off vs on: the ≤5% overhead claim.
+
+    Both sides run the transient-span instrumentation (the production
+    streaming path always does), so the ratio isolates what the sampling
+    thread itself costs.  Best-of-``trials`` on each side damps runner
+    noise.
+    """
+    from repro import obs
+
+    n = len(test)
+    best_off = float("inf")
+    for _ in range(trials):
+        elapsed, _, _ = _run_once(sc, elsa, test, fast=True, spans=True)
+        best_off = min(best_off, elapsed)
+    profiler = obs.StageProfiler()
+    profiler.start()
+    try:
+        best_on = float("inf")
+        for _ in range(trials):
+            elapsed, _, _ = _run_once(sc, elsa, test, fast=True, spans=True)
+            best_on = min(best_on, elapsed)
+    finally:
+        profiler.stop()
+    stats = profiler.stats()
+    return {
+        "records_per_sec_without": round(n / best_off, 1),
+        "records_per_sec_with": round(n / best_on, 1),
+        "overhead_ratio": round(best_on / best_off, 4),
+        "interval_seconds": profiler.interval,
+        "samples": stats["samples"],
+        "attributed_fraction": (
+            round(stats["attributed_fraction"], 4)
+            if stats["attributed_fraction"] is not None else None
+        ),
+        "top_stages": [
+            {"stage": r["stage"],
+             "self_seconds": round(r["self_seconds"], 3)}
+            for r in profiler.top_stages(4)
+        ],
+    }
 
 
 def measure(trials: int = 3) -> dict:
@@ -115,6 +186,7 @@ def measure(trials: int = 3) -> dict:
             "FAIL: fast and legacy paths emitted different predictions"
         )
     fast_rps = out["fast"]["records_per_sec"]
+    profiler_info = measure_profiler_overhead(sc, elsa, test, trials=trials)
     return {
         "scenario": {
             "name": "bluegene-1.5d",
@@ -135,6 +207,7 @@ def measure(trials: int = 3) -> dict:
                     "same scenario, best of 3",
         },
         "speedup_vs_pre_pr": round(fast_rps / PRE_PR_RECORDS_PER_SEC, 2),
+        "extra_info": {"profiler": profiler_info},
     }
 
 
@@ -158,6 +231,33 @@ def check(result: dict) -> int:
         )
         return 1
     print("OK: fast path within budget")
+    prof = result.get("extra_info", {}).get("profiler")
+    if prof:
+        overhead = prof["overhead_ratio"]
+        print(
+            f"profiler overhead: {overhead:.4f}x "
+            f"(gate {PROFILER_MAX_OVERHEAD:.2f}x), "
+            f"attributed {prof['attributed_fraction']} "
+            f"of {prof['samples']} samples"
+        )
+        if overhead > PROFILER_MAX_OVERHEAD:
+            print(
+                f"FAIL: stage profiler costs more than "
+                f"{PROFILER_MAX_OVERHEAD - 1:.0%} throughput"
+            )
+            return 1
+        frac = prof["attributed_fraction"]
+        if (
+            prof["samples"] >= PROFILER_MIN_SAMPLES
+            and frac is not None
+            and frac < PROFILER_MIN_ATTRIBUTED
+        ):
+            print(
+                f"FAIL: profiler attributed only {frac:.1%} of sampled "
+                f"wall time (floor {PROFILER_MIN_ATTRIBUTED:.0%})"
+            )
+            return 1
+        print("OK: profiler within overhead and attribution budget")
     return 0
 
 

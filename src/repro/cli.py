@@ -318,6 +318,11 @@ def cmd_predict(args: argparse.Namespace) -> int:
     )
     scoreboard = None
     server = _start_telemetry(args)
+    profiler = None
+    if getattr(args, "profile", False):
+        profiler = obs.get_profiler()
+        profiler.start()
+        _emit(f"stage profiler sampling every {profiler.interval * 1000:g}ms")
     try:
         resume_from = getattr(args, "resume_from", None)
         ckpt_path = getattr(args, "checkpoint", None) or resume_from
@@ -424,6 +429,8 @@ def cmd_predict(args: argparse.Namespace) -> int:
             note = f" ({dropped} older dropped from ring)" if dropped else ""
             _emit(f"{n} provenance records written to {prov_out}{note}")
     finally:
+        if profiler is not None:
+            profiler.stop()
         _stop_telemetry(server, args)
     rc = _degraded_exit(elsa)
     if rc == 0 and tripped:
@@ -567,8 +574,8 @@ def cmd_explain(args: argparse.Namespace) -> int:
 
 
 def cmd_stats(args: argparse.Namespace) -> int:
-    """``stats``: summarize an observability dump as tables."""
-    from repro.reporting import render_observability
+    """``stats``: summarize an observability dump as tables (or JSON)."""
+    from repro.reporting import observability_json, render_observability
 
     try:
         data = json.loads(Path(args.metrics).read_text())
@@ -579,8 +586,156 @@ def cmd_stats(args: argparse.Namespace) -> int:
         print(f"error: {args.metrics} is not a metrics dump: {exc}",
               file=sys.stderr)
         return 1
-    _emit(render_observability(data))
+    if getattr(args, "json", False):
+        _emit(json.dumps(observability_json(data), indent=1,
+                         default=_json_default))
+    else:
+        _emit(render_observability(data))
     return 0
+
+
+# ---------------------------------------------------------------------------
+# dashboard
+# ---------------------------------------------------------------------------
+
+#: eight-level bar for terminal sparklines.
+_SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+
+def _sparkline(values: Sequence[Optional[float]]) -> str:
+    """Render a value series as a unicode sparkline (gaps for ``None``)."""
+    present = [v for v in values if v is not None]
+    if not present:
+        return ""
+    lo, hi = min(present), max(present)
+    span = hi - lo
+    chars = []
+    for v in values:
+        if v is None:
+            chars.append(" ")
+        elif span > 0:
+            chars.append(
+                _SPARK_CHARS[int((v - lo) / span * (len(_SPARK_CHARS) - 1))]
+            )
+        else:
+            chars.append(_SPARK_CHARS[len(_SPARK_CHARS) // 2])
+    return "".join(chars)
+
+
+def _fetch_json(base: str, path: str) -> dict:
+    """GET ``base + path`` from a telemetry server, parsed as JSON."""
+    import urllib.request
+
+    with urllib.request.urlopen(base + path, timeout=10) as resp:
+        return json.loads(resp.read().decode("utf-8"))
+
+
+def _spark_points(points: List) -> List[Optional[float]]:
+    """History points -> sparkline values (histograms plot their count)."""
+    out: List[Optional[float]] = []
+    for _, payload in points[-48:]:
+        if isinstance(payload, (list, tuple)):
+            out.append(float(payload[0]) if payload else None)
+        else:
+            out.append(float(payload) if payload is not None else None)
+    return out
+
+
+def render_dashboard(base: str) -> str:
+    """One dashboard frame: health, SLO table, sparklines, top stages."""
+    health = _fetch_json(base, "/health")
+    alerts = _fetch_json(base, "/alerts")
+    profile = _fetch_json(base, "/profile")
+    lines = [f"== elsa telemetry dashboard — {base} =="]
+    status = health.get("status", "?")
+    reasons = ", ".join(health.get("reasons", ()))
+    lines.append(f"health: {status}" + (f" ({reasons})" if reasons else ""))
+    lines += ["", "SLOs:"]
+    slos = alerts.get("slos", [])
+    if not slos:
+        lines.append("  (no SLOs configured)")
+    for slo in slos:
+        fast = slo.get("fast")
+        slow = slo.get("slow")
+
+        def _num(v):
+            return f"{v:.4g}" if isinstance(v, (int, float)) else "—"
+
+        lines.append(
+            f"  {slo['name']:<22} {slo.get('state', '?'):<9}"
+            f" fast={_num(fast):<8} slow={_num(slow):<8}"
+            f" threshold={_num(slo.get('threshold'))}"
+        )
+        try:
+            query = _fetch_json(
+                base,
+                f"/query?metric={slo['metric']}"
+                f"&window={slo.get('slow_window', 1800)}",
+            )
+        except Exception:
+            continue  # metric not sampled yet: row stands without a spark
+        spark = _sparkline(_spark_points(query.get("points", [])))
+        if spark:
+            lines.append(f"    {slo['metric']:<20} {spark}")
+    firing = alerts.get("firing", [])
+    if firing:
+        lines.append(f"  FIRING: {', '.join(firing)}")
+    lines += ["", "Top stages (profiler self time):"]
+    stages = profile.get("stages", {})
+    if not stages:
+        running = profile.get("running", False)
+        lines.append(
+            "  (no profile samples"
+            + ("" if running else "; profiler not running")
+            + ")"
+        )
+    else:
+        rows = sorted(
+            stages.items(),
+            key=lambda kv: (-kv[1].get("self_seconds", 0.0), kv[0]),
+        )
+        for name, vals in rows[:8]:
+            lines.append(
+                f"  {name:<22} self={vals.get('self_seconds', 0.0):8.3f}s"
+                f"  total={vals.get('total_seconds', 0.0):8.3f}s"
+            )
+        frac = profile.get("attributed_fraction")
+        if frac is not None:
+            lines.append(f"  attributed: {frac:.1%} of sampled wall time")
+    return "\n".join(lines)
+
+
+def cmd_dashboard(args: argparse.Namespace) -> int:
+    """``dashboard``: render a live telemetry server in the terminal.
+
+    Polls ``/health``, ``/alerts``, ``/profile`` and ``/query`` on a
+    running ``--listen`` server and prints an SLO status table, metric
+    sparklines and the profiler's top stages.  One frame by default;
+    ``--iterations N --refresh S`` watches continuously (``--iterations
+    0`` = forever).
+    """
+    from urllib.error import URLError
+
+    base = args.url.rstrip("/")
+    if not base.startswith(("http://", "https://")):
+        base = "http://" + base
+    i = 0
+    while True:
+        try:
+            frame = render_dashboard(base)
+        except (URLError, OSError, json.JSONDecodeError) as exc:
+            print(f"error: cannot reach telemetry server at {base}: {exc}",
+                  file=sys.stderr)
+            return 1
+        _emit(frame)
+        i += 1
+        if args.iterations and i >= args.iterations:
+            return 0
+        try:
+            time.sleep(args.refresh)
+        except KeyboardInterrupt:
+            return 0
+        _emit("")
 
 
 # ---------------------------------------------------------------------------
@@ -701,8 +856,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--listen", metavar="HOST:PORT", default=None,
-        help="serve /metrics, /health and /state over HTTP during the "
-             "run (port 0 picks a free port)",
+        help="serve the telemetry endpoints (/metrics, /health, /state, "
+             "/query, /alerts, /profile) over HTTP during the run "
+             "(port 0 picks a free port)",
+    )
+    p.add_argument(
+        "--profile", dest="profile", action="store_true",
+        help="run the sampling stage profiler during the stream "
+             "(per-stage self/total times on /profile and `dashboard`)",
     )
     p.add_argument(
         "--linger", type=float, metavar="SECONDS", default=0.0,
@@ -762,7 +923,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--metrics", required=True,
                    help="JSON file written by --metrics-out")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable output (histogram quantiles, "
+                        "labeled series, throughput) instead of tables")
     p.set_defaults(func=cmd_stats)
+
+    p = sub.add_parser(
+        "dashboard",
+        help="terminal dashboard for a live --listen telemetry server",
+    )
+    p.add_argument("--url", required=True,
+                   help="base URL of the telemetry server "
+                        "(e.g. http://127.0.0.1:9100)")
+    p.add_argument("--iterations", type=int, default=1, metavar="N",
+                   help="frames to render before exiting (0 = forever; "
+                        "default 1)")
+    p.add_argument("--refresh", type=float, default=2.0, metavar="SECONDS",
+                   help="seconds between frames (default 2)")
+    p.set_defaults(func=cmd_dashboard)
 
     p = sub.add_parser(
         "monitor",

@@ -133,12 +133,16 @@ class SelfHealingRun(ResumableRun):
         checkpoint_every: Optional[int] = None,
         batch_size: Optional[int] = None,
         seed_version: int = 1,
+        history=None,
+        slo_engine=None,
     ) -> None:
         super().__init__(
             elsa, t_start, t_end,
             checkpoint_path=checkpoint_path,
             checkpoint_every=checkpoint_every,
             batch_size=batch_size,
+            history=history,
+            slo_engine=slo_engine,
         )
         self.policy = policy or LifecyclePolicy()
         self.manager = manager or ModelManager(store_dir=store_dir)
@@ -154,6 +158,9 @@ class SelfHealingRun(ResumableRun):
         # the degradation ladder follows the predictor's breakers
         self.ladder = DegradationLadder()
         self.predictor.attach_ladder(self.ladder)
+        # ladder moves and lifecycle decisions land in the metric
+        # history as annotated events next to the series they explain
+        self.ladder.on_transition = self._annotate_ladder
         self.scoreboard = None
         if self.faults:
             from repro.prediction.scoreboard import OnlineScoreboard
@@ -219,13 +226,31 @@ class SelfHealingRun(ResumableRun):
             seed_version=version,
         )
         run.predictor.load_state(pstate)
+        # restoring a checkpointed rung is not a live transition —
+        # don't annotate it as one
+        run.ladder.on_transition = None
         run.ladder.restore(int(lc.get("ladder_rung", 0)))
+        run.ladder.on_transition = run._annotate_ladder
+        obs_block = checkpoint.get("obs") or {}
+        if obs_block.get("history") is not None:
+            run.history.load_state(obs_block["history"])
+        if obs_block.get("slo") is not None:
+            run.slo.load_state(obs_block["slo"])
         # stream clock resumes at the last closed sample; the record
         # buffer restarts empty and refills from the live stream
         run._clock = run.t_start + (
             float(pstate["k"]) * run.predictor.sampling_period
         )
         return run
+
+    def _annotate_ladder(self, old, new) -> None:
+        """History annotation for every degradation-ladder move."""
+        if self.history is None:
+            return
+        self.history.annotate(
+            "ladder_transition", self._clock,
+            {"from": old.name.lower(), "to": new.name.lower()},
+        )
 
     # -- ResumableRun hooks --------------------------------------------------
 
@@ -275,6 +300,11 @@ class SelfHealingRun(ResumableRun):
     def _on_drift(self, detector) -> None:
         """Rising-edge drift alert → mark the incumbent degraded."""
         self._drift_started_at = self._clock
+        if self.history is not None:
+            self.history.annotate(
+                "drift_alert", self._clock,
+                {"score": round(detector.score, 3)},
+            )
         if self._trigger is None:
             self._trigger = "drift"
             obs.counter("lifecycle.trigger_drift").inc()
@@ -471,6 +501,16 @@ class SelfHealingRun(ResumableRun):
         self.predictor.swap_model(candidate)
         self.swaps += 1
         obs.counter("lifecycle.swaps").inc()
+        if self.history is not None:
+            self.history.annotate(
+                "model_swap", now,
+                {
+                    "version": mv.version,
+                    "trigger": reason,
+                    "candidate_recall": round(cand["recall"], 3),
+                    "incumbent_recall": round(incumbent["recall"], 3),
+                },
+            )
         # fresh drift baseline from the new characterization — the old
         # detector would keep alerting against the model we just retired
         self.drift = self._attach_drift_detector()
@@ -495,6 +535,10 @@ class SelfHealingRun(ResumableRun):
     ) -> None:
         self.rollbacks += 1
         self.manager.rollback(now, dict(detail, trigger=trigger))
+        if self.history is not None:
+            self.history.annotate(
+                "model_rollback", now, dict(detail, trigger=trigger)
+            )
         self._not_before = now + self._backoff
         obs.gauge("lifecycle.backoff_seconds").set(self._backoff)
         self._backoff = min(

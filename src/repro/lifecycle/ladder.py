@@ -64,6 +64,9 @@ class DegradationLadder:
         #: (from, to) per transition, in order — the audit trail the
         #: monotonicity property checks
         self.transitions: List[Tuple[int, int]] = []
+        #: optional ``(old_rung, new_rung)`` hook fired on every move —
+        #: SelfHealingRun uses it to annotate the metric history
+        self.on_transition = None
         obs.gauge("lifecycle.ladder_rung").set(float(self.rung))
 
     @staticmethod
@@ -115,6 +118,8 @@ class DegradationLadder:
                 from_rung=old.name.lower(), to_rung=new.name.lower()
             ),
         )
+        if self.on_transition is not None:
+            self.on_transition(old, new)
 
     # -- the bottom rung's detector -----------------------------------------
 

@@ -49,6 +49,26 @@ from repro.obs.live import (
     health_report,
     render_prometheus,
 )
+from repro.obs.history import (
+    MetricHistory,
+    get_history,
+    reset_history,
+    set_history,
+)
+from repro.obs.slo import (
+    SLOEngine,
+    SLOSpec,
+    default_slos,
+    get_slo_engine,
+    reset_slo_engine,
+    set_slo_engine,
+)
+from repro.obs.profiler import (
+    StageProfiler,
+    get_profiler,
+    reset_profiler,
+    set_profiler,
+)
 from repro.obs.provenance import (
     FlightRecorder,
     LifecycleEvent,
@@ -62,24 +82,38 @@ __all__ = [
     "Histogram",
     "LifecycleEvent",
     "LocalCounters",
+    "MetricHistory",
     "MetricsRegistry",
     "PredictionProvenance",
+    "SLOEngine",
+    "SLOSpec",
     "Span",
+    "StageProfiler",
     "TelemetryServer",
     "active_roots",
     "configure_logging",
     "counter",
     "current_span",
+    "default_slos",
     "export_state",
     "gauge",
+    "get_history",
     "get_logger",
+    "get_profiler",
     "get_registry",
+    "get_slo_engine",
     "health_report",
     "histogram",
     "register_state_section",
     "render_prometheus",
     "reset",
+    "reset_history",
+    "reset_profiler",
+    "reset_slo_engine",
     "reset_tracing",
+    "set_history",
+    "set_profiler",
+    "set_slo_engine",
     "span",
     "span_roots",
     "span_tree",
@@ -134,7 +168,15 @@ def export_state() -> dict:
 
 
 def reset() -> None:
-    """Clear the registry, the finished-span buffer, and state sections."""
+    """Fresh observability slate (tests, CLI runs).
+
+    Clears the registry, the finished-span buffer, registered state
+    sections, the metric history, the SLO engine, and the profiler (a
+    running default profiler is stopped).
+    """
     get_registry().reset()
     reset_tracing()
     _state_sections.clear()
+    reset_history()
+    reset_slo_engine()
+    reset_profiler()

@@ -1,0 +1,352 @@
+"""Time-series history: a ring-buffer store over registry snapshots.
+
+The live registry answers "what is the value *now*"; SLO alerting and
+the dashboard need "what was it over the last N minutes".  A
+:class:`MetricHistory` samples the whole
+:class:`~repro.obs.metrics.MetricsRegistry` on a caller-driven cadence
+and keeps the last ``capacity`` samples per series in bounded deques,
+so memory is fixed no matter how long the run.
+
+Two deliberate design points:
+
+* **The clock is the caller's.**  The streaming pipeline samples on the
+  *stream* clock (record timestamps), not wall time — a replayed log
+  produces byte-identical history, and kill-and-resume determinism (the
+  checkpoint contract) extends to the history itself.
+* **Histograms keep their bucket counts**, not a digest, so windowed
+  quantiles (``quantile_over_time``) come from bucket-count deltas
+  between the window's edges — the same estimate Prometheus's
+  ``histogram_quantile(rate(...))`` would give.
+
+Lifecycle swaps, ladder demotions, and SLO transitions land in a
+parallel *annotation* ring (:meth:`MetricHistory.annotate`) so a recall
+dip can be read next to the event that explains it.
+
+The whole store round-trips through :meth:`state_dict` /
+:meth:`load_state` as plain JSON; the checkpoint path persists it so
+history survives a kill (``tests/test_obs_history.py`` asserts the
+round trip is byte-identical).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.metrics import MetricsRegistry, counter, get_registry
+
+__all__ = [
+    "MetricHistory",
+    "get_history",
+    "reset_history",
+    "set_history",
+]
+
+#: Samples kept per series before the oldest roll off.
+DEFAULT_CAPACITY = 720
+
+#: Default sampling cadence, in caller-clock seconds.
+DEFAULT_INTERVAL = 60.0
+
+#: Annotation events kept before the oldest roll off.
+MAX_EVENTS = 256
+
+HISTORY_STATE_VERSION = 1
+
+
+def _bucket_quantile(
+    bounds: List[float], counts: List[int], q: float
+) -> Optional[float]:
+    """Interpolated q-quantile from per-bucket (non-cumulative) counts.
+
+    Mirrors :func:`repro.reporting.histogram_quantile` but works on the
+    raw bucket-count vector history stores (that module depends on obs,
+    so obs cannot import it back).
+    """
+    total = sum(counts)
+    if total <= 0:
+        return None
+    target = q * total
+    running = 0.0
+    for i, n in enumerate(counts):
+        if n <= 0:
+            continue
+        if running + n >= target:
+            if i >= len(bounds):  # overflow bucket: no upper bound
+                return float(bounds[-1]) if bounds else None
+            lo = float(bounds[i - 1]) if i > 0 else 0.0
+            hi = float(bounds[i])
+            frac = (target - running) / n
+            return lo + (hi - lo) * frac
+        running += n
+    return float(bounds[-1]) if bounds else None
+
+
+class MetricHistory:
+    """Bounded per-series sample rings with windowed queries.
+
+    ``capacity`` bounds samples per series; ``interval`` is the minimum
+    spacing :meth:`maybe_sample` enforces.  All timestamps are whatever
+    clock the caller passes (the streaming pipeline passes stream time).
+    """
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CAPACITY,
+        interval: float = DEFAULT_INTERVAL,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if capacity < 2:
+            raise ValueError("capacity must be >= 2")
+        if interval <= 0:
+            raise ValueError("interval must be > 0")
+        self.capacity = int(capacity)
+        self.interval = float(interval)
+        self._registry = registry
+        self._samples: Dict[str, deque] = {}
+        self._kinds: Dict[str, str] = {}
+        self._bounds: Dict[str, List[float]] = {}
+        self._events: deque = deque(maxlen=MAX_EVENTS)
+        self._times: deque = deque(maxlen=self.capacity)
+        self.last_time: Optional[float] = None
+        self._lock = threading.Lock()
+
+    # -- recording -------------------------------------------------------------
+
+    def due(self, now: float) -> bool:
+        """Whether a sample at ``now`` respects the cadence."""
+        return self.last_time is None or now - self.last_time >= self.interval
+
+    def maybe_sample(self, now: float) -> bool:
+        """Sample iff the cadence allows it; returns whether it did."""
+        if not self.due(now):
+            return False
+        self.sample(now)
+        return True
+
+    def sample(self, now: float) -> None:
+        """Record one snapshot of every registry metric at time ``now``."""
+        registry = self._registry or get_registry()
+        snap = registry.snapshot()
+        now = float(now)
+        with self._lock:
+            self.last_time = now
+            self._times.append(now)
+            for name, m in snap.items():
+                kind = m.get("kind", "gauge")
+                if kind == "histogram":
+                    payload = [m.get("count", 0), m.get("sum", 0.0),
+                               list(m.get("counts", []))]
+                    self._bounds[name] = [
+                        float(b) for b in m.get("buckets", [])
+                    ]
+                else:
+                    payload = m.get("value", 0.0)
+                dq = self._samples.get(name)
+                if dq is None:
+                    dq = deque(maxlen=self.capacity)
+                    self._samples[name] = dq
+                self._kinds[name] = kind
+                dq.append([now, payload])
+        counter("obs.history_samples").inc()
+
+    def annotate(self, kind: str, t: float, detail: Optional[dict] = None
+                 ) -> None:
+        """Record one event (model swap, ladder demotion, SLO firing...)."""
+        event = {"t": float(t), "kind": str(kind), "detail": detail or {}}
+        with self._lock:
+            self._events.append(event)
+        counter("obs.history_annotations").inc()
+
+    # -- queries ---------------------------------------------------------------
+
+    def names(self) -> List[str]:
+        """All series names seen so far, sorted."""
+        with self._lock:
+            return sorted(self._samples)
+
+    def kind(self, name: str) -> Optional[str]:
+        """The metric kind of ``name``, or None if never sampled."""
+        return self._kinds.get(name)
+
+    def _window(self, name: str, window: Optional[float],
+                now: Optional[float]) -> List[list]:
+        with self._lock:
+            dq = self._samples.get(name)
+            points = list(dq) if dq else []
+        if not points:
+            return []
+        if window is None:
+            return points
+        end = self.last_time if now is None else float(now)
+        if end is None:
+            return points
+        lo = end - float(window)
+        return [p for p in points if lo <= p[0] <= end]
+
+    def series(self, name: str, window: Optional[float] = None,
+               now: Optional[float] = None) -> List[Tuple[float, float]]:
+        """``(t, value)`` points in the window (histograms: cum. count)."""
+        points = self._window(name, window, now)
+        if self._kinds.get(name) == "histogram":
+            return [(t, float(p[0])) for t, p in points]
+        return [(t, float(p)) for t, p in points]
+
+    def latest(self, name: str) -> Optional[float]:
+        """Most recent sampled value (histograms: cumulative count)."""
+        pts = self.series(name)
+        return pts[-1][1] if pts else None
+
+    def delta(self, name: str, window: float,
+              now: Optional[float] = None) -> Optional[float]:
+        """last - first over the window (needs >= 2 points)."""
+        pts = self.series(name, window, now)
+        if len(pts) < 2:
+            return None
+        return pts[-1][1] - pts[0][1]
+
+    def rate(self, name: str, window: float,
+             now: Optional[float] = None) -> Optional[float]:
+        """Per-second increase over the window (counter semantics).
+
+        A decrease (registry reset between samples) clamps to 0 rather
+        than reporting a negative rate.
+        """
+        pts = self.series(name, window, now)
+        if len(pts) < 2:
+            return None
+        dt = pts[-1][0] - pts[0][0]
+        if dt <= 0:
+            return None
+        return max(0.0, pts[-1][1] - pts[0][1]) / dt
+
+    def avg_over_time(self, name: str, window: float,
+                      now: Optional[float] = None) -> Optional[float]:
+        pts = self.series(name, window, now)
+        if not pts:
+            return None
+        return sum(v for _, v in pts) / len(pts)
+
+    def min_over_time(self, name: str, window: float,
+                      now: Optional[float] = None) -> Optional[float]:
+        pts = self.series(name, window, now)
+        return min((v for _, v in pts), default=None)
+
+    def max_over_time(self, name: str, window: float,
+                      now: Optional[float] = None) -> Optional[float]:
+        pts = self.series(name, window, now)
+        return max((v for _, v in pts), default=None)
+
+    def quantile_over_time(self, name: str, q: float, window: float,
+                           now: Optional[float] = None) -> Optional[float]:
+        """q-quantile of the window.
+
+        Histograms: interpolated quantile of the *bucket-count delta*
+        between the window's first and last samples — the distribution
+        of observations that landed inside the window.  Gauges and
+        counters: the quantile of the sampled values themselves.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        if self._kinds.get(name) == "histogram":
+            points = self._window(name, window, now)
+            if len(points) < 2:
+                return None
+            first, last = points[0][1], points[-1][1]
+            dcounts = [
+                max(0, b - a) for a, b in zip(first[2], last[2])
+            ]
+            return _bucket_quantile(self._bounds.get(name, []), dcounts, q)
+        pts = self.series(name, window, now)
+        if not pts:
+            return None
+        values = sorted(v for _, v in pts)
+        if len(values) == 1:
+            return values[0]
+        pos = q * (len(values) - 1)
+        lo = int(pos)
+        hi = min(lo + 1, len(values) - 1)
+        return values[lo] + (values[hi] - values[lo]) * (pos - lo)
+
+    def events(self, window: Optional[float] = None,
+               now: Optional[float] = None) -> List[dict]:
+        """Annotation events, optionally restricted to the window."""
+        with self._lock:
+            events = list(self._events)
+        if window is None:
+            return events
+        end = self.last_time if now is None else float(now)
+        if end is None:
+            return events
+        lo = end - float(window)
+        return [e for e in events if lo <= e["t"] <= end]
+
+    # -- persistence -----------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """JSON-serializable snapshot of the whole store."""
+        with self._lock:
+            return {
+                "version": HISTORY_STATE_VERSION,
+                "capacity": self.capacity,
+                "interval": self.interval,
+                "last_time": self.last_time,
+                "times": list(self._times),
+                "kinds": dict(sorted(self._kinds.items())),
+                "bounds": dict(sorted(self._bounds.items())),
+                "samples": {
+                    name: [list(p) for p in dq]
+                    for name, dq in sorted(self._samples.items())
+                },
+                "events": [dict(e) for e in self._events],
+            }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot (replaces everything)."""
+        if state.get("version") != HISTORY_STATE_VERSION:
+            raise ValueError(
+                f"history state version {state.get('version')!r} "
+                "not supported"
+            )
+        with self._lock:
+            self.capacity = int(state["capacity"])
+            self.interval = float(state["interval"])
+            self.last_time = state.get("last_time")
+            self._times = deque(state.get("times", []),
+                                maxlen=self.capacity)
+            self._kinds = dict(state.get("kinds", {}))
+            self._bounds = {
+                k: list(v) for k, v in state.get("bounds", {}).items()
+            }
+            self._samples = {
+                name: deque(points, maxlen=self.capacity)
+                for name, points in state.get("samples", {}).items()
+            }
+            self._events = deque(state.get("events", []),
+                                 maxlen=MAX_EVENTS)
+
+
+_default_history: Optional[MetricHistory] = None
+_history_lock = threading.Lock()
+
+
+def get_history() -> MetricHistory:
+    """The process-wide default history (created on first use)."""
+    global _default_history
+    with _history_lock:
+        if _default_history is None:
+            _default_history = MetricHistory()
+        return _default_history
+
+
+def set_history(history: Optional[MetricHistory]) -> None:
+    """Replace the default history (tests, custom cadences)."""
+    global _default_history
+    with _history_lock:
+        _default_history = history
+
+
+def reset_history() -> None:
+    """Drop the default history; the next ``get_history`` starts fresh."""
+    set_history(None)

@@ -9,12 +9,24 @@ exposition format — the registry's counter/gauge/histogram model maps
 1:1 — and serves it from a background ``http.server`` thread:
 
 * ``GET /metrics`` — Prometheus text format (``# TYPE`` headers,
-  cumulative ``_bucket{le="..."}`` histogram series);
+  cumulative ``_bucket{le="..."}`` histogram series, labeled child
+  series as ``name{key="value"}`` samples);
 * ``GET /health``  — ok/degraded/failing JSON aggregated from the
   resilience gauges (circuit-breaker states, dead-letter depth,
   checkpoint age, drift alerts); HTTP 200 unless failing (503);
 * ``GET /state``   — the full :func:`repro.obs.export_state` snapshot
-  as JSON, including in-progress spans (``done: false``).
+  as JSON, including in-progress spans (``done: false``);
+* ``GET /query``   — windowed queries against the
+  :mod:`repro.obs.history` store (``?metric=...&window=...``);
+* ``GET /alerts``  — the SLO engine's alert states (pending/firing/
+  resolved, burn values, exemplars);
+* ``GET /profile`` — the sampling profiler's per-stage tables
+  (``?format=collapsed`` for the flamegraph export).
+
+Unknown paths get a JSON 404 listing the available endpoints; clients
+hanging up mid-response (``BrokenPipeError``/``ConnectionResetError``)
+are counted in ``telemetry.client_disconnects`` instead of spraying
+tracebacks on stderr.
 
 Everything is stdlib; the server thread is a daemon, so an exiting CLI
 never hangs on it.
@@ -23,9 +35,12 @@ never hangs on it.
 from __future__ import annotations
 
 import json
+import math
 import re
+import sys
 import threading
 import time
+import urllib.parse
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -38,6 +53,11 @@ __all__ = [
     "prom_name",
     "render_prometheus",
 ]
+
+#: Every route the server answers (also the JSON-404 hint list).
+ENDPOINTS = (
+    "/", "/metrics", "/health", "/state", "/query", "/alerts", "/profile",
+)
 
 _NAME_BAD = re.compile(r"[^a-zA-Z0-9_:]")
 _BREAKER_STATE = re.compile(r"^resilience\.breaker\.(?P<name>.+)\.state$")
@@ -61,11 +81,61 @@ def prom_name(name: str, kind: str = "gauge") -> str:
 
 
 def _fmt(value: float) -> str:
-    """Prometheus sample value: integers without the trailing ``.0``."""
+    """Prometheus sample value: integers without the trailing ``.0``.
+
+    Non-finite values use the exposition-format spellings ``NaN``,
+    ``+Inf`` and ``-Inf`` (``repr`` would emit ``nan``/``inf``, which
+    scrapers reject).
+    """
     value = float(value)
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
     if value.is_integer() and abs(value) < 1e15:
         return str(int(value))
     return repr(value)
+
+
+def _escape_label(value: str) -> str:
+    """Escape a label value per the exposition format."""
+    return (
+        str(value)
+        .replace("\\", r"\\")
+        .replace('"', r"\"")
+        .replace("\n", r"\n")
+    )
+
+
+def _label_str(labels: Dict[str, str], extra: str = "") -> str:
+    """``{k="v",...}`` label block (labels sorted; ``extra`` appended)."""
+    parts = [
+        f'{_NAME_BAD.sub("_", str(k))}="{_escape_label(v)}"'
+        for k, v in sorted(labels.items())
+    ]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _histogram_lines(pname: str, m: dict, labels: str = "") -> List[str]:
+    """Cumulative ``_bucket``/``_sum``/``_count`` lines for one series."""
+    lines: List[str] = []
+    cum = 0
+    counts = m.get("counts", [])
+    bounds = m.get("buckets", [])
+    prefix = labels[:-1] + "," if labels else "{"
+    for bound, n in zip(bounds, counts):
+        cum += n
+        lines.append(
+            f'{pname}_bucket{prefix}le="{bound:g}"}} {_fmt(cum)}'
+        )
+    if len(counts) > len(bounds):  # overflow bucket
+        cum += counts[-1]
+    lines.append(f'{pname}_bucket{prefix}le="+Inf"}} {_fmt(cum)}')
+    lines.append(f"{pname}_sum{labels} {_fmt(m.get('sum', 0.0))}")
+    lines.append(f"{pname}_count{labels} {_fmt(m.get('count', 0))}")
+    return lines
 
 
 def render_prometheus(snapshot: Dict[str, dict]) -> str:
@@ -73,30 +143,36 @@ def render_prometheus(snapshot: Dict[str, dict]) -> str:
 
     Histograms are converted from the registry's per-bucket counts to
     the cumulative ``_bucket{le="..."}`` series Prometheus expects,
-    closed by ``le="+Inf"``, ``_sum`` and ``_count``.
+    closed by ``le="+Inf"``, ``_sum`` and ``_count``.  A metric's
+    labeled children (its ``"series"`` entries) render as additional
+    ``name{key="value"}`` samples under the same family header.
+
+    Name mangling can collide (``a.b`` and ``a_b`` both map to
+    ``a_b``): the duplicate ``# TYPE`` header is suppressed so the
+    output stays parseable; both sample lines are kept, which a scraper
+    will surface as a duplicate-sample error — making the collision
+    visible instead of silently dropping one series.
     """
     lines: List[str] = []
+    seen_families: set = set()
     for name, m in sorted(snapshot.items()):
         kind = m.get("kind", "gauge")
         pname = prom_name(name, kind)
-        if kind in ("counter", "gauge"):
+        if pname not in seen_families:
             lines.append(f"# TYPE {pname} {kind}")
+            seen_families.add(pname)
+        if kind in ("counter", "gauge"):
             lines.append(f"{pname} {_fmt(m.get('value', 0.0))}")
-        elif kind == "histogram":
-            lines.append(f"# TYPE {pname} histogram")
-            cum = 0
-            counts = m.get("counts", [])
-            bounds = m.get("buckets", [])
-            for bound, n in zip(bounds, counts):
-                cum += n
+            for child in m.get("series", []):
+                labels = _label_str(child.get("labels", {}))
                 lines.append(
-                    f'{pname}_bucket{{le="{bound:g}"}} {_fmt(cum)}'
+                    f"{pname}{labels} {_fmt(child.get('value', 0.0))}"
                 )
-            if len(counts) > len(bounds):  # overflow bucket
-                cum += counts[-1]
-            lines.append(f'{pname}_bucket{{le="+Inf"}} {_fmt(cum)}')
-            lines.append(f"{pname}_sum {_fmt(m.get('sum', 0.0))}")
-            lines.append(f"{pname}_count {_fmt(m.get('count', 0))}")
+        elif kind == "histogram":
+            lines.extend(_histogram_lines(pname, m))
+            for child in m.get("series", []):
+                labels = _label_str(child.get("labels", {}))
+                lines.extend(_histogram_lines(pname, child, labels))
     return "\n".join(lines) + ("\n" if lines else "")
 
 
@@ -197,38 +273,65 @@ def parse_listen(spec: str) -> Tuple[str, int]:
     return host or "127.0.0.1", int(port)
 
 
+def _history_query(history, params: Dict[str, List[str]]) -> Tuple[int, dict]:
+    """Answer one ``/query`` request against a history store."""
+    metrics = params.get("metric")
+    if not metrics:
+        return 400, {
+            "error": "missing required parameter 'metric'",
+            "example": "/query?metric=scoreboard.window_recall&window=1800",
+            "series": history.names(),
+        }
+    name = metrics[0]
+    try:
+        window = float(params.get("window", ["600"])[0])
+    except ValueError:
+        return 400, {"error": "window must be a number of seconds"}
+    kind = history.kind(name)
+    if kind is None:
+        return 404, {
+            "error": f"no history for metric {name!r}",
+            "series": history.names(),
+        }
+    points = history.series(name, window)
+    out = {
+        "metric": name,
+        "kind": kind,
+        "window": window,
+        "now": history.last_time,
+        "points": [[t, v] for t, v in points],
+        "latest": history.latest(name),
+        "delta": history.delta(name, window),
+        "rate": history.rate(name, window),
+        "avg": history.avg_over_time(name, window),
+        "min": history.min_over_time(name, window),
+        "max": history.max_over_time(name, window),
+        "events": history.events(window),
+    }
+    if kind == "histogram":
+        out["quantiles"] = {
+            q: history.quantile_over_time(name, float(q), window)
+            for q in ("0.5", "0.9", "0.99")
+        }
+    return 200, out
+
+
 class _Handler(BaseHTTPRequestHandler):
-    """Routes /metrics, /health and /state against the owning server."""
+    """Routes the telemetry endpoints against the owning server."""
 
     server_version = "elsa-telemetry/1"
 
     def do_GET(self) -> None:  # noqa: N802 - http.server API
+        parsed = urllib.parse.urlsplit(self.path)
+        path = parsed.path
+        route = path if path in ENDPOINTS else "other"
         _counter("telemetry.http_requests").inc()
+        _counter("telemetry.http_requests").labels(path=route).inc()
         try:
-            state = self.server.state_fn()  # type: ignore[attr-defined]
-            path = self.path.split("?", 1)[0]
-            if path == "/metrics":
-                body = render_prometheus(state.get("metrics", {}))
-                self._reply(
-                    200, body,
-                    "text/plain; version=0.0.4; charset=utf-8",
-                )
-            elif path == "/health":
-                report = health_report(state.get("metrics", {}))
-                code = 503 if report["status"] == "failing" else 200
-                self._reply(code, json.dumps(report, indent=1) + "\n")
-            elif path == "/state":
-                self._reply(
-                    200, json.dumps(state, default=str, indent=1) + "\n"
-                )
-            elif path == "/":
-                self._reply(
-                    200,
-                    "elsa-repro live telemetry: /metrics /health /state\n",
-                    "text/plain; charset=utf-8",
-                )
-            else:
-                self._reply(404, "not found\n", "text/plain; charset=utf-8")
+            self._route(path, urllib.parse.parse_qs(parsed.query))
+        except (BrokenPipeError, ConnectionResetError):
+            # the client hung up mid-response; routine, not an error
+            _counter("telemetry.client_disconnects").inc()
         except Exception as exc:  # never kill the serving thread
             _counter("telemetry.http_errors").inc()
             try:
@@ -236,6 +339,55 @@ class _Handler(BaseHTTPRequestHandler):
                             "text/plain; charset=utf-8")
             except OSError:
                 pass
+
+    def _route(self, path: str, params: Dict[str, List[str]]) -> None:
+        srv = self.server
+        if path == "/metrics":
+            state = srv.state_fn()  # type: ignore[attr-defined]
+            body = render_prometheus(state.get("metrics", {}))
+            self._reply(
+                200, body, "text/plain; version=0.0.4; charset=utf-8",
+            )
+        elif path == "/health":
+            state = srv.state_fn()  # type: ignore[attr-defined]
+            report = health_report(state.get("metrics", {}))
+            code = 503 if report["status"] == "failing" else 200
+            self._reply(code, json.dumps(report, indent=1) + "\n")
+        elif path == "/state":
+            state = srv.state_fn()  # type: ignore[attr-defined]
+            self._reply(
+                200, json.dumps(state, default=str, indent=1) + "\n"
+            )
+        elif path == "/query":
+            history = srv.history_fn()  # type: ignore[attr-defined]
+            code, out = _history_query(history, params)
+            self._reply(code, json.dumps(out, indent=1) + "\n")
+        elif path == "/alerts":
+            engine = srv.slo_fn()  # type: ignore[attr-defined]
+            self._reply(200, json.dumps(engine.alerts(), indent=1) + "\n")
+        elif path == "/profile":
+            profiler = srv.profiler_fn()  # type: ignore[attr-defined]
+            if params.get("format", [""])[0] == "collapsed":
+                self._reply(200, profiler.collapsed() + "\n",
+                            "text/plain; charset=utf-8")
+            else:
+                self._reply(
+                    200, json.dumps(profiler.stats(), indent=1) + "\n"
+                )
+        elif path == "/":
+            self._reply(
+                200,
+                "elsa-repro live telemetry: "
+                + " ".join(e for e in ENDPOINTS if e != "/")
+                + "\n",
+                "text/plain; charset=utf-8",
+            )
+        else:
+            self._reply(404, json.dumps({
+                "error": "not found",
+                "path": path,
+                "endpoints": list(ENDPOINTS),
+            }, indent=1) + "\n")
 
     def _reply(self, code: int, body: str,
                content_type: str = "application/json") -> None:
@@ -248,6 +400,25 @@ class _Handler(BaseHTTPRequestHandler):
 
     def log_message(self, format: str, *args) -> None:
         pass  # request logging would drown the structured log stream
+
+
+class _QuietServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer that treats client hangups as routine.
+
+    ``handle_error`` catches exceptions raised outside the handler's
+    own try (e.g. during response flush after ``do_GET`` returned);
+    the stock implementation prints a traceback to stderr for every
+    impatient ``curl`` — here disconnects are counted instead.
+    """
+
+    daemon_threads = True
+
+    def handle_error(self, request, client_address) -> None:
+        exc = sys.exc_info()[1]
+        if isinstance(exc, (BrokenPipeError, ConnectionResetError)):
+            _counter("telemetry.client_disconnects").inc()
+            return
+        super().handle_error(request, client_address)
 
 
 class TelemetryServer:
@@ -277,10 +448,16 @@ class TelemetryServer:
         host: str = "127.0.0.1",
         port: int = 0,
         state_fn: Optional[Callable[[], dict]] = None,
+        history_fn: Optional[Callable[[], object]] = None,
+        slo_fn: Optional[Callable[[], object]] = None,
+        profiler_fn: Optional[Callable[[], object]] = None,
     ) -> None:
         self.host = host
         self.requested_port = int(port)
         self._state_fn = state_fn or self._live_state
+        self._history_fn = history_fn or self._live_history
+        self._slo_fn = slo_fn or self._live_slo
+        self._profiler_fn = profiler_fn or self._live_profiler
         self._httpd: Optional[ThreadingHTTPServer] = None
         self._thread: Optional[threading.Thread] = None
 
@@ -289,6 +466,24 @@ class TelemetryServer:
         from repro import obs  # lazy: obs/__init__ imports this module
 
         return obs.export_state()
+
+    @staticmethod
+    def _live_history():
+        from repro.obs.history import get_history
+
+        return get_history()
+
+    @staticmethod
+    def _live_slo():
+        from repro.obs.slo import get_slo_engine
+
+        return get_slo_engine()
+
+    @staticmethod
+    def _live_profiler():
+        from repro.obs.profiler import get_profiler
+
+        return get_profiler()
 
     @property
     def port(self) -> int:
@@ -306,11 +501,16 @@ class TelemetryServer:
         """Bind and start serving from a daemon thread; returns self."""
         if self._httpd is not None:
             raise RuntimeError("server already started")
-        self._httpd = ThreadingHTTPServer(
+        self._httpd = _QuietServer(
             (self.host, self.requested_port), _Handler
         )
         self._httpd.daemon_threads = True
         self._httpd.state_fn = self._state_fn  # type: ignore[attr-defined]
+        self._httpd.history_fn = self._history_fn  # type: ignore[attr-defined]
+        self._httpd.slo_fn = self._slo_fn  # type: ignore[attr-defined]
+        self._httpd.profiler_fn = (  # type: ignore[attr-defined]
+            self._profiler_fn
+        )
         self._thread = threading.Thread(
             target=self._httpd.serve_forever,
             name="elsa-telemetry",

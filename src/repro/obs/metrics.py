@@ -8,6 +8,16 @@ exports as plain JSON via :meth:`MetricsRegistry.snapshot`.
 Metrics are cheap enough for per-batch use on the hot path: one lock
 acquisition per update.  Callers in per-record loops should aggregate
 locally and update once per batch (see ``OnlineHELO.observe_many``).
+
+Dimensional metrics: every metric supports ``labels(**kv)``, returning a
+child metric of the same kind scoped to that label set (Prometheus
+child-metric model).  The unlabeled parent keeps its own independent
+series — existing dashboards and the JSON snapshot shape are untouched;
+labeled children appear under an additional ``"series"`` key.  Label
+cardinality is bounded per metric (:data:`MAX_LABEL_SETS`): once the cap
+is hit, new label sets collapse into one ``{overflow="true"}`` child and
+``obs.labels_overflowed`` counts the spill, so a label-by-node-id bug
+cannot eat the process.
 """
 
 from __future__ import annotations
@@ -23,12 +33,94 @@ __all__ = [
     "LocalCounters",
     "MetricsRegistry",
     "DEFAULT_BUCKETS",
+    "MAX_LABEL_SETS",
     "TIME_BUCKETS",
     "counter",
     "gauge",
     "get_registry",
     "histogram",
 ]
+
+#: Distinct label sets allowed per metric before new ones collapse into
+#: the ``{overflow="true"}`` child.
+MAX_LABEL_SETS = 64
+
+#: The label set every over-cap request collapses into.
+_OVERFLOW_KEY: Tuple[Tuple[str, str], ...] = (("overflow", "true"),)
+
+
+def _label_key(kv: Dict[str, object]) -> Tuple[Tuple[str, str], ...]:
+    """Canonical (sorted, stringified) key for one label set."""
+    if not kv:
+        raise ValueError("labels() requires at least one label")
+    return tuple(sorted((str(k), str(v)) for k, v in kv.items()))
+
+
+class _Labeled:
+    """Shared ``labels(**kv)`` child-metric machinery.
+
+    Children live in a dict keyed by the canonical label tuple, guarded
+    by the parent's lock.  Children are leaf metrics: asking a child for
+    further labels raises (flat label sets only, like Prometheus).
+    """
+
+    def _init_labels(self) -> None:
+        self._children: Optional[Dict[Tuple[Tuple[str, str], ...],
+                                      object]] = None
+        self._labelset: Optional[Dict[str, str]] = None
+
+    def _make_child(self):  # pragma: no cover - overridden per kind
+        raise NotImplementedError
+
+    def labels(self, **kv: object):
+        """The child metric for this label set (created on first use)."""
+        if self._labelset is not None:
+            raise ValueError(
+                f"metric {self.name!r} is already a labeled child; "
+                "nested label sets are not supported"
+            )
+        key = _label_key(kv)
+        overflowed = False
+        with self._lock:
+            if self._children is None:
+                self._children = {}
+            child = self._children.get(key)
+            if child is None:
+                if len(self._children) >= MAX_LABEL_SETS:
+                    key = _OVERFLOW_KEY
+                    overflowed = True
+                    child = self._children.get(key)
+                if child is None:
+                    child = self._make_child()
+                    child._labelset = dict(key)
+                    self._children[key] = child
+        if overflowed:
+            # outside self._lock: the registry lock nests metric locks
+            # (snapshot), so a metric lock must never wait on it
+            _default_registry.counter("obs.labels_overflowed").inc()
+        return child
+
+    def _series(self) -> Optional[List[dict]]:
+        """``"series"`` entries for :meth:`to_dict` (None when unlabeled)."""
+        with self._lock:
+            children = (
+                sorted(self._children.items()) if self._children else None
+            )
+        if not children:
+            return None
+        out = []
+        for key, child in children:
+            entry = {"labels": dict(key)}
+            entry.update(
+                (k, v) for k, v in child.to_dict().items() if k != "kind"
+            )
+            out.append(entry)
+        return out
+
+    def _reset_children(self) -> None:
+        # drop (not just zero) children so stale label sets cannot
+        # accumulate across runs
+        self._children = None
 
 #: Generic magnitude buckets (counts, sizes).
 DEFAULT_BUCKETS: Tuple[float, ...] = (
@@ -42,7 +134,7 @@ TIME_BUCKETS: Tuple[float, ...] = (
 )
 
 
-class Counter:
+class Counter(_Labeled):
     """Monotonically increasing count."""
 
     kind = "counter"
@@ -52,6 +144,10 @@ class Counter:
         self.help = help
         self._value = 0.0
         self._lock = threading.Lock()
+        self._init_labels()
+
+    def _make_child(self) -> "Counter":
+        return Counter(self.name, self.help)
 
     def inc(self, amount: float = 1.0) -> None:
         """Add ``amount`` (must be >= 0)."""
@@ -68,13 +164,18 @@ class Counter:
     def reset(self) -> None:
         with self._lock:
             self._value = 0.0
+            self._reset_children()
 
     def to_dict(self) -> dict:
         with self._lock:
-            return {"kind": self.kind, "value": self._value}
+            out = {"kind": self.kind, "value": self._value}
+        series = self._series()
+        if series:
+            out["series"] = series
+        return out
 
 
-class Gauge:
+class Gauge(_Labeled):
     """Point-in-time value; goes anywhere."""
 
     kind = "gauge"
@@ -84,6 +185,10 @@ class Gauge:
         self.help = help
         self._value = 0.0
         self._lock = threading.Lock()
+        self._init_labels()
+
+    def _make_child(self) -> "Gauge":
+        return Gauge(self.name, self.help)
 
     def set(self, value: float) -> None:
         """Replace the current value."""
@@ -106,13 +211,18 @@ class Gauge:
     def reset(self) -> None:
         with self._lock:
             self._value = 0.0
+            self._reset_children()
 
     def to_dict(self) -> dict:
         with self._lock:
-            return {"kind": self.kind, "value": self._value}
+            out = {"kind": self.kind, "value": self._value}
+        series = self._series()
+        if series:
+            out["series"] = series
+        return out
 
 
-class Histogram:
+class Histogram(_Labeled):
     """Fixed-bucket cumulative histogram (Prometheus-style).
 
     ``buckets`` are upper bounds; an implicit +inf bucket catches the
@@ -142,6 +252,10 @@ class Histogram:
         self._min: Optional[float] = None
         self._max: Optional[float] = None
         self._lock = threading.Lock()
+        self._init_labels()
+
+    def _make_child(self) -> "Histogram":
+        return Histogram(self.name, self.bounds, self.help)
 
     def observe(self, value: float) -> None:
         """Record one observation."""
@@ -223,10 +337,11 @@ class Histogram:
             self._count = 0
             self._min = None
             self._max = None
+            self._reset_children()
 
     def to_dict(self) -> dict:
         with self._lock:
-            return {
+            out = {
                 "kind": self.kind,
                 "buckets": list(self.bounds),
                 "counts": list(self._counts),
@@ -235,6 +350,10 @@ class Histogram:
                 "min": self._min,
                 "max": self._max,
             }
+        series = self._series()
+        if series:
+            out["series"] = series
+        return out
 
 
 class LocalCounters:
@@ -254,13 +373,20 @@ class LocalCounters:
 
     def __init__(self, registry: Optional["MetricsRegistry"] = None) -> None:
         self._registry = registry
-        self._pending: Dict[str, float] = {}
+        self._pending: Dict[
+            Tuple[str, Optional[Tuple[Tuple[str, str], ...]]], float
+        ] = {}
 
-    def inc(self, name: str, amount: float = 1.0) -> None:
-        """Buffer ``amount`` for counter ``name`` (must be >= 0)."""
+    def inc(self, name: str, amount: float = 1.0, **labels: object) -> None:
+        """Buffer ``amount`` for counter ``name`` (must be >= 0).
+
+        Keyword arguments address the matching labeled child, buffered
+        separately from the unlabeled parent series.
+        """
         if amount < 0:
             raise ValueError("counters only go up")
-        self._pending[name] = self._pending.get(name, 0.0) + amount
+        key = (name, _label_key(labels) if labels else None)
+        self._pending[key] = self._pending.get(key, 0.0) + amount
 
     def flush(self) -> None:
         """Apply every buffered total to the registry and clear."""
@@ -268,9 +394,12 @@ class LocalCounters:
             return
         registry = self._registry or _default_registry
         pending, self._pending = self._pending, {}
-        for name, amount in pending.items():
+        for (name, lkey), amount in pending.items():
             if amount:
-                registry.counter(name).inc(amount)
+                target = registry.counter(name)
+                if lkey is not None:
+                    target = target.labels(**dict(lkey))
+                target.inc(amount)
 
     def __enter__(self) -> "LocalCounters":
         return self

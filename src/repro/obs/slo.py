@@ -1,0 +1,383 @@
+"""Declarative SLOs with multi-window burn-rate alerting.
+
+The paper's economics (Tables III–IV) only hold while precision, recall
+and lead time stay inside the profitable envelope — so the envelope is
+written down as *service-level objectives* and evaluated continuously
+against the :mod:`repro.obs.history` store, SRE-style:
+
+* every SLO is measured over a **fast** and a **slow** window;
+* a breach of the fast window alone arms the alert (``pending`` — it
+  may be a blip);
+* both windows breaching means the error budget is burning at a
+  sustained rate → ``firing``;
+* both windows clean again → ``resolved`` (then back to ``ok`` on the
+  next clean evaluation, with the transition kept on the audit trail).
+
+A firing alert grabs up to :data:`MAX_EXEMPLARS` recent records from
+the attached :class:`~repro.obs.provenance.FlightRecorder`, so
+``elsa-repro explain`` can jump straight from the alert to the
+predictions that breached it.
+
+Engine state (alert states, transition audit, exemplars) round-trips
+through :meth:`SLOEngine.state_dict` / :meth:`SLOEngine.load_state` and
+rides the checkpoint's ``obs`` block: a resumed run continues burn-rate
+accounting where the killed one stopped.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Optional
+
+from repro.obs.history import MetricHistory
+from repro.obs.metrics import counter, gauge
+
+__all__ = [
+    "SLOEngine",
+    "SLOSpec",
+    "default_slos",
+    "get_slo_engine",
+    "reset_slo_engine",
+    "set_slo_engine",
+]
+
+SLO_STATE_VERSION = 1
+
+#: Provenance records attached to one firing alert.
+MAX_EXEMPLARS = 3
+
+#: Transition audit entries kept per SLO.
+MAX_TRANSITIONS = 32
+
+#: Alert states, and their ``slo.state`` gauge encoding.
+OK, PENDING, FIRING, RESOLVED = "ok", "pending", "firing", "resolved"
+_STATE_CODE = {OK: 0.0, PENDING: 1.0, FIRING: 2.0, RESOLVED: 3.0}
+
+
+@dataclass
+class SLOSpec:
+    """One declarative objective over a history series.
+
+    ``mode`` picks the measurement and the breach direction:
+
+    * ``gauge_min``    — avg over the window must stay **>= threshold**
+      (recall floors);
+    * ``gauge_max``    — avg over the window must stay **<= threshold**
+      (queue depths);
+    * ``delta_max``    — counter increase over the window must stay
+      **<= threshold** (drift episodes, quarantined records);
+    * ``quantile_max`` — the ``q``-quantile over the window must stay
+      **<= threshold** (latency p99s; histograms use bucket deltas).
+
+    Windows are in the history's clock (stream seconds for the
+    streaming pipeline).  ``guard_metric``/``guard_min`` gate
+    evaluation: the SLO is only judged while the guard's latest sample
+    is >= ``guard_min`` (e.g. recall is meaningless before any fault
+    landed in the scoring window).
+    """
+
+    name: str
+    description: str
+    metric: str
+    mode: str
+    threshold: float
+    q: float = 0.99
+    fast_window: float = 300.0
+    slow_window: float = 1800.0
+    guard_metric: Optional[str] = None
+    guard_min: float = 1.0
+    runbook: str = ""
+
+    def __post_init__(self) -> None:
+        if self.mode not in (
+            "gauge_min", "gauge_max", "delta_max", "quantile_max"
+        ):
+            raise ValueError(f"unknown SLO mode {self.mode!r}")
+        if self.fast_window >= self.slow_window:
+            raise ValueError("fast_window must be shorter than slow_window")
+
+
+def default_slos() -> List[SLOSpec]:
+    """The built-in objectives (runbooks in docs/observability.md)."""
+    return [
+        SLOSpec(
+            name="recall_floor",
+            description=(
+                "windowed recall stays above the paper's profitable "
+                "envelope"
+            ),
+            metric="scoreboard.window_recall",
+            mode="gauge_min",
+            threshold=0.3,
+            fast_window=1800.0,
+            slow_window=10800.0,
+            guard_metric="scoreboard.window_faults",
+            guard_min=1.0,
+            runbook="runbook-recall-floor",
+        ),
+        SLOSpec(
+            name="feed_latency_p99",
+            description="p99 per-chunk predictor.feed latency under 250ms",
+            metric="predictor.feed_seconds",
+            mode="quantile_max",
+            threshold=0.25,
+            q=0.99,
+            fast_window=300.0,
+            slow_window=1800.0,
+            runbook="runbook-feed-latency",
+        ),
+        SLOSpec(
+            name="drift_episodes",
+            description="no more than one drift episode per slow window",
+            metric="scoreboard.drift_alerts",
+            mode="delta_max",
+            threshold=1.0,
+            fast_window=1800.0,
+            slow_window=10800.0,
+            runbook="runbook-drift-episodes",
+        ),
+        SLOSpec(
+            name="dead_letter_backlog",
+            description="quarantine buffer stays near-empty",
+            metric="resilience.dead_letter_size",
+            mode="gauge_max",
+            threshold=8.0,
+            fast_window=300.0,
+            slow_window=1800.0,
+            runbook="runbook-dead-letter",
+        ),
+    ]
+
+
+def _fresh_state() -> dict:
+    return {
+        "state": OK,
+        "since": None,
+        "fast": None,
+        "slow": None,
+        "breaching_fast": False,
+        "breaching_slow": False,
+        "fired_at": None,
+        "resolved_at": None,
+        "exemplars": [],
+        "transitions": [],
+    }
+
+
+class SLOEngine:
+    """Evaluates every spec against a history store, tracks alert state."""
+
+    def __init__(
+        self,
+        specs: Optional[List[SLOSpec]] = None,
+        recorder=None,
+    ) -> None:
+        self.specs: List[SLOSpec] = (
+            list(specs) if specs is not None else default_slos()
+        )
+        self._state: Dict[str, dict] = {
+            spec.name: _fresh_state() for spec in self.specs
+        }
+        self._recorder = recorder
+        self._lock = threading.Lock()
+
+    def attach_recorder(self, recorder) -> None:
+        """FlightRecorder supplying exemplars for firing alerts."""
+        self._recorder = recorder
+
+    # -- measurement -----------------------------------------------------------
+
+    def _measure(self, spec: SLOSpec, history: MetricHistory,
+                 window: float, now: float) -> Optional[float]:
+        if spec.mode in ("gauge_min", "gauge_max"):
+            return history.avg_over_time(spec.metric, window, now)
+        if spec.mode == "delta_max":
+            return history.delta(spec.metric, window, now)
+        return history.quantile_over_time(spec.metric, spec.q, window, now)
+
+    @staticmethod
+    def _breach(spec: SLOSpec, value: Optional[float]) -> bool:
+        if value is None:
+            return False
+        if spec.mode == "gauge_min":
+            return value < spec.threshold
+        return value > spec.threshold
+
+    def _exemplars(self) -> List[dict]:
+        if self._recorder is None:
+            return []
+        try:
+            records = self._recorder.records()
+        except Exception:
+            return []
+        return [r.to_dict() for r in records[-MAX_EXEMPLARS:]]
+
+    # -- evaluation ------------------------------------------------------------
+
+    def evaluate(self, history: MetricHistory, now: float) -> List[dict]:
+        """One evaluation pass at time ``now``; returns transitions.
+
+        Each returned entry is ``{"slo", "from", "to", "t"}`` — what
+        changed this pass.  Firing transitions annotate the history and
+        capture exemplars as a side effect.
+        """
+        now = float(now)
+        changed: List[dict] = []
+        with self._lock:
+            for spec in self.specs:
+                st = self._state.setdefault(spec.name, _fresh_state())
+                if spec.guard_metric is not None:
+                    guard = history.latest(spec.guard_metric)
+                    if guard is None or guard < spec.guard_min:
+                        st["fast"] = st["slow"] = None
+                        st["breaching_fast"] = st["breaching_slow"] = False
+                        continue
+                fast = self._measure(spec, history, spec.fast_window, now)
+                slow = self._measure(spec, history, spec.slow_window, now)
+                bf = self._breach(spec, fast)
+                bs = self._breach(spec, slow)
+                st.update(
+                    fast=fast, slow=slow,
+                    breaching_fast=bf, breaching_slow=bs,
+                )
+                new = old = st["state"]
+                if old == OK:
+                    if bf:
+                        new = PENDING
+                elif old == PENDING:
+                    if bf and bs:
+                        new = FIRING
+                    elif not bf:
+                        new = OK
+                elif old == FIRING:
+                    if not bf and not bs:
+                        new = RESOLVED
+                elif old == RESOLVED:
+                    if bf:
+                        new = PENDING
+                    else:
+                        new = OK
+                if new != old:
+                    st["state"] = new
+                    st["since"] = now
+                    st["transitions"].append(
+                        {"t": now, "from": old, "to": new}
+                    )
+                    del st["transitions"][:-MAX_TRANSITIONS]
+                    changed.append(
+                        {"slo": spec.name, "from": old, "to": new, "t": now}
+                    )
+                    if new == FIRING:
+                        st["fired_at"] = now
+                        st["exemplars"] = self._exemplars()
+                    elif new == RESOLVED:
+                        st["resolved_at"] = now
+        # metrics + annotations outside the engine lock
+        counter("slo.evaluations").inc()
+        for spec in self.specs:
+            st = self._state.get(spec.name, {})
+            gauge("slo.state").labels(slo=spec.name).set(
+                _STATE_CODE.get(st.get("state", OK), 0.0)
+            )
+        for tr in changed:
+            if tr["to"] == FIRING:
+                counter("slo.alerts_fired").inc()
+                counter("slo.alerts_fired").labels(slo=tr["slo"]).inc()
+                history.annotate("slo_firing", now, {"slo": tr["slo"]})
+            elif tr["to"] == RESOLVED:
+                counter("slo.alerts_resolved").inc()
+                history.annotate("slo_resolved", now, {"slo": tr["slo"]})
+        return changed
+
+    # -- views -----------------------------------------------------------------
+
+    def alerts(self) -> dict:
+        """JSON view for ``/alerts``: every SLO plus the firing subset."""
+        with self._lock:
+            slos = []
+            for spec in self.specs:
+                st = self._state.get(spec.name, _fresh_state())
+                entry = {
+                    "name": spec.name,
+                    "description": spec.description,
+                    "metric": spec.metric,
+                    "mode": spec.mode,
+                    "threshold": spec.threshold,
+                    "fast_window": spec.fast_window,
+                    "slow_window": spec.slow_window,
+                    "runbook": spec.runbook,
+                }
+                entry.update(
+                    {k: (list(v) if isinstance(v, list) else v)
+                     for k, v in st.items()}
+                )
+                slos.append(entry)
+        return {
+            "slos": slos,
+            "firing": [s["name"] for s in slos if s["state"] == FIRING],
+        }
+
+    def firing(self) -> List[str]:
+        """Names of currently firing SLOs."""
+        with self._lock:
+            return [
+                name for name, st in self._state.items()
+                if st["state"] == FIRING
+            ]
+
+    # -- persistence -----------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """JSON-serializable engine state (specs included)."""
+        with self._lock:
+            return {
+                "version": SLO_STATE_VERSION,
+                "specs": [asdict(spec) for spec in self.specs],
+                "state": {
+                    name: {
+                        k: (list(v) if isinstance(v, list) else v)
+                        for k, v in st.items()
+                    }
+                    for name, st in sorted(self._state.items())
+                },
+            }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot (replaces specs too)."""
+        if state.get("version") != SLO_STATE_VERSION:
+            raise ValueError(
+                f"slo state version {state.get('version')!r} not supported"
+            )
+        with self._lock:
+            self.specs = [SLOSpec(**s) for s in state.get("specs", [])]
+            self._state = {
+                name: dict(st, transitions=list(st.get("transitions", [])),
+                           exemplars=list(st.get("exemplars", [])))
+                for name, st in state.get("state", {}).items()
+            }
+
+
+_default_engine: Optional[SLOEngine] = None
+_engine_lock = threading.Lock()
+
+
+def get_slo_engine() -> SLOEngine:
+    """The process-wide default engine (created on first use)."""
+    global _default_engine
+    with _engine_lock:
+        if _default_engine is None:
+            _default_engine = SLOEngine()
+        return _default_engine
+
+
+def set_slo_engine(engine: Optional[SLOEngine]) -> None:
+    """Replace the default engine (tests, custom spec sets)."""
+    global _default_engine
+    with _engine_lock:
+        _default_engine = engine
+
+
+def reset_slo_engine() -> None:
+    """Drop the default engine; the next ``get_slo_engine`` starts fresh."""
+    set_slo_engine(None)

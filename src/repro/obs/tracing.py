@@ -38,6 +38,7 @@ __all__ = [
     "span",
     "span_roots",
     "span_tree",
+    "thread_stacks",
 ]
 
 #: Finished root spans kept before the oldest are dropped.
@@ -195,9 +196,18 @@ class Span:
         )
 
 
+#: every thread's live span stack (ident -> the actual list object) —
+#: the sampling profiler walks these to attribute wall time to stages.
+#: Registered on a thread's first span; pruned lazily by readers.
+_thread_stacks: Dict[int, List[Span]] = {}
+_stacks_lock = threading.Lock()
+
+
 class _TraceState(threading.local):
     def __init__(self) -> None:
         self.stack: List[Span] = []
+        with _stacks_lock:
+            _thread_stacks[threading.get_ident()] = self.stack
 
 
 _state = _TraceState()
@@ -208,6 +218,26 @@ _roots_lock = threading.Lock()
 _active: Dict[int, Span] = {}
 
 
+def thread_stacks() -> List[tuple]:
+    """``(thread_ident, [outermost..innermost spans])`` per live thread.
+
+    Stacks of threads that have died are pruned on the way out.  Each
+    returned stack is a shallow copy taken without the owner's
+    cooperation — the owner mutates it lock-free — so a reader may see
+    a stack that is one push/pop stale; for a sampling profiler that
+    jitter is noise, not error.
+    """
+    alive = {t.ident for t in threading.enumerate()}
+    out = []
+    with _stacks_lock:
+        for ident in list(_thread_stacks):
+            if ident not in alive:
+                del _thread_stacks[ident]
+                continue
+            out.append((ident, list(_thread_stacks[ident])))
+    return out
+
+
 class _SpanContext:
     """Context manager yielded by :func:`span`.
 
@@ -215,14 +245,20 @@ class _SpanContext:
     achieved by opening new spans inside the body.
     """
 
-    __slots__ = ("_span",)
+    __slots__ = ("_span", "_transient")
 
-    def __init__(self, sp: Span) -> None:
+    def __init__(self, sp: Span, transient: bool = False) -> None:
         self._span = sp
+        self._transient = transient
 
     def __enter__(self) -> Span:
         stack = _state.stack
-        if stack:
+        if self._transient:
+            # on the stack (profiler-visible) but never in the tree:
+            # per-chunk hot-loop spans would otherwise grow a root's
+            # child list without bound on long streams
+            pass
+        elif stack:
             parent = stack[-1]
             with parent._lock:
                 parent.children.append(self._span)
@@ -242,6 +278,8 @@ class _SpanContext:
         # Pop back to this span even if inner spans leaked (defensive).
         while stack and stack.pop() is not sp:
             pass
+        if self._transient:
+            return
         if not stack:
             with _roots_lock:
                 _active.pop(id(sp), None)
@@ -251,7 +289,10 @@ class _SpanContext:
 
 
 def span(
-    stage: str, deadline_s: Optional[float] = None, **attrs: Any
+    stage: str,
+    deadline_s: Optional[float] = None,
+    transient: bool = False,
+    **attrs: Any,
 ) -> _SpanContext:
     """Open a timed span for ``stage``::
 
@@ -262,8 +303,15 @@ def span(
     ``deadline_s`` arms the soft watchdog (see :class:`Span`): exceeding
     it bumps ``watchdog.deadline_exceeded`` and logs a warning — the
     stage still runs to completion, the overrun just stops being silent.
+
+    ``transient`` spans join the thread's live stack (so the sampling
+    profiler attributes their time) but are never attached to the span
+    tree — the right choice for per-chunk hot-loop stages that would
+    otherwise grow a long-running root's child list without bound.
     """
-    return _SpanContext(Span(stage, attrs, deadline_s=deadline_s))
+    return _SpanContext(
+        Span(stage, attrs, deadline_s=deadline_s), transient=transient
+    )
 
 
 def current_span() -> Optional[Span]:

@@ -167,12 +167,15 @@ def _render_span_dict(
     """One line per span of an exported (JSON) span tree.
 
     Shows each span's start offset from the root (spans carry wall-clock
-    ``t_start``) and marks spans still open at export time (``done``
-    false — a live ``/state`` snapshot can contain them).
+    ``t_start``), marks spans still open at export time (``done``
+    false — a live ``/state`` snapshot can contain them), and calls out
+    watchdog overruns (``deadline_exceeded``, set by the span's soft
+    deadline) as an explicit marker instead of burying the flag among
+    the attributes.
     """
-    attrs = " ".join(
-        f"{k}={v}" for k, v in sorted(node.get("attrs", {}).items())
-    )
+    node_attrs = dict(node.get("attrs", {}))
+    deadline_exceeded = bool(node_attrs.pop("deadline_exceeded", False))
+    attrs = " ".join(f"{k}={v}" for k, v in sorted(node_attrs.items()))
     t_start = node.get("t_start")
     if t_base is None and t_start is not None:
         t_base = t_start
@@ -184,6 +187,8 @@ def _render_span_dict(
         line += f"  @+{t_start - t_base:.3f}s"
     if node.get("done") is False:
         line += "  (running)"
+    if deadline_exceeded:
+        line += "  (deadline exceeded)"
     if attrs:
         line += f"  [{attrs}]"
     lines = [line]
@@ -248,6 +253,53 @@ def render_observability(state: Dict) -> str:
     else:
         parts.append("(no spans recorded)")
     return "\n".join(parts)
+
+
+def observability_json(state: Dict) -> Dict:
+    """``elsa-repro stats --json``: the obs dump as a machine-readable dict.
+
+    Mirrors :func:`render_observability` — same metric snapshot, derived
+    histogram quantiles, throughput and span forest — but as plain data
+    for scripting (jq, CI gates) instead of markdown tables.
+    """
+    metrics_out: Dict[str, Dict] = {}
+    for name, m in sorted(state.get("metrics", {}).items()):
+        entry: Dict = {"kind": m.get("kind", "?")}
+        if m.get("kind") == "histogram":
+            count = m.get("count", 0)
+            entry["count"] = count
+            entry["sum"] = m.get("sum", 0.0)
+            entry["min"] = m.get("min")
+            entry["max"] = m.get("max")
+            entry["mean"] = (m.get("sum", 0.0) / count) if count else 0.0
+            entry["quantiles"] = {
+                str(q): histogram_quantile(m, q) if count else None
+                for q in (0.5, 0.9, 0.99)
+            }
+        else:
+            entry["value"] = m.get("value", 0)
+        if "series" in m:
+            entry["series"] = m["series"]
+        metrics_out[name] = entry
+    spans = state.get("spans", [])
+    streams = _collect_spans(spans, "stream")
+    total_records = sum(
+        int(s.get("attrs", {}).get("records", 0)) for s in streams
+    )
+    total_wall = sum(float(s.get("wall_seconds", 0.0)) for s in streams)
+    throughput = {
+        "records": total_records,
+        "wall_seconds": total_wall,
+        "records_per_sec": (
+            total_records / total_wall if total_wall > 0 else None
+        ),
+        "calls": len(streams),
+    }
+    return {
+        "metrics": metrics_out,
+        "throughput": throughput,
+        "spans": spans,
+    }
 
 
 def _collect_spans(roots: List[Dict], name: str) -> List[Dict]:

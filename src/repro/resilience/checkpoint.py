@@ -22,12 +22,19 @@ Format (version 2)::
         "model_version": 1,            # active ModelManager version
         "ladder_rung": 0,              # degradation-ladder rung
         "model_path": null             # pickled snapshot of the active
-      }                                # model (non-seed versions)
+      },                               # model (non-seed versions)
+      "obs": {                         # optional observability block:
+        "history": {...},              # MetricHistory.state_dict()
+        "slo": {...}                   # SLOEngine.state_dict()
+      }                                # (absent on pre-v2-obs files)
     }
 
 Version-1 checkpoints (no ``lifecycle`` block) still load: a migration
 shim fills in the seed defaults, so a pre-lifecycle run resumes as
-"seed model, top rung" — exactly what it was.
+"seed model, top rung" — exactly what it was.  The ``obs`` block is
+additive and optional within version 2: old files simply resume with
+empty history, and loaders ignore the key entirely when absent — no
+migration needed.
 """
 
 from __future__ import annotations
@@ -36,6 +43,7 @@ import json
 import os
 import time
 from pathlib import Path
+from time import perf_counter
 from typing import List, Optional, Sequence
 
 from repro import obs
@@ -55,6 +63,7 @@ def save_checkpoint(
     predictor: StreamingHybridPredictor,
     helo_state: Optional[dict],
     lifecycle: Optional[dict] = None,
+    obs_state: Optional[dict] = None,
 ) -> None:
     """Atomically write the online state to ``path``.
 
@@ -62,7 +71,9 @@ def save_checkpoint(
     leaves the previous checkpoint intact — recovery never sees a torn
     file.  ``lifecycle`` carries the active model version and ladder
     rung; plain (non-self-healing) runs omit it and get the seed
-    defaults.
+    defaults.  ``obs_state`` carries the metric history and SLO alert
+    state so burn-rate accounting survives a kill (see
+    :mod:`repro.obs.history` / :mod:`repro.obs.slo`).
     """
     state = {
         "version": CHECKPOINT_VERSION,
@@ -72,6 +83,8 @@ def save_checkpoint(
         "predictor": predictor.state_dict(),
         "lifecycle": dict(lifecycle or DEFAULT_LIFECYCLE),
     }
+    if obs_state is not None:
+        state["obs"] = obs_state
     path = Path(path)
     tmp = path.with_name(path.name + ".tmp")
     tmp.write_text(json.dumps(state) + "\n")
@@ -127,6 +140,13 @@ class ResumableRun:
     ``checkpoint_every`` records.  ``resume`` rebuilds a run from a
     checkpoint; processing then continues after the last consumed record
     with identical downstream output.
+
+    Observability rides along by default: the run samples the metric
+    registry into the process :class:`~repro.obs.history.MetricHistory`
+    on the *stream* clock (so history is deterministic and replayable)
+    and evaluates the :class:`~repro.obs.slo.SLOEngine` after every
+    sample; both persist through the checkpoint's ``obs`` block.  Pass
+    explicit instances to isolate a run from the process singletons.
     """
 
     def __init__(
@@ -137,6 +157,8 @@ class ResumableRun:
         checkpoint_path: Optional[os.PathLike] = None,
         checkpoint_every: Optional[int] = None,
         batch_size: Optional[int] = None,
+        history=None,
+        slo_engine=None,
     ) -> None:
         self.elsa = elsa
         self.t_start = float(t_start)
@@ -148,6 +170,12 @@ class ResumableRun:
         self.batch_size = batch_size
         self._since_ckpt = 0
         self.predictor = elsa.streaming_predictor(t_start, t_end)
+        self.history = history if history is not None else obs.get_history()
+        self.slo = (
+            slo_engine if slo_engine is not None else obs.get_slo_engine()
+        )
+        # firing alerts exemplify with the last emitted predictions
+        self.slo.attach_recorder(self.predictor.flight_recorder)
 
     @classmethod
     def resume(
@@ -157,6 +185,8 @@ class ResumableRun:
         checkpoint_path: Optional[os.PathLike] = None,
         checkpoint_every: Optional[int] = None,
         batch_size: Optional[int] = None,
+        history=None,
+        slo_engine=None,
     ) -> "ResumableRun":
         """Rebuild a run mid-stream from :func:`load_checkpoint` output."""
         pstate = checkpoint["predictor"]
@@ -167,10 +197,17 @@ class ResumableRun:
             checkpoint_path=checkpoint_path,
             checkpoint_every=checkpoint_every,
             batch_size=batch_size,
+            history=history,
+            slo_engine=slo_engine,
         )
         if checkpoint.get("helo") is not None:
             elsa.restore_online_state(checkpoint["helo"])
         run.predictor.load_state(pstate)
+        obs_block = checkpoint.get("obs") or {}
+        if obs_block.get("history") is not None:
+            run.history.load_state(obs_block["history"])
+        if obs_block.get("slo") is not None:
+            run.slo.load_state(obs_block["slo"])
         return run
 
     # -- driving ---------------------------------------------------------------
@@ -201,6 +238,15 @@ class ResumableRun:
             return self.batch_size
         return self.checkpoint_every or 4096
 
+    def _obs_state(self) -> Optional[dict]:
+        """The checkpoint's ``obs`` block (history + SLO alert state)."""
+        out = {}
+        if self.history is not None:
+            out["history"] = self.history.state_dict()
+        if self.slo is not None:
+            out["slo"] = self.slo.state_dict()
+        return out or None
+
     def _maybe_checkpoint(self) -> None:
         if self.checkpoint_path is None:
             return
@@ -209,6 +255,7 @@ class ResumableRun:
             self.predictor,
             self.elsa.online_state_dict(),
             lifecycle=self._lifecycle_state(),
+            obs_state=self._obs_state(),
         )
 
     def process(
@@ -231,17 +278,35 @@ class ResumableRun:
         if limit is not None:
             todo = todo[:limit]
         chunk = self._chunk_size()
+        feed_hist = obs.histogram(
+            "predictor.feed_seconds", buckets=obs.metrics.TIME_BUCKETS
+        )
         # per-chunk counters accumulate locally and flush once per call
         # so metric-lock traffic stays off the feed loop
         with obs.span("stream", records=len(todo), chunk=chunk) as sp, \
                 obs.LocalCounters() as local:
             for i in range(0, len(todo), chunk):
                 batch = todo[i : i + chunk]
-                ids = self._classify(batch)
-                self.predictor.feed(batch, ids)
+                # transient spans: profiler-visible stage attribution
+                # without growing the stream root's child list per chunk
+                with obs.span("classify", transient=True):
+                    ids = self._classify(batch)
+                t0 = perf_counter()
+                with obs.span("feed", transient=True):
+                    self.predictor.feed(batch, ids)
+                feed_hist.observe(perf_counter() - t0)
                 self._after_chunk(batch)
                 local.inc("resilience.chunks_fed")
                 local.inc("resilience.records_fed", len(batch))
+                if self.history is not None and batch:
+                    stream_now = batch[-1].timestamp
+                    if self.history.due(stream_now):
+                        # flush buffered counters first so the sample
+                        # sees this chunk's increments
+                        local.flush()
+                        self.history.sample(stream_now)
+                        if self.slo is not None:
+                            self.slo.evaluate(self.history, stream_now)
                 if self.checkpoint_every:
                     # without an explicit batch_size the chunk IS the
                     # checkpoint cadence — checkpoint after every chunk,

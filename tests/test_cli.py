@@ -367,3 +367,101 @@ class TestLiveTelemetryFlags:
         ])
         assert rc == 0
         assert "telemetry listening on" in capsys.readouterr().out
+
+
+class TestStatsJsonAndDashboard:
+    DUMP = {
+        "metrics": {
+            "a.count": {"kind": "counter", "value": 3.0},
+            "t.lat": {
+                "kind": "histogram",
+                "buckets": [1.0, 2.0],
+                "counts": [2, 1, 1],
+                "sum": 5.0, "count": 4, "min": 0.5, "max": 3.0,
+                "series": [{
+                    "labels": {"stage": "feed"},
+                    "buckets": [1.0, 2.0], "counts": [1, 0, 0],
+                    "sum": 0.5, "count": 1, "min": 0.5, "max": 0.5,
+                }],
+            },
+        },
+        "spans": [{
+            "name": "stream", "wall_seconds": 2.0, "done": True,
+            "attrs": {"records": 1000}, "children": [],
+        }],
+    }
+
+    def test_parser_accepts_the_new_flags(self):
+        ns = build_parser().parse_args(
+            ["stats", "--metrics", "m.json", "--json"]
+        )
+        assert ns.json is True
+        ns = build_parser().parse_args(
+            ["dashboard", "--url", "http://h:1", "--iterations", "2"]
+        )
+        assert ns.command == "dashboard"
+        assert ns.iterations == 2
+        assert ns.refresh == 2.0
+        ns = build_parser().parse_args([
+            "predict", "--model", "m", "--log", "l",
+            "--t-start", "0", "--out", "o", "--profile",
+        ])
+        assert ns.profile is True
+
+    def test_stats_json_is_machine_readable(self, tmp_path, capsys):
+        dump = tmp_path / "m.json"
+        dump.write_text(json.dumps(self.DUMP))
+        assert main(["stats", "--metrics", str(dump), "--json"]) == 0
+        out = json.loads(capsys.readouterr().out)
+        assert out["metrics"]["a.count"]["value"] == 3.0
+        hist = out["metrics"]["t.lat"]
+        assert hist["count"] == 4
+        assert set(hist["quantiles"]) == {"0.5", "0.9", "0.99"}
+        assert hist["series"][0]["labels"] == {"stage": "feed"}
+        assert out["throughput"]["records_per_sec"] == 500.0
+
+    def test_stats_table_output_unchanged_without_flag(
+        self, tmp_path, capsys
+    ):
+        dump = tmp_path / "m.json"
+        dump.write_text(json.dumps(self.DUMP))
+        assert main(["stats", "--metrics", str(dump)]) == 0
+        out = capsys.readouterr().out
+        assert "## Metrics" in out
+        with pytest.raises(json.JSONDecodeError):
+            json.loads(out)
+
+    def test_dashboard_renders_a_live_server(self, capsys):
+        from repro import obs
+        from repro.obs.live import TelemetryServer
+
+        obs.reset()
+        try:
+            hist = obs.get_history()
+            g = obs.gauge("scoreboard.window_recall")
+            for i in range(6):
+                g.set(0.4 + 0.05 * i)
+                hist.sample(i * 60.0)
+            eng = obs.get_slo_engine()
+            obs.gauge("scoreboard.window_faults").set(3.0)
+            hist.sample(360.0)
+            eng.evaluate(hist, 360.0)
+            prof = obs.get_profiler()
+            with obs.span("feed", transient=True):
+                prof._tick(0.01)
+            with TelemetryServer(port=0) as srv:
+                rc = main(["dashboard", "--url", srv.url])
+            out = capsys.readouterr().out
+            assert rc == 0
+            assert "recall_floor" in out
+            assert "feed" in out
+            assert "health:" in out
+        finally:
+            obs.reset()
+
+    def test_dashboard_unreachable_server_is_exit_1(self, capsys):
+        rc = main([
+            "dashboard", "--url", "http://127.0.0.1:1", "--quiet",
+        ])
+        assert rc == 1
+        assert "cannot reach" in capsys.readouterr().err

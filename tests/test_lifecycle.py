@@ -430,3 +430,76 @@ class TestSelfHealingRejects:
         assert data["lifecycle"]["model_version"] == 1
         assert data["lifecycle"]["ladder_rung"] == 0
         assert data["lifecycle"]["model_path"].endswith("model_v1.pkl")
+
+
+class TestLifecycleHistoryAnnotations:
+    """Lifecycle events must land on the metric-history timeline."""
+
+    def test_ladder_transition_hook_fires(self):
+        ladder = DegradationLadder()
+        moves = []
+        ladder.on_transition = lambda old, new: moves.append((old, new))
+        ladder.update({"locations": "open"})
+        assert moves == [(Rung.HYBRID, Rung.SIGNALS_ONLY)]
+
+    def test_healing_run_annotates_ladder_moves(
+        self, fitted_elsa, small_scenario, tmp_path
+    ):
+        elsa = copy.deepcopy(fitted_elsa)
+        scn = small_scenario
+        run = SelfHealingRun(
+            elsa, scn.train_end, scn.t_end,
+            store_dir=tmp_path / "store",
+        )
+        assert run.ladder.on_transition is not None
+        run.ladder._transition(Rung.SIGNALS_ONLY)
+        events = run.history.events(window=1e12, now=1e12)
+        ladder_events = [
+            e for e in events if e["kind"] == "ladder_transition"
+        ]
+        assert ladder_events
+        assert ladder_events[-1]["detail"] == {
+            "from": "hybrid", "to": "signals_only",
+        }
+
+    def test_resume_restore_does_not_annotate(
+        self, fitted_elsa, small_scenario, tmp_path
+    ):
+        elsa = copy.deepcopy(fitted_elsa)
+        scn = small_scenario
+        ckpt = tmp_path / "ckpt.json"
+        run = SelfHealingRun(
+            elsa, scn.train_end, scn.t_end,
+            checkpoint_path=ckpt, checkpoint_every=2048,
+            store_dir=tmp_path / "store",
+        )
+        test = [r for r in scn.records if r.timestamp >= scn.train_end]
+        run.process(test, limit=4096)
+        # degrade, then checkpoint so the saved rung is non-zero and
+        # restore() genuinely has to move the fresh run's ladder
+        run.ladder._transition(Rung.SIGNALS_ONLY)
+        run._maybe_checkpoint()
+        data = load_checkpoint(ckpt)
+        assert data["lifecycle"]["ladder_rung"] == 1
+        saved_moves = sum(
+            1 for e in data["obs"]["history"]["events"]
+            if e["kind"] == "ladder_transition"
+        )
+        assert saved_moves == 1  # the annotation made it into the ckpt
+        obs.reset()
+        elsa2 = copy.deepcopy(fitted_elsa)
+        resumed = SelfHealingRun.resume(
+            elsa2, load_checkpoint(ckpt),
+            store_dir=tmp_path / "store",
+            checkpoint_path=ckpt, checkpoint_every=2048,
+        )
+        assert resumed.ladder.rung == Rung.SIGNALS_ONLY  # restore moved it
+        # the restored history carries the original annotation, but the
+        # restore jump itself must not have synthesized a second one
+        moves = [
+            e for e in resumed.history.events(window=1e12, now=1e12)
+            if e["kind"] == "ladder_transition"
+        ]
+        assert len(moves) == saved_moves
+        # the hook is re-armed after restore
+        assert resumed.ladder.on_transition is not None

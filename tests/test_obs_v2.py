@@ -1,0 +1,584 @@
+"""Observability v2: labeled metrics, history, SLOs, profiler, endpoints."""
+
+import json
+import math
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs.history import HISTORY_STATE_VERSION, MetricHistory
+from repro.obs.live import TelemetryServer, render_prometheus
+from repro.obs.metrics import MAX_LABEL_SETS, MetricsRegistry
+from repro.obs.profiler import StageProfiler
+from repro.obs.slo import (
+    FIRING,
+    OK,
+    PENDING,
+    RESOLVED,
+    SLOEngine,
+    SLOSpec,
+    default_slos,
+)
+from tests.test_live_telemetry import http_get
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    obs.reset()
+    yield
+    obs.reset()
+
+
+# ---------------------------------------------------------------------------
+# labeled metrics
+# ---------------------------------------------------------------------------
+
+class TestLabels:
+    def test_same_labels_same_child(self):
+        c = obs.counter("http.requests")
+        assert c.labels(path="/a") is c.labels(path="/a")
+        # label order is irrelevant
+        c2 = obs.counter("http.other")
+        assert c2.labels(a="1", b="2") is c2.labels(b="2", a="1")
+
+    def test_child_counts_independently_of_parent(self):
+        c = obs.counter("http.requests")
+        c.inc(5)
+        c.labels(path="/a").inc(2)
+        c.labels(path="/b").inc()
+        assert c.value == 5
+        d = c.to_dict()
+        series = {tuple(s["labels"].items()): s["value"] for s in d["series"]}
+        assert series[(("path", "/a"),)] == 2
+        assert series[(("path", "/b"),)] == 1
+
+    def test_gauge_and_histogram_children(self):
+        obs.gauge("g.x").labels(node="n1").set(4.5)
+        h = obs.histogram("h.x", buckets=(1.0, 2.0))
+        h.labels(stage="feed").observe(1.5)
+        snap = obs.get_registry().snapshot()
+        assert snap["g.x"]["series"][0]["value"] == 4.5
+        child = snap["h.x"]["series"][0]
+        assert child["count"] == 1
+        assert child["buckets"] == [1.0, 2.0]
+
+    def test_empty_labels_rejected(self):
+        with pytest.raises(ValueError):
+            obs.counter("x.y").labels()
+
+    def test_nested_labels_rejected(self):
+        child = obs.counter("x.y").labels(a="1")
+        with pytest.raises(ValueError):
+            child.labels(b="2")
+
+    def test_cardinality_overflow_collapses(self):
+        c = obs.counter("burst.c")
+        for i in range(MAX_LABEL_SETS + 10):
+            c.labels(i=str(i)).inc()
+        d = c.to_dict()
+        assert len(d["series"]) == MAX_LABEL_SETS + 1
+        overflow = [
+            s for s in d["series"] if s["labels"] == {"overflow": "true"}
+        ]
+        assert overflow and overflow[0]["value"] == 10
+        assert obs.counter("obs.labels_overflowed").value == 10
+
+    def test_reset_drops_children(self):
+        c = obs.counter("x.y")
+        c.labels(a="1").inc()
+        c.reset()
+        assert "series" not in c.to_dict()
+
+    def test_labels_threadsafe(self):
+        c = obs.counter("race.c")
+        errs = []
+
+        def work():
+            try:
+                for i in range(200):
+                    c.labels(k=str(i % 8)).inc()
+            except Exception as exc:  # pragma: no cover
+                errs.append(exc)
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errs
+        total = sum(s["value"] for s in c.to_dict()["series"])
+        assert total == 4 * 200
+
+    def test_local_counters_batch_labels(self):
+        reg = MetricsRegistry()
+        local = obs.LocalCounters(registry=reg)
+        local.inc("req.count")
+        local.inc("req.count", 2, path="/a")
+        local.inc("req.count", path="/a")
+        assert reg.counter("req.count").value == 0  # buffered
+        local.flush()
+        c = reg.counter("req.count")
+        assert c.value == 1
+        assert c.labels(path="/a").value == 3
+
+
+# ---------------------------------------------------------------------------
+# prometheus rendering edge cases
+# ---------------------------------------------------------------------------
+
+class TestPrometheusEdgeCases:
+    def test_nan_and_inf_spellings(self):
+        obs.gauge("weird.nan").set(float("nan"))
+        obs.gauge("weird.pinf").set(float("inf"))
+        obs.gauge("weird.ninf").set(float("-inf"))
+        text = render_prometheus(obs.get_registry().snapshot())
+        assert "weird_nan NaN" in text
+        assert "weird_pinf +Inf" in text
+        assert "weird_ninf -Inf" in text
+
+    def test_labeled_series_render(self):
+        obs.counter("http.req").labels(path="/metrics").inc(3)
+        text = render_prometheus(obs.get_registry().snapshot())
+        assert 'http_req_total{path="/metrics"} 3' in text
+
+    def test_label_values_escaped(self):
+        obs.counter("esc.c").labels(v='a"b\\c\nd').inc()
+        text = render_prometheus(obs.get_registry().snapshot())
+        assert 'v="a\\"b\\\\c\\nd"' in text
+
+    def test_labeled_histogram_merges_le(self):
+        h = obs.histogram("lat.h", buckets=(1.0,))
+        h.labels(stage="feed").observe(0.5)
+        text = render_prometheus(obs.get_registry().snapshot())
+        assert 'lat_h_bucket{stage="feed",le="1"} 1' in text
+        assert 'lat_h_bucket{stage="feed",le="+Inf"} 1' in text
+        assert 'lat_h_sum{stage="feed"} 0.5' in text
+        assert 'lat_h_count{stage="feed"} 1' in text
+
+    def test_name_mangling_collision_keeps_both_samples(self):
+        # 'a.b' and 'a_b' both sanitize to prom name 'a_b'
+        obs.counter("a.b").inc(1)
+        obs.counter("a_b").inc(2)
+        text = render_prometheus(obs.get_registry().snapshot())
+        assert text.count("# TYPE a_b_total counter") == 1
+        samples = [
+            ln for ln in text.splitlines()
+            if ln.startswith("a_b_total ")
+        ]
+        assert sorted(samples) == ["a_b_total 1", "a_b_total 2"]
+
+    def test_empty_histogram_renders_zero_buckets(self):
+        obs.histogram("empty.h", buckets=(1.0, 2.0))
+        text = render_prometheus(obs.get_registry().snapshot())
+        assert 'empty_h_bucket{le="+Inf"} 0' in text
+        assert "empty_h_count 0" in text
+        assert "empty_h_sum 0" in text
+
+
+# ---------------------------------------------------------------------------
+# metric history
+# ---------------------------------------------------------------------------
+
+def _fill_history(h, n=10, step=60.0):
+    g = obs.gauge("m.gauge")
+    c = obs.counter("m.counter")
+    for i in range(n):
+        g.set(float(i))
+        c.inc(2)
+        h.sample(i * step)
+    return g, c
+
+
+class TestMetricHistory:
+    def test_due_respects_interval(self):
+        h = MetricHistory(interval=60.0)
+        assert h.due(0.0)
+        h.sample(0.0)
+        assert not h.due(59.0)
+        assert h.due(60.0)
+
+    def test_latest_delta_rate(self):
+        h = MetricHistory()
+        _fill_history(h, n=10)
+        assert h.latest("m.gauge") == 9.0
+        # counter went 2..20; window spanning the last 5 samples
+        assert h.delta("m.counter", window=240.0, now=540.0) == 8.0
+        assert h.rate("m.counter", window=240.0, now=540.0) == pytest.approx(
+            8.0 / 240.0
+        )
+
+    def test_rate_clamps_counter_reset(self):
+        h = MetricHistory()
+        c = obs.counter("m.c")
+        c.inc(10)
+        h.sample(0.0)
+        obs.get_registry().reset()
+        obs.counter("m.c").inc(1)
+        h.sample(60.0)
+        assert h.rate("m.c", window=60.0, now=60.0) == 0.0
+
+    def test_quantile_over_time_histogram_uses_window_deltas(self):
+        h = MetricHistory()
+        hist = obs.histogram("m.h", buckets=(1.0, 2.0, 4.0))
+        hist.observe_many([0.5] * 100)  # old mass, before the window
+        h.sample(0.0)
+        hist.observe_many([3.0] * 10)  # only this lands in the window
+        h.sample(60.0)
+        q = h.quantile_over_time("m.h", 0.5, window=60.0, now=60.0)
+        assert 2.0 <= q <= 4.0  # the window's median is in (2, 4]
+
+    def test_ring_buffer_capacity(self):
+        h = MetricHistory(capacity=4)
+        _fill_history(h, n=10)
+        assert len(h.series("m.gauge", window=1e9, now=540.0)) == 4
+
+    def test_annotations_windowed(self):
+        h = MetricHistory()
+        h.annotate("model_swap", 100.0, {"version": 2})
+        h.annotate("drift_alert", 500.0, {"score": 1.2})
+        evs = h.events(window=300.0, now=600.0)
+        assert [e["kind"] for e in evs] == ["drift_alert"]
+
+    def test_state_roundtrip_byte_identical(self):
+        h = MetricHistory()
+        _fill_history(h, n=7)
+        h.annotate("model_swap", 120.0, {"version": 2})
+        hist = obs.histogram("m.h", buckets=(1.0,))
+        hist.observe(0.5)
+        h.sample(999.0)
+        blob = json.dumps(h.state_dict(), sort_keys=True)
+        h2 = MetricHistory()
+        h2.load_state(json.loads(blob))
+        assert json.dumps(h2.state_dict(), sort_keys=True) == blob
+
+    def test_version_mismatch_rejected(self):
+        h = MetricHistory()
+        with pytest.raises(ValueError):
+            h.load_state({"version": HISTORY_STATE_VERSION + 1})
+
+
+# ---------------------------------------------------------------------------
+# SLO engine
+# ---------------------------------------------------------------------------
+
+def _recall_spec(**kw):
+    base = dict(
+        name="recall",
+        description="windowed recall floor",
+        metric="m.recall",
+        mode="gauge_min",
+        threshold=0.3,
+        fast_window=120.0,
+        slow_window=360.0,
+    )
+    base.update(kw)
+    return SLOSpec(**base)
+
+
+def _drive(engine, history, gauge_values, step=60.0):
+    """Feed a value sequence through history + engine; return states."""
+    g = obs.gauge("m.recall")
+    states = []
+    for i, v in enumerate(gauge_values):
+        g.set(v)
+        now = i * step
+        history.sample(now)
+        engine.evaluate(history, now)
+        states.append(
+            engine.alerts()["slos"][0]["state"]
+        )
+    return states
+
+
+class TestSLOEngine:
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            _recall_spec(mode="nonsense")
+        with pytest.raises(ValueError):
+            _recall_spec(fast_window=600.0, slow_window=60.0)
+
+    def test_default_slos_cover_the_paper_objectives(self):
+        names = {s.name for s in default_slos()}
+        assert names == {
+            "recall_floor", "feed_latency_p99",
+            "drift_episodes", "dead_letter_backlog",
+        }
+        for spec in default_slos():
+            assert spec.runbook
+
+    def test_full_lifecycle(self):
+        eng = SLOEngine([_recall_spec()])
+        hist = MetricHistory()
+        # healthy → dip (fast breach → pending, then slow → firing)
+        # → recovery (→ resolved → ok)
+        seq = [0.5] * 8 + [0.1] * 8 + [0.6] * 10
+        states = _drive(eng, hist, seq)
+        dedup = [states[0]]
+        for s in states[1:]:
+            if s != dedup[-1]:
+                dedup.append(s)
+        assert dedup == [OK, PENDING, FIRING, RESOLVED, OK]
+
+    def test_short_blip_never_fires(self):
+        eng = SLOEngine([_recall_spec()])
+        hist = MetricHistory()
+        seq = [0.5] * 8 + [0.1] * 2 + [0.6] * 10
+        states = _drive(eng, hist, seq)
+        assert FIRING not in states
+        assert PENDING in states
+
+    def test_guard_blocks_evaluation(self):
+        eng = SLOEngine([_recall_spec(
+            guard_metric="m.faults", guard_min=1.0
+        )])
+        hist = MetricHistory()
+        obs.gauge("m.faults").set(0.0)  # guard unmet: recall dip ignored
+        states = _drive(eng, hist, [0.0] * 12)
+        assert set(states) == {OK}
+
+    def test_firing_captures_exemplars(self):
+        recorder = obs.FlightRecorder()
+
+        class _Rec:
+            def to_dict(self):
+                return {"source": "hybrid", "lead_time": 42.0}
+
+        recorder.append(_Rec())
+        eng = SLOEngine([_recall_spec()], recorder=recorder)
+        hist = MetricHistory()
+        _drive(eng, hist, [0.5] * 8 + [0.1] * 10)
+        slo = eng.alerts()["slos"][0]
+        assert slo["state"] == FIRING
+        assert slo["exemplars"] == [{"source": "hybrid", "lead_time": 42.0}]
+
+    def test_firing_sets_labeled_state_gauge_and_annotates(self):
+        eng = SLOEngine([_recall_spec()])
+        hist = MetricHistory()
+        _drive(eng, hist, [0.5] * 8 + [0.1] * 10)
+        g = obs.gauge("slo.state").labels(slo="recall")
+        assert g.value == 2.0  # firing
+        assert "slo_firing" in {e["kind"] for e in hist.events(1e9, 1e9)}
+        assert obs.counter("slo.alerts_fired").value == 1
+
+    def test_state_roundtrip_byte_identical(self):
+        eng = SLOEngine([_recall_spec()])
+        hist = MetricHistory()
+        _drive(eng, hist, [0.5] * 8 + [0.1] * 10)
+        blob = json.dumps(eng.state_dict(), sort_keys=True)
+        eng2 = SLOEngine([])
+        eng2.load_state(json.loads(blob))
+        assert json.dumps(eng2.state_dict(), sort_keys=True) == blob
+
+
+# ---------------------------------------------------------------------------
+# stage profiler
+# ---------------------------------------------------------------------------
+
+class TestStageProfiler:
+    def test_tick_attributes_to_active_spans(self):
+        prof = StageProfiler()
+        with obs.span("stream"):
+            with obs.span("feed", transient=True):
+                prof._tick(0.01)
+                prof._tick(0.01)
+            prof._tick(0.01)
+        stats = prof.stats()
+        assert stats["stages"]["feed"]["self_seconds"] == pytest.approx(0.02)
+        assert stats["stages"]["stream"]["self_seconds"] == pytest.approx(
+            0.01
+        )
+        assert stats["stages"]["stream"]["total_seconds"] == pytest.approx(
+            0.03
+        )
+        assert stats["attributed_fraction"] == 1.0
+
+    def test_unattributed_time_counted(self):
+        prof = StageProfiler()
+        prof._tick(0.05)  # no active spans anywhere
+        stats = prof.stats()
+        assert stats["attributed_seconds"] == 0.0
+        assert stats["unattributed_seconds"] == pytest.approx(0.05)
+
+    def test_collapsed_stack_export(self):
+        prof = StageProfiler()
+        with obs.span("stream"):
+            with obs.span("feed", transient=True):
+                prof._tick(0.01)
+        assert "stream;feed 1" in prof.collapsed().splitlines()
+
+    def test_transient_spans_stay_out_of_the_tree(self):
+        with obs.span("outer"):
+            with obs.span("hot", transient=True):
+                assert obs.current_span().name == "hot"
+        roots = obs.span_tree()
+        assert roots[0]["name"] == "outer"
+        assert roots[0]["children"] == []
+
+    def test_start_stop_idempotent(self):
+        prof = StageProfiler(interval=0.001)
+        prof.start()
+        prof.start()
+        assert prof.running
+        assert obs.gauge("profiler.running").value == 1.0
+        prof.stop()
+        prof.stop()
+        assert not prof.running
+        assert obs.gauge("profiler.running").value == 0.0
+
+    def test_context_manager_samples_real_work(self):
+        import time
+
+        with StageProfiler(interval=0.001) as prof:
+            with obs.span("busy"):
+                time.sleep(0.05)
+        stats = prof.stats()
+        assert stats["samples"] > 0
+        assert stats["stages"].get("busy", {}).get("self_seconds", 0) > 0
+
+    def test_top_stages_sorted_by_self_time(self):
+        prof = StageProfiler()
+        with obs.span("a"):
+            prof._tick(0.01)
+        with obs.span("b"):
+            prof._tick(0.03)
+        top = prof.top_stages(2)
+        assert [r["stage"] for r in top] == ["b", "a"]
+
+
+# ---------------------------------------------------------------------------
+# telemetry server v2 endpoints
+# ---------------------------------------------------------------------------
+
+class TestTelemetryV2:
+    def test_query_endpoint(self):
+        hist = obs.get_history()
+        g = obs.gauge("m.g")
+        for i in range(5):
+            g.set(float(i))
+            hist.sample(i * 60.0)
+        with TelemetryServer(port=0) as srv:
+            code, body, _ = http_get(srv.url + "/query?metric=m.g&window=300")
+            assert code == 200
+            out = json.loads(body)
+            assert out["latest"] == 4.0
+            assert len(out["points"]) == 5
+
+    def test_query_missing_metric_400_unknown_404(self):
+        obs.get_history().sample(0.0)
+        with TelemetryServer(port=0) as srv:
+            code, body, _ = http_get(srv.url + "/query")
+            assert code == 400
+            code, body, _ = http_get(srv.url + "/query?metric=no.such")
+            assert code == 404
+            assert "series" in json.loads(body)
+
+    def test_query_bad_window_400(self):
+        with TelemetryServer(port=0) as srv:
+            code, _, _ = http_get(
+                srv.url + "/query?metric=m.g&window=banana"
+            )
+            assert code == 400
+
+    def test_alerts_endpoint_serves_default_slos(self):
+        with TelemetryServer(port=0) as srv:
+            code, body, _ = http_get(srv.url + "/alerts")
+        assert code == 200
+        out = json.loads(body)
+        assert len(out["slos"]) == 4
+        assert out["firing"] == []
+
+    def test_profile_endpoint_and_collapsed_format(self):
+        prof = obs.get_profiler()
+        with obs.span("stage1"):
+            prof._tick(0.01)
+        with TelemetryServer(port=0) as srv:
+            code, body, _ = http_get(srv.url + "/profile")
+            assert code == 200
+            assert "stage1" in json.loads(body)["stages"]
+            code, body, headers = http_get(
+                srv.url + "/profile?format=collapsed"
+            )
+            assert code == 200
+            assert "text/plain" in headers["Content-Type"]
+            assert "stage1 1" in body
+
+    def test_unknown_path_is_json_404_listing_endpoints(self):
+        with TelemetryServer(port=0) as srv:
+            code, body, headers = http_get(srv.url + "/bogus")
+        assert code == 404
+        assert "application/json" in headers["Content-Type"]
+        out = json.loads(body)
+        assert out["path"] == "/bogus"
+        assert "/query" in out["endpoints"]
+        assert "/alerts" in out["endpoints"]
+
+    def test_requests_labeled_by_path(self):
+        with TelemetryServer(port=0) as srv:
+            http_get(srv.url + "/metrics")
+            http_get(srv.url + "/alerts")
+            http_get(srv.url + "/bogus")
+        series = {
+            tuple(s["labels"].items()): s["value"]
+            for s in obs.counter("telemetry.http_requests").to_dict()[
+                "series"
+            ]
+        }
+        assert series[(("path", "/metrics"),)] == 1
+        assert series[(("path", "/alerts"),)] == 1
+        assert series[(("path", "other"),)] == 1
+
+    def test_client_disconnect_suppressed(self, capsys):
+        import socket
+        import urllib.parse
+
+        obs.counter("big.payload").inc()
+        with TelemetryServer(port=0) as srv:
+            parsed = urllib.parse.urlparse(srv.url)
+            s = socket.create_connection(
+                (parsed.hostname, parsed.port), timeout=5
+            )
+            s.sendall(b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n")
+            # slam the connection shut without reading the response
+            s.setsockopt(
+                socket.SOL_SOCKET, socket.SO_LINGER,
+                __import__("struct").pack("ii", 1, 0),
+            )
+            s.close()
+            # a later request still works: the server thread survived
+            code, _, _ = http_get(srv.url + "/health")
+            assert code == 200
+        err = capsys.readouterr().err
+        assert "Traceback" not in err
+
+    def test_metrics_render_survives_nan_and_labels(self):
+        obs.gauge("weird.g").set(float("nan"))
+        obs.counter("lbl.c").labels(k="v").inc()
+        with TelemetryServer(port=0) as srv:
+            code, body, _ = http_get(srv.url + "/metrics")
+        assert code == 200
+        assert "weird_g NaN" in body
+        assert 'lbl_c_total{k="v"} 1' in body
+
+
+class TestObsReset:
+    def test_reset_clears_v2_singletons(self):
+        obs.get_history().sample(0.0)
+        obs.get_slo_engine()
+        prof = obs.get_profiler()
+        prof.start()
+        obs.reset()
+        assert obs.get_history().names() == []
+        assert not obs.get_profiler().running
+        assert prof is not obs.get_profiler()
+
+    def test_math_isfinite_guard(self):
+        # histogram quantile never returns NaN for populated histograms
+        h = obs.histogram("q.h", buckets=(1.0,))
+        h.observe(0.5)
+        hist = obs.get_history()
+        hist.sample(0.0)
+        h.observe(0.7)
+        hist.sample(60.0)
+        q = hist.quantile_over_time("q.h", 0.99, 60.0, now=60.0)
+        assert math.isfinite(q)

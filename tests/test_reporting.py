@@ -153,3 +153,67 @@ class TestRenderObservability:
         text = render_observability(legacy)
         assert "old  100.0ms" in text
         assert "@+" not in text
+
+
+class TestSpanDeadlineMarker:
+    STATE = {
+        "metrics": {},
+        "spans": [{
+            "name": "feed", "wall_seconds": 0.4, "t_start": 10.0,
+            "done": True,
+            "attrs": {"deadline_exceeded": True, "records": 64},
+            "children": [],
+        }],
+    }
+
+    def test_deadline_exceeded_renders_as_marker(self):
+        text = render_observability(self.STATE)
+        assert "(deadline exceeded)" in text
+        # the flag is the marker, not a generic attr
+        assert "deadline_exceeded=True" not in text
+        assert "records=64" in text  # other attrs still render
+
+
+class TestObservabilityJson:
+    def test_mirrors_the_rendered_report(self):
+        from repro.reporting import observability_json
+
+        state = {
+            "metrics": {
+                "c.x": {"kind": "counter", "value": 2.0},
+                "h.x": {
+                    "kind": "histogram", "buckets": [1.0],
+                    "counts": [1, 1], "sum": 2.5, "count": 2,
+                    "min": 0.5, "max": 2.0,
+                },
+            },
+            "spans": [{
+                "name": "stream", "wall_seconds": 4.0, "done": True,
+                "attrs": {"records": 2000}, "children": [],
+            }],
+        }
+        out = observability_json(state)
+        assert out["metrics"]["c.x"] == {"kind": "counter", "value": 2.0}
+        h = out["metrics"]["h.x"]
+        assert h["mean"] == 1.25
+        assert h["quantiles"]["0.99"] <= 2.0
+        assert out["throughput"]["records"] == 2000
+        assert out["throughput"]["records_per_sec"] == 500.0
+        assert out["spans"] == state["spans"]
+
+    def test_empty_histogram_quantiles_are_none(self):
+        from repro.reporting import observability_json
+
+        state = {
+            "metrics": {
+                "h.e": {
+                    "kind": "histogram", "buckets": [1.0],
+                    "counts": [0, 0], "sum": 0.0, "count": 0,
+                    "min": None, "max": None,
+                },
+            },
+            "spans": [],
+        }
+        out = observability_json(state)
+        assert out["metrics"]["h.e"]["quantiles"]["0.5"] is None
+        assert out["throughput"]["records_per_sec"] is None

@@ -1,0 +1,159 @@
+"""End-to-end SLO lifecycle: a seeded chaos scenario drives an alert.
+
+A mid-stream template churn (the software-upgrade pathology from the
+chaos matrix, applied to a bounded slice so the original templates
+*return*) blinds the frozen model for a few hours.  The windowed-recall
+SLO must walk the full burn-rate state machine on the stream clock —
+ok → pending (fast window breaches) → firing (slow window confirms)
+→ resolved (recall recovers) → ok — with provenance exemplars attached
+to the firing alert, and the whole history + alert state must survive
+a checkpoint/resume round trip byte-identically.
+
+Runs in tier 1: one streaming pass over the shared 1.5-day scenario
+(~seconds), no retraining.
+"""
+
+import copy
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs.history import MetricHistory
+from repro.obs.slo import FIRING, OK, PENDING, RESOLVED, SLOEngine, SLOSpec
+from repro.prediction.scoreboard import OnlineScoreboard
+from repro.resilience.chaos import TemplateChurn, perturb
+from repro.resilience.checkpoint import ResumableRun, load_checkpoint
+
+SEED = 20120407
+#: churn the slice [15%, 40%) of the test records — blind in the middle,
+#: recovered by the end, so the alert both fires and resolves
+CHURN_LO, CHURN_HI = 0.15, 0.40
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    obs.reset()
+    yield
+    obs.reset()
+
+
+def _spec():
+    """A recall-floor SLO tuned to the shared scenario's timescales."""
+    return SLOSpec(
+        name="recall_floor",
+        description="windowed recall must not collapse",
+        metric="scoreboard.window_recall",
+        mode="gauge_min",
+        threshold=0.08,
+        fast_window=3600.0,
+        slow_window=10800.0,
+        guard_metric="scoreboard.window_faults",
+        guard_min=2.0,
+    )
+
+
+@pytest.fixture(scope="module")
+def churn_run(fitted_elsa, small_scenario, tmp_path_factory):
+    """One checkpointed streaming run over the churned stream."""
+    obs.reset()
+    scn = small_scenario
+    test = [r for r in scn.records if r.timestamp >= scn.train_end]
+    a = int(len(test) * CHURN_LO)
+    b = int(len(test) * CHURN_HI)
+    churned = (
+        test[:a]
+        + perturb(test[a:b], TemplateChurn(at_fraction=0.0, seed=SEED))
+        + test[b:]
+    )
+    faults = [
+        f for f in scn.ground_truth.faults
+        if scn.train_end <= f.fail_time < scn.t_end
+    ]
+    elsa = copy.deepcopy(fitted_elsa)
+    engine = SLOEngine([_spec()])
+    history = MetricHistory()
+    ckpt = tmp_path_factory.mktemp("slo") / "run.ckpt"
+    run = ResumableRun(
+        elsa, scn.train_end, scn.t_end,
+        checkpoint_path=ckpt, checkpoint_every=2048, batch_size=512,
+        history=history, slo_engine=engine,
+    )
+    run.predictor.attach_scoreboard(OnlineScoreboard(faults=faults))
+    predictions = run.run(elsa._sanitize(churned))
+    obs.reset()  # detach singletons; everything needed is captured below
+    return {
+        "engine": engine,
+        "history": history,
+        "checkpoint_path": ckpt,
+        "predictions": predictions,
+        "scenario": scn,
+    }
+
+
+class TestChurnDrivesTheSLO:
+    def test_full_alert_lifecycle_on_the_stream_clock(self, churn_run):
+        st = churn_run["engine"].state_dict()["state"]["recall_floor"]
+        visited = [t["to"] for t in st["transitions"]]
+        for state in (PENDING, FIRING, RESOLVED):
+            assert state in visited, visited
+        # firing happens inside the churn window, resolution after it
+        fire = next(t for t in st["transitions"] if t["to"] == FIRING)
+        resolve = next(t for t in st["transitions"] if t["to"] == RESOLVED)
+        assert fire["t"] < resolve["t"]
+        assert st["state"] == OK  # fully recovered by stream end
+
+    def test_firing_alert_carries_provenance_exemplars(self, churn_run):
+        st = churn_run["engine"].state_dict()["state"]["recall_floor"]
+        assert len(st["exemplars"]) >= 1
+        # exemplars are real flight-recorder records, not placeholders
+        for ex in st["exemplars"]:
+            assert "source" in ex and "trigger_time" in ex
+
+    def test_firing_is_annotated_on_the_history_timeline(self, churn_run):
+        kinds = {
+            e["kind"]
+            for e in churn_run["history"].events(1e12, now=1e12)
+        }
+        assert "slo_firing" in kinds
+        assert "slo_resolved" in kinds
+
+    def test_predictions_still_emitted(self, churn_run):
+        assert len(churn_run["predictions"]) > 0
+
+
+class TestCheckpointRoundTrip:
+    def test_history_and_alert_state_roundtrip_byte_identically(
+        self, churn_run, fitted_elsa
+    ):
+        checkpoint = load_checkpoint(churn_run["checkpoint_path"])
+        assert "obs" in checkpoint
+        saved_history = json.dumps(
+            checkpoint["obs"]["history"], sort_keys=True
+        )
+        saved_slo = json.dumps(checkpoint["obs"]["slo"], sort_keys=True)
+
+        scn = churn_run["scenario"]
+        elsa = copy.deepcopy(fitted_elsa)
+        resumed = ResumableRun.resume(
+            elsa, checkpoint,
+            checkpoint_path=churn_run["checkpoint_path"],
+            checkpoint_every=2048, batch_size=512,
+            history=MetricHistory(), slo_engine=SLOEngine([]),
+        )
+        assert json.dumps(
+            resumed.history.state_dict(), sort_keys=True
+        ) == saved_history
+        assert json.dumps(
+            resumed.slo.state_dict(), sort_keys=True
+        ) == saved_slo
+        assert resumed.t_start == scn.train_end
+
+    def test_checkpoint_obs_block_is_json_clean(self, churn_run):
+        # the obs block must survive a JSON dump/load cycle unchanged
+        # (no tuples, numpy scalars, or other pickle-only shapes)
+        checkpoint = load_checkpoint(churn_run["checkpoint_path"])
+        blob = json.dumps(checkpoint["obs"], sort_keys=True)
+        assert json.dumps(
+            json.loads(blob), sort_keys=True
+        ) == blob
