@@ -211,6 +211,120 @@ def measure(trials: int = 3) -> dict:
     }
 
 
+def measure_fleet(trials: int = 3, shards: int = 8) -> dict:
+    """Fleet throughput on the same scenario: 8 hashed shards, one pump.
+
+    The interesting number is the *throughput ratio* against the
+    single-stream fast path on identical input: the fleet adds routing,
+    bounded queues, per-shard chunking and supervision ticks, and that
+    overhead — not absolute records/sec — is what the gate rides on.
+    Per-tenant outputs are also checked against a standalone run so the
+    benchmark doubles as a byte-identity smoke.
+    """
+    import tempfile
+
+    from repro import obs
+    from repro.fleet import Fleet, FleetPolicy, hashed_tenant_key
+    from repro.resilience.checkpoint import ResumableRun
+
+    sc, elsa, test = _scenario()
+    n = len(test)
+    key = hashed_tenant_key(shards)
+    tenants = sorted({key(r.location) for r in test})
+    policy = FleetPolicy(chunk_records=CHUNK, checkpoint_every=4 * CHUNK)
+
+    # single-stream reference on the identical record set
+    best_single = float("inf")
+    for _ in range(trials):
+        elapsed, _, single_preds = _run_once(sc, elsa, test, fast=True)
+        best_single = min(best_single, elapsed)
+
+    best_fleet = float("inf")
+    fleet_out = None
+    for _ in range(trials):
+        obs.reset()
+        with tempfile.TemporaryDirectory() as ckpt_dir:
+            fleet = Fleet.build(
+                elsa, tenants, sc.train_end, sc.t_end, key, ckpt_dir,
+                policy=policy,
+            )
+            t0 = time.perf_counter()
+            out = fleet.run(test)
+            elapsed = time.perf_counter() - t0
+            fleet.close()
+        if elapsed < best_fleet:
+            best_fleet, fleet_out = elapsed, out
+
+    # byte-identity smoke: each tenant == a standalone run on its slice
+    identical = True
+    for tenant in tenants:
+        sub = [r for r in test if key(r.location) == tenant]
+        run = ResumableRun(elsa, sc.train_end, sc.t_end)
+        run.history = None
+        run.slo = None
+        for a in range(0, len(sub), CHUNK):
+            run.feed_chunk(sub[a:a + CHUNK])
+        expect = run.finish()
+        got = fleet_out[tenant]
+        if ([p.to_dict() for p in got] != [p.to_dict() for p in expect]):
+            identical = False
+    if not identical:
+        raise SystemExit(
+            "FAIL: fleet tenants diverged from standalone runs"
+        )
+
+    single_rps = n / best_single
+    fleet_rps = n / best_fleet
+    return {
+        "scenario": {
+            "name": "bluegene-1.5d",
+            "records": n,
+            "shards": shards,
+            "tenants": len(tenants),
+            "trials": trials,
+            "chunk": CHUNK,
+        },
+        "records_per_sec": round(fleet_rps, 1),
+        "single_stream_records_per_sec": round(single_rps, 1),
+        "throughput_ratio_vs_single": round(fleet_rps / single_rps, 3),
+        "predictions": sum(len(p) for p in fleet_out.values()),
+        "tenants_identical_to_standalone": identical,
+    }
+
+
+def check_fleet(result: dict) -> int:
+    """Fleet-overhead gate: the throughput ratio rides the same 30%."""
+    if not BASELINE_PATH.exists():
+        print(f"no committed baseline at {BASELINE_PATH}; skipping gate")
+        return 0
+    baseline = json.loads(BASELINE_PATH.read_text()).get("fleet")
+    if not baseline:
+        print("no committed fleet baseline; skipping gate")
+        return 0
+    base_ratio = baseline["throughput_ratio_vs_single"]
+    cur_ratio = result["throughput_ratio_vs_single"]
+    floor = base_ratio * (1.0 - MAX_RATIO_REGRESSION)
+    print(
+        f"fleet/single throughput: current {cur_ratio:.3f}x, "
+        f"baseline {base_ratio:.3f}x, floor {floor:.3f}x"
+    )
+    if cur_ratio < floor:
+        print(
+            f"FAIL: fleet overhead grew more than "
+            f"{MAX_RATIO_REGRESSION:.0%} vs the committed baseline"
+        )
+        return 1
+    print("OK: fleet overhead within budget")
+    return 0
+
+
+def _merge_fleet(path: Path, result: dict) -> None:
+    """Fold the fleet section into a benchmark doc, keeping the rest."""
+    doc = json.loads(path.read_text()) if path.exists() else {}
+    doc["fleet"] = result
+    path.write_text(json.dumps(doc, indent=2) + "\n")
+
+
 def check(result: dict) -> int:
     """Ratio gate against the committed baseline; returns exit status."""
     if not BASELINE_PATH.exists():
@@ -272,7 +386,25 @@ def main(argv=None) -> int:
         "--update-baseline", action="store_true",
         help=f"write the committed baseline at {BASELINE_PATH}",
     )
+    ap.add_argument(
+        "--fleet", action="store_true",
+        help="measure multi-tenant fleet throughput (8 hashed shards) "
+             "instead of the single-stream paths; gates on the "
+             "fleet/single throughput ratio",
+    )
     args = ap.parse_args(argv)
+    if args.fleet:
+        result = measure_fleet(trials=args.trials)
+        print(json.dumps(result, indent=2))
+        REPORT_PATH.parent.mkdir(parents=True, exist_ok=True)
+        _merge_fleet(REPORT_PATH, result)
+        print(f"wrote {REPORT_PATH}")
+        if args.update_baseline:
+            _merge_fleet(BASELINE_PATH, result)
+            print(f"wrote {BASELINE_PATH}")
+        if args.check:
+            return check_fleet(result)
+        return 0
     result = measure(trials=args.trials)
     print(json.dumps(result, indent=2))
     REPORT_PATH.parent.mkdir(parents=True, exist_ok=True)

@@ -479,6 +479,129 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_fleet(args: argparse.Namespace) -> int:
+    """``fleet``: multi-tenant supervised serving over one stream.
+
+    Generates a synthetic scenario, fits the offline phase once, and
+    serves the test window through a :class:`repro.fleet.Fleet`: one
+    shard per tenant (``--tenants N`` hash-buckets node locations;
+    ``--rack-sharding`` keys by rack-midplane subtree instead), bounded
+    per-tenant queues, and the shard supervisor's crash-restart /
+    backoff / quarantine policy.  ``--kill TENANT:AFTER`` injects a
+    chaos kill once that shard's cursor crosses ``AFTER`` records — the
+    CLI face of the fleet chaos matrix.  ``--listen`` exposes
+    ``/fleet`` (plus the usual endpoints) while the fleet runs.
+
+    Exit status: 0 healthy, :data:`EXIT_DEGRADED` when any shard ended
+    quarantined or records were dead-lettered/shed.
+    """
+    import tempfile
+
+    from repro.fleet import (
+        Fleet, FleetPolicy, ShardState, hashed_tenant_key,
+        rack_subtree_key,
+    )
+
+    builder = (
+        bluegene_scenario if args.system == "bluegene" else mercury_scenario
+    )
+    scenario = builder(duration_days=args.days, seed=args.seed)
+    elsa = ELSA(scenario.machine)
+    elsa.fit(scenario.records, t_train_end=scenario.train_end)
+    test = [
+        r for r in scenario.records if r.timestamp >= scenario.train_end
+    ]
+    if args.rack_sharding:
+        key = rack_subtree_key(depth=2)
+        tenants = sorted({key(r.location) for r in test})
+    else:
+        key = hashed_tenant_key(args.tenants)
+        tenants = sorted({key(r.location) for r in test})
+    policy = FleetPolicy(
+        queue_capacity=args.queue_capacity,
+        chunk_records=args.chunk_records,
+        checkpoint_every=args.checkpoint_every,
+    )
+    server = _start_telemetry(args)
+    ckpt_dir = args.checkpoint_dir
+    tmp = None
+    if ckpt_dir is None:
+        tmp = tempfile.TemporaryDirectory(prefix="elsa-fleet-")
+        ckpt_dir = tmp.name
+    try:
+        fleet = Fleet.build(
+            elsa, tenants, scenario.train_end, scenario.t_end, key,
+            ckpt_dir, policy=policy,
+            faults=list(scenario.ground_truth),
+            self_heal=args.self_heal,
+        )
+        kills = []
+        for spec in args.kill or ():
+            tenant, _, after = spec.partition(":")
+            if tenant not in fleet.shards:
+                print(f"error: unknown tenant {tenant!r} "
+                      f"(tenants: {', '.join(tenants[:8])}...)",
+                      file=sys.stderr)
+                return 2
+            kills.append((tenant, int(after) if after else 0))
+        for tenant, after in kills:
+            fleet.kill(tenant, after_records=after)
+        predictions = fleet.run(test)
+        state = fleet.state()
+        _emit(f"system      : {scenario.name}")
+        _emit(f"tenants     : {len(tenants)} "
+              f"({'rack subtree' if args.rack_sharding else 'hashed'})")
+        _emit(f"records     : {len(test)} routed, "
+              f"{state['router']['shed']} shed, "
+              f"{state['router']['dead_lettered']} dead-lettered")
+        n_preds = sum(len(p) for p in predictions.values())
+        _emit(f"predictions : {n_preds}")
+        quarantined = []
+        restarts = 0
+        for tenant in tenants:
+            info = state["shards"][tenant]
+            restarts += info["restarts"]
+            if info["state"] == ShardState.QUARANTINED.value:
+                quarantined.append(tenant)
+        _emit(f"supervision : {restarts} restarts, "
+              f"{len(quarantined)} quarantined"
+              + (f" ({', '.join(quarantined)})" if quarantined else ""))
+        if args.verbose:
+            for tenant in tenants:
+                info = state["shards"][tenant]
+                _emit(f"  {tenant:<10} {info['state']:<11}"
+                      f" fed={info['records_fed']:<7}"
+                      f" preds={info['predictions'] or 0:<4}"
+                      f" restarts={info['restarts']}"
+                      f" shed={info['shed']}")
+        if args.out:
+            doc = {
+                "tenants": {
+                    t: [p.to_dict() for p in predictions[t]]
+                    for t in tenants
+                },
+                "fleet": state,
+            }
+            Path(args.out).write_text(json.dumps(doc, default=str) + "\n")
+            _emit(f"predictions written to {args.out}")
+        degraded = bool(
+            quarantined
+            or state["router"]["shed"]
+            or state["router"]["dead_lettered"]
+        )
+        return EXIT_DEGRADED if degraded else 0
+    finally:
+        # linger (if any) happens before close: /fleet and the
+        # dashboard's fleet view stay live for post-run scrapes
+        _stop_telemetry(server, args)
+        from repro.fleet import get_active_fleet
+
+        if get_active_fleet() is not None:
+            get_active_fleet().close()
+        if tmp is not None:
+            tmp.cleanup()
+
+
 def cmd_reproduce(args: argparse.Namespace) -> int:
     """``reproduce``: the headline paper tables as a markdown report."""
     from repro.reporting import full_reproduction_report
@@ -702,6 +825,41 @@ def render_dashboard(base: str) -> str:
         frac = profile.get("attributed_fraction")
         if frac is not None:
             lines.append(f"  attributed: {frac:.1%} of sampled wall time")
+    try:
+        fleet = _fetch_json(base, "/fleet")
+    except Exception:
+        fleet = None  # older server without the endpoint: omit the view
+    if fleet and fleet.get("active"):
+        lines += ["", f"Fleet ({fleet.get('tenants', 0)} tenants, "
+                      f"{fleet.get('records_routed', 0)} routed):"]
+        shards = fleet.get("shards", {})
+        for tenant in sorted(shards):
+            info = shards[tenant]
+            flags = []
+            if info.get("restarts"):
+                flags.append(f"restarts={info['restarts']}")
+            if info.get("shed"):
+                flags.append(f"shed={info['shed']}")
+            if info.get("last_error"):
+                flags.append(info["last_error"])
+            lines.append(
+                f"  {tenant:<12} {info.get('state', '?'):<11}"
+                f" q={info.get('queue_depth', 0):<6}"
+                f" fed={info.get('records_fed', 0):<8}"
+                + ("  " + " ".join(flags) if flags else "")
+            )
+        router = fleet.get("router", {})
+        lines.append(
+            f"  router: {router.get('accepted', 0)} accepted, "
+            f"{router.get('shed', 0)} shed, "
+            f"{router.get('dead_lettered', 0)} dead-lettered"
+        )
+        events = (fleet.get("supervision") or {}).get("events", [])
+        for ev in events[-4:]:
+            lines.append(
+                f"  event: {ev.get('kind', '?'):<10} "
+                f"tenant={ev.get('tenant', '?')}"
+            )
     return "\n".join(lines)
 
 
@@ -905,6 +1063,72 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--days", type=float, default=3.0)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser(
+        "fleet",
+        help="multi-tenant supervised serving: shard the test stream "
+             "per tenant and run it through the fleet router/supervisor",
+    )
+    p.add_argument("--system", choices=("bluegene", "mercury"),
+                   default="bluegene")
+    p.add_argument("--days", type=float, default=1.5)
+    p.add_argument("--seed", type=int, default=0)
+    group = p.add_mutually_exclusive_group()
+    group.add_argument(
+        "--tenants", type=int, default=8, metavar="N",
+        help="shard locations into N stable hash buckets (default 8)",
+    )
+    group.add_argument(
+        "--rack-sharding", dest="rack_sharding", action="store_true",
+        default=False,
+        help="shard by rack-midplane subtree instead of hash buckets",
+    )
+    p.add_argument(
+        "--queue-capacity", dest="queue_capacity", type=int, default=8192,
+        metavar="N", help="bounded per-tenant ingest queue size",
+    )
+    p.add_argument(
+        "--chunk-records", dest="chunk_records", type=int, default=512,
+        metavar="N", help="records per shard step (pump quantum)",
+    )
+    p.add_argument(
+        "--checkpoint-every", dest="checkpoint_every", type=int,
+        default=2048, metavar="N",
+        help="records between per-shard checkpoints",
+    )
+    p.add_argument(
+        "--checkpoint-dir", dest="checkpoint_dir", metavar="DIR",
+        default=None,
+        help="directory for per-shard checkpoints (default: a "
+             "temporary directory removed on exit)",
+    )
+    p.add_argument(
+        "--self-heal", dest="self_heal", action="store_true",
+        help="run each shard on the self-healing lifecycle loop",
+    )
+    p.add_argument(
+        "--kill", action="append", metavar="TENANT[:AFTER]", default=None,
+        help="chaos: crash TENANT's shard once its cursor passes AFTER "
+             "records (default 0 = first step); repeatable",
+    )
+    p.add_argument(
+        "--listen", metavar="HOST:PORT", default=None,
+        help="serve the telemetry endpoints incl. /fleet during the run "
+             "(port 0 picks a free port)",
+    )
+    p.add_argument(
+        "--linger", type=float, metavar="SECONDS", default=0.0,
+        help="keep the --listen server up this long after the run",
+    )
+    p.add_argument(
+        "--out", default=None,
+        help="write per-tenant predictions + fleet state as JSON",
+    )
+    p.add_argument(
+        "--verbose", action="store_true",
+        help="print the per-tenant shard table",
+    )
+    p.set_defaults(func=cmd_fleet)
 
     p = sub.add_parser(
         "reproduce",

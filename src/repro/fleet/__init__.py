@@ -1,0 +1,64 @@
+"""Fault-isolated multi-tenant serving: router → shards → supervisor.
+
+One process serving one stream (PRs 1–6) is the paper's pipeline; a
+production deployment serves *many* — per rack subtree, per tenant —
+and must keep serving the healthy ones when a shard dies.  This package
+is that serving layer, built shared-nothing on the pieces the previous
+PRs proved: every shard owns its own deep-copied ELSA, streaming
+predictor, checkpoint file, and (optionally) self-healing lifecycle;
+the router's bounded queues and severity-aware shedding keep one noisy
+tenant from starving the rest; and the supervisor turns crashes and
+hangs into checkpoint restarts with exponential backoff — or, for a
+flapping shard, quarantine on the degradation ladder behind a fenced
+queue.
+
+Tenant isolation is *proven*, not asserted: the fleet chaos matrix
+(``pytest -m fleet_chaos``) kills shards mid-stream and requires every
+surviving tenant's predictions byte-identical to an undisturbed run,
+with the killed tenant recovering from its checkpoint.
+
+Quick tour::
+
+    from repro.fleet import Fleet, FleetPolicy, rack_subtree_key
+
+    fleet = Fleet.build(
+        elsa, tenants, t_start, t_end,
+        key=rack_subtree_key(depth=2),
+        checkpoint_dir="ckpts/",
+    )
+    predictions = fleet.run(test_records)   # tenant -> [Prediction]
+"""
+
+from repro.fleet.policy import FleetPolicy, ManualClock, RestartBackoff
+from repro.fleet.router import (
+    IngestionRouter,
+    hashed_tenant_key,
+    partition_faults,
+    rack_subtree_key,
+)
+from repro.fleet.shard import Shard, ShardKilled, ShardState
+from repro.fleet.supervisor import ShardSupervisor
+from repro.fleet.runner import (
+    Fleet,
+    fleet_slos,
+    get_active_fleet,
+    set_active_fleet,
+)
+
+__all__ = [
+    "Fleet",
+    "FleetPolicy",
+    "IngestionRouter",
+    "ManualClock",
+    "RestartBackoff",
+    "Shard",
+    "ShardKilled",
+    "ShardState",
+    "ShardSupervisor",
+    "fleet_slos",
+    "get_active_fleet",
+    "hashed_tenant_key",
+    "partition_faults",
+    "rack_subtree_key",
+    "set_active_fleet",
+]

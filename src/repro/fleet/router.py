@@ -1,0 +1,136 @@
+"""Ingestion routing: tenant keying, bounded queues, dead-lettering.
+
+The router is the fleet's front door: every incoming record is keyed to
+a tenant (:func:`rack_subtree_key` for topology-aligned sharding,
+:func:`hashed_tenant_key` for an arbitrary shard count), offered to that
+tenant's bounded queue, and — when the shard is fenced, unknown, or the
+record falls outside its window — diverted to a bounded dead-letter
+ring instead of blocking or poisoning siblings.  Backpressure on a full
+queue is the shard's (stride-sampling, severe-always) policy; the
+router just counts the verdicts.
+"""
+
+from __future__ import annotations
+
+import zlib
+from collections import deque
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro import obs
+from repro.fleet.policy import FleetPolicy
+from repro.fleet.shard import Shard, ShardState
+from repro.simulation.trace import LogRecord
+
+__all__ = [
+    "IngestionRouter",
+    "hashed_tenant_key",
+    "partition_faults",
+    "rack_subtree_key",
+]
+
+
+def rack_subtree_key(depth: int = 2) -> Callable[[str], str]:
+    """Key a location to its rack subtree prefix.
+
+    BlueGene-style locations (``R05-M0-N0-C:J00-U00``) are hierarchical;
+    ``depth=2`` shards by rack-midplane (``R05-M0``), ``depth=1`` by
+    rack.  Returns a function over *location strings* (apply it to
+    ``record.location`` or a fault's ``locations[0]``).
+    """
+    if depth < 1:
+        raise ValueError("depth must be >= 1")
+
+    def key(location: str) -> str:
+        return "-".join(location.split("-")[:depth])
+
+    return key
+
+
+def hashed_tenant_key(n_tenants: int) -> Callable[[str], str]:
+    """Key a location to one of ``n_tenants`` stable hash buckets.
+
+    CRC32 (not ``hash()``) so the assignment survives interpreter
+    restarts and ``PYTHONHASHSEED`` — the same log always shards the
+    same way.
+    """
+    if n_tenants < 1:
+        raise ValueError("n_tenants must be >= 1")
+    width = len(str(n_tenants - 1))
+
+    def key(location: str) -> str:
+        bucket = zlib.crc32(location.encode("utf-8")) % n_tenants
+        return f"t{bucket:0{width}d}"
+
+    return key
+
+
+def partition_faults(
+    faults: Sequence, key: Callable[[str], str]
+) -> Dict[str, list]:
+    """Group ground-truth faults by the tenant of their first location."""
+    out: Dict[str, list] = {}
+    for f in faults:
+        locs = getattr(f, "locations", ()) or ()
+        if not locs:
+            continue
+        out.setdefault(key(locs[0]), []).append(f)
+    return out
+
+
+class IngestionRouter:
+    """Routes records to shard queues; fenced/unknown → dead letter."""
+
+    def __init__(
+        self,
+        shards: Dict[str, Shard],
+        key: Callable[[str], str],
+        policy: Optional[FleetPolicy] = None,
+    ) -> None:
+        self.shards = shards
+        self.key = key
+        self.policy = policy or FleetPolicy()
+        self.dead_letter: deque = deque(maxlen=self.policy.dead_letter_cap)
+        self.stats = {
+            "routed": 0,
+            "accepted": 0,
+            "shed": 0,
+            "rejected": 0,
+            "dead_lettered": 0,
+        }
+
+    def route(self, rec: LogRecord) -> str:
+        """Place one record; returns the verdict string."""
+        self.stats["routed"] += 1
+        tenant = self.key(rec.location)
+        shard = self.shards.get(tenant)
+        if shard is None:
+            self._dead(rec, "unknown-tenant", tenant)
+            return "dead-letter"
+        if shard.state is ShardState.QUARANTINED:
+            # fencing: a parked shard's traffic is preserved for the
+            # operator, never queued behind a shard that will not drain
+            self._dead(rec, "fenced", tenant)
+            return "dead-letter"
+        verdict = shard.offer(rec)
+        self.stats[verdict] = self.stats.get(verdict, 0) + 1
+        if verdict == "shed":
+            obs.counter("fleet.records_shed").inc()
+            obs.counter("fleet.records_shed").labels(tenant=tenant).inc()
+        return verdict
+
+    def dead_letter_all(
+        self, records: List[LogRecord], reason: str, tenant: str
+    ) -> None:
+        """Drain a fenced shard's queue into the dead-letter ring."""
+        for rec in records:
+            self._dead(rec, reason, tenant)
+
+    def _dead(self, rec: LogRecord, reason: str, tenant: str) -> None:
+        self.dead_letter.append((reason, tenant, rec))
+        self.stats["dead_lettered"] += 1
+        obs.counter("fleet.dead_letters").inc()
+        obs.counter("fleet.dead_letters").labels(reason=reason).inc()
+
+    def info(self) -> dict:
+        """The ``/fleet`` router section."""
+        return dict(self.stats, dead_letter_depth=len(self.dead_letter))

@@ -1,0 +1,371 @@
+"""One tenant's shard: a supervised run + bounded queue + replay buffer.
+
+A :class:`Shard` owns everything one tenant needs and shares nothing
+with its siblings: a deep-copied :class:`~repro.core.elsa.ELSA` (the
+OnlineHELO mutates during classification, so sharing one would couple
+tenants), a :class:`~repro.resilience.checkpoint.ResumableRun` (or
+:class:`~repro.lifecycle.healing.SelfHealingRun`) driving the streaming
+predictor chunk by chunk via ``feed_chunk``, its own checkpoint file,
+and a bounded ingest queue the router fills.
+
+Crash recovery is **at-least-once delivery on top of an exactly-once
+cursor**: records popped from the queue enter the ``_unacked`` replay
+deque *before* they are fed, and the deque is cleared only when the
+run's checkpoint lands (the checkpoint cursor acknowledges everything
+fed so far).  A restart therefore resumes the run from its checkpoint
+and re-feeds the unacked tail — and because the streaming engine's
+output is chunking-invariant (the byte-identity contract
+``tests/test_resilience_checkpoint.py`` enforces), the recovered tenant
+emits predictions byte-identical to one that never crashed.
+
+Chaos hooks (``inject_kill``/``inject_hang``/``inject_poison``) live on
+the shard itself so the fleet chaos matrix can fault precise points of
+the pipeline without monkeypatching.
+"""
+
+from __future__ import annotations
+
+import copy
+import enum
+import os
+import time
+from collections import deque
+from pathlib import Path
+from time import perf_counter
+from typing import Callable, Deque, List, Optional, Sequence
+
+from repro import obs
+from repro.fleet.policy import FleetPolicy
+from repro.resilience.checkpoint import ResumableRun, load_checkpoint
+from repro.simulation.trace import LogRecord, Severity
+
+__all__ = ["Shard", "ShardKilled", "ShardState"]
+
+log = obs.get_logger(__name__)
+
+
+class ShardState(enum.Enum):
+    """Where a shard is in its supervision lifecycle."""
+
+    RUNNING = "running"
+    BACKOFF = "backoff"          # crashed; restart scheduled
+    QUARANTINED = "quarantined"  # flapping; parked and fenced
+    STOPPED = "stopped"          # finished; predictions sealed
+
+
+class ShardKilled(RuntimeError):
+    """A chaos-injected shard crash."""
+
+
+class Shard:
+    """A single tenant's isolated slice of the fleet.
+
+    Parameters
+    ----------
+    tenant:
+        Tenant key (rack subtree or hash bucket); labels every metric.
+    elsa:
+        A fitted ELSA **owned by this shard** (deep-copy before
+        constructing; ``Fleet.build`` does).
+    t_start, t_end:
+        The tenant's test window (records outside are rejected).
+    checkpoint_path:
+        This shard's private checkpoint file.
+    faults:
+        Ground truth scoped to this tenant (self-healing scoreboard).
+    self_heal:
+        Use a :class:`SelfHealingRun` instead of a plain
+        :class:`ResumableRun`.
+    clock:
+        Monotonic supervision clock (injectable; see
+        :class:`~repro.fleet.policy.ManualClock`).
+    """
+
+    def __init__(
+        self,
+        tenant: str,
+        elsa,
+        t_start: float,
+        t_end: float,
+        policy: Optional[FleetPolicy] = None,
+        checkpoint_path: Optional[os.PathLike] = None,
+        faults: Sequence = (),
+        self_heal: bool = False,
+        store_dir: Optional[os.PathLike] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.tenant = str(tenant)
+        self.elsa = elsa
+        self.t_start = float(t_start)
+        self.t_end = float(t_end)
+        self.policy = policy or FleetPolicy()
+        self.checkpoint_path = (
+            Path(checkpoint_path) if checkpoint_path is not None else None
+        )
+        self.faults = list(faults)
+        self.self_heal = bool(self_heal)
+        self.store_dir = store_dir
+        self.clock = clock
+        self.queue: Deque[LogRecord] = deque()
+        self._unacked: Deque[LogRecord] = deque()
+        self.state = ShardState.RUNNING
+        self.last_beat = clock()
+        self.restart_at: Optional[float] = None
+        self.restarts = 0
+        self.crashes = 0
+        self.records_fed = 0
+        self.shed = 0
+        self.rejected = 0
+        self._overflow = 0
+        self.last_error: Optional[str] = None
+        self.predictions: Optional[list] = None
+        # chaos injection points
+        self._kill_at: Optional[int] = None
+        self._hang_seconds: float = 0.0
+        self._poisoned = False
+        # pristine template state, for a restart before any checkpoint
+        self._helo_seed = copy.deepcopy(elsa.online_state_dict())
+        self.run = self._build_run()
+
+    # -- run construction ----------------------------------------------------
+
+    def _silence(self, run: ResumableRun) -> ResumableRun:
+        # the fleet samples history/SLOs centrally on its own stream
+        # clock; per-shard sampling would interleave out-of-order
+        # timestamps from tenants at different stream positions
+        run.history = None
+        run.slo = None
+        return run
+
+    def _run_kwargs(self) -> dict:
+        # checkpoint cadence: batch_size == chunk makes feed_chunk
+        # checkpoint only once checkpoint_every records accumulate,
+        # not after every chunk
+        return {
+            "checkpoint_path": self.checkpoint_path,
+            "checkpoint_every": self.policy.checkpoint_every,
+            "batch_size": self.policy.chunk_records,
+        }
+
+    def _build_run(self) -> ResumableRun:
+        if self.self_heal:
+            from repro.lifecycle.healing import SelfHealingRun
+
+            return self._silence(SelfHealingRun(
+                self.elsa, self.t_start, self.t_end,
+                faults=self.faults, store_dir=self.store_dir,
+                **self._run_kwargs(),
+            ))
+        return self._silence(ResumableRun(
+            self.elsa, self.t_start, self.t_end, **self._run_kwargs(),
+        ))
+
+    # -- ingest --------------------------------------------------------------
+
+    def offer(self, rec: LogRecord) -> str:
+        """Admit one routed record; returns the verdict.
+
+        ``"accepted"`` — queued; ``"shed"`` — dropped by backpressure
+        sampling (queue full, non-severe, off-stride); ``"rejected"`` —
+        outside this tenant's window.  Severe records are always
+        admitted, past the cap if necessary, mirroring the
+        :class:`~repro.resilience.stream.ResilientStream` contract.
+        """
+        if not self.t_start <= rec.timestamp < self.t_end:
+            self.rejected += 1
+            return "rejected"
+        if len(self.queue) >= self.policy.queue_capacity:
+            severe = rec.severity >= Severity.SEVERE
+            if not severe:
+                self._overflow += 1
+                if self._overflow % self.policy.overflow_stride != 0:
+                    self.shed += 1
+                    return "shed"
+        self.queue.append(rec)
+        return "accepted"
+
+    # -- stepping ------------------------------------------------------------
+
+    def step(self) -> int:
+        """Feed up to ``chunk_records`` queued records; returns how many.
+
+        Raises whatever the pipeline raises (including injected chaos);
+        the supervisor owns the crash, the shard only keeps its replay
+        buffer consistent: records join ``_unacked`` *before* feeding,
+        so a mid-feed crash loses no input.
+        """
+        if self.state is not ShardState.RUNNING or not self.queue:
+            return 0
+        if self._hang_seconds > 0.0:
+            # a stall: supervision time passes, no progress, no beat
+            seconds, self._hang_seconds = self._hang_seconds, 0.0
+            advance = getattr(self.clock, "advance", None)
+            if advance is not None:
+                advance(seconds)
+            return 0
+        if self._poisoned:
+            raise ShardKilled(f"shard {self.tenant} poisoned")
+        n = min(self.policy.chunk_records, len(self.queue))
+        batch = [self.queue.popleft() for _ in range(n)]
+        self._unacked.extend(batch)
+        if self._kill_at is not None and self.records_fed + n > self._kill_at:
+            # crash mid-chunk: feed up to the kill point, then die —
+            # the partial work is exactly what recovery must redo
+            k = self._kill_at - self.records_fed
+            self._kill_at = None
+            if k > 0:
+                self.run.feed_chunk(batch[:k])
+            raise ShardKilled(
+                f"chaos kill of {self.tenant} at "
+                f"{self.records_fed + max(k, 0)} records"
+            )
+        t0 = perf_counter()
+        fed = self.run.feed_chunk(batch)
+        obs.histogram(
+            "fleet.feed_seconds", buckets=obs.metrics.TIME_BUCKETS
+        ).labels(tenant=self.tenant).observe(perf_counter() - t0)
+        self.records_fed += fed
+        obs.counter("fleet.records_fed").inc(fed)
+        obs.counter("fleet.records_fed").labels(tenant=self.tenant).inc(fed)
+        self._maybe_ack()
+        self.last_beat = self.clock()
+        return fed
+
+    def _maybe_ack(self) -> None:
+        # feed_chunk resets _since_ckpt to 0 exactly when it wrote a
+        # checkpoint; that checkpoint's cursor covers every record fed,
+        # so the replay buffer is acknowledged wholesale
+        if self.checkpoint_path is not None and self.run._since_ckpt == 0:
+            self._unacked.clear()
+
+    # -- crash / restart -----------------------------------------------------
+
+    def mark_crashed(self, exc: BaseException, restart_at: Optional[float]
+                     ) -> None:
+        """Record a crash; ``restart_at=None`` means quarantined."""
+        self.crashes += 1
+        self.last_error = f"{type(exc).__name__}: {exc}"
+        if restart_at is None:
+            self.state = ShardState.QUARANTINED
+            self.restart_at = None
+        else:
+            self.state = ShardState.BACKOFF
+            self.restart_at = float(restart_at)
+
+    def fence(self) -> List[LogRecord]:
+        """Hand over the queue (quarantine → dead-letter drain)."""
+        drained = list(self.queue)
+        self.queue.clear()
+        return drained
+
+    def restart(self, now: float) -> None:
+        """Rebuild the run from the last checkpoint and replay unacked.
+
+        With no checkpoint yet (the crash beat the first write), the
+        shard restores its pristine template state and starts the
+        window over — every delivered record is still in ``_unacked``,
+        so nothing is lost either way.
+        """
+        self.restarts += 1
+        replay = list(self._unacked)
+        self._unacked.clear()
+        have_ckpt = (
+            self.checkpoint_path is not None and self.checkpoint_path.exists()
+        )
+        if have_ckpt:
+            ckpt = load_checkpoint(self.checkpoint_path)
+            if self.self_heal:
+                from repro.lifecycle.healing import SelfHealingRun
+
+                run = SelfHealingRun.resume(
+                    self.elsa, ckpt, faults=self.faults,
+                    store_dir=self.store_dir, **self._run_kwargs(),
+                )
+            else:
+                run = ResumableRun.resume(
+                    self.elsa, ckpt, **self._run_kwargs(),
+                )
+            self._silence(run)
+            # defensive: skip any replay prefix the cursor already covers
+            acked = self.records_fed - len(replay)
+            skip = max(0, run.predictor.n_records_fed - acked)
+            replay = replay[skip:]
+        else:
+            self.elsa.restore_online_state(copy.deepcopy(self._helo_seed))
+            run = self._build_run()
+        self.run = run
+        self.records_fed = run.predictor.n_records_fed
+        chunk = self.policy.chunk_records
+        for i in range(0, len(replay), chunk):
+            part = replay[i : i + chunk]
+            # back into the replay buffer before feeding — a crash
+            # during replay must not lose the tail either
+            self._unacked.extend(part)
+            fed = run.feed_chunk(part)
+            self.records_fed += fed
+            self._maybe_ack()
+        self.state = ShardState.RUNNING
+        self.restart_at = None
+        self.last_error = None
+        self.last_beat = now
+        log.info(
+            "shard restarted from checkpoint",
+            extra=obs.logging.kv(
+                tenant=self.tenant, restarts=self.restarts,
+                cursor=self.records_fed, replayed=len(replay),
+            ),
+        )
+
+    def finish(self) -> list:
+        """Drain nothing further; seal the stream and keep predictions."""
+        if self.predictions is None:
+            self.predictions = self.run.finish()
+            if self.state is not ShardState.QUARANTINED:
+                self.state = ShardState.STOPPED
+        return self.predictions
+
+    # -- chaos hooks ---------------------------------------------------------
+
+    def inject_kill(self, after_records: int) -> None:
+        """Crash once when the feed cursor crosses ``after_records``."""
+        self._kill_at = int(after_records)
+
+    def inject_hang(self, seconds: float) -> None:
+        """Stall the next step for ``seconds`` of supervision time."""
+        self._hang_seconds = float(seconds)
+
+    def inject_poison(self) -> None:
+        """Crash on every step until :meth:`heal` — a flapping shard."""
+        self._poisoned = True
+
+    def heal(self) -> None:
+        """Clear the poison injection."""
+        self._poisoned = False
+
+    # -- reporting -----------------------------------------------------------
+
+    def info(self) -> dict:
+        """The ``/fleet`` row for this shard."""
+        rung = None
+        ladder = getattr(self.run, "ladder", None)
+        if ladder is not None:
+            rung = int(ladder.rung)
+        return {
+            "tenant": self.tenant,
+            "state": self.state.value,
+            "queue_depth": len(self.queue),
+            "unacked": len(self._unacked),
+            "records_fed": self.records_fed,
+            "restarts": self.restarts,
+            "crashes": self.crashes,
+            "shed": self.shed,
+            "rejected": self.rejected,
+            "restart_at": self.restart_at,
+            "last_beat": self.last_beat,
+            "last_error": self.last_error,
+            "ladder_rung": rung,
+            "predictions": (
+                len(self.predictions) if self.predictions is not None
+                else None
+            ),
+        }

@@ -37,6 +37,7 @@ rung, so a killed run resumes on the *swapped* model, not the seed.
 from __future__ import annotations
 
 import os
+import pickle
 from collections import deque
 from dataclasses import dataclass
 from typing import Deque, List, Optional, Sequence
@@ -178,6 +179,9 @@ class SelfHealingRun(ResumableRun):
         self.retrains = 0
         self.swaps = 0
         self.rollbacks = 0
+        #: set by :meth:`resume` when a missing model snapshot forced a
+        #: fresh fit on the seed model instead of a true resume
+        self.resumed_degraded = False
         obs.register_state_section("lifecycle", self.state)
 
     @classmethod
@@ -199,17 +203,66 @@ class SelfHealingRun(ResumableRun):
         from ``model_path`` and installed as ``elsa.model`` *before*
         the predictor is rebuilt — the resumed run continues on the
         swapped model, not the seed (the CI soak job's assertion).
+
+        When the checkpoint references a swapped model whose snapshot
+        can no longer be loaded (``model_path`` absent, the file gone,
+        or unpicklable), the run **degrades to a fresh fit** instead of
+        crashing: it keeps the caller's seed model and replays the test
+        window from ``t_start`` — the same recovery a brand-new run
+        would make — and reports it via the
+        ``lifecycle.resume_snapshot_missing`` counter and a warning.
+        ``resumed_degraded`` on the returned run records which path was
+        taken.
         """
         lc = checkpoint.get("lifecycle") or dict(DEFAULT_LIFECYCLE)
         version = int(lc.get("model_version", 1))
+        degraded = False
         if version > 1:
             path = lc.get("model_path")
-            if not path:
-                raise ValueError(
-                    f"checkpoint active model v{version} has no stored "
-                    f"snapshot; cannot resume the swapped model"
+            snapshot = None
+            if path:
+                try:
+                    snapshot = ModelManager.load_snapshot(path)
+                except (OSError, pickle.UnpicklingError, EOFError):
+                    snapshot = None
+            if snapshot is not None:
+                elsa.model = snapshot
+            else:
+                # the swapped model is unrecoverable: restart the window
+                # on the seed model rather than refusing to resume —
+                # predictor and template state describe the swapped
+                # model's behaviour, so they are discarded with it
+                obs.counter("lifecycle.resume_snapshot_missing").inc()
+                log.warning(
+                    "checkpoint model snapshot unavailable; "
+                    "degrading to a fresh fit on the seed model",
+                    extra=obs.logging.kv(
+                        model_version=version, model_path=path,
+                    ),
                 )
-            elsa.model = ModelManager.load_snapshot(path)
+                degraded = True
+                version = 1
+        pstate_times = checkpoint["predictor"]
+        if degraded:
+            run = cls(
+                elsa,
+                t_start=pstate_times["t_start"],
+                t_end=pstate_times["t_end"],
+                faults=faults,
+                policy=policy,
+                store_dir=store_dir,
+                checkpoint_path=checkpoint_path,
+                checkpoint_every=checkpoint_every,
+                batch_size=batch_size,
+                seed_version=1,
+            )
+            run.resumed_degraded = True
+            if run.history is not None:
+                run.history.annotate(
+                    "resume_snapshot_missing", run.t_start,
+                    {"lost_model_version": int(lc.get("model_version", 1))},
+                )
+            return run
         if checkpoint.get("helo") is not None:
             elsa.restore_online_state(checkpoint["helo"])
         pstate = checkpoint["predictor"]

@@ -125,8 +125,43 @@ class MetricHistory:
         self.sample(now)
         return True
 
+    @staticmethod
+    def series_name(name: str, labels: Dict[str, str]) -> str:
+        """Canonical series key for a labeled child: ``name{k="v",...}``.
+
+        Labeled children of a metric are first-class history series
+        under this key (sorted label order, Prometheus-style), so every
+        windowed query — ``rate``, ``quantile_over_time``, ... — works
+        per label set, e.g. per fleet tenant.
+        """
+        inner = ",".join(
+            f'{k}="{v}"' for k, v in sorted(labels.items())
+        )
+        return f"{name}{{{inner}}}"
+
+    def _record(self, name: str, kind: str, m: dict, now: float) -> None:
+        if kind == "histogram":
+            payload = [m.get("count", 0), m.get("sum", 0.0),
+                       list(m.get("counts", []))]
+            self._bounds[name] = [
+                float(b) for b in m.get("buckets", [])
+            ]
+        else:
+            payload = m.get("value", 0.0)
+        dq = self._samples.get(name)
+        if dq is None:
+            dq = deque(maxlen=self.capacity)
+            self._samples[name] = dq
+        self._kinds[name] = kind
+        dq.append([now, payload])
+
     def sample(self, now: float) -> None:
-        """Record one snapshot of every registry metric at time ``now``."""
+        """Record one snapshot of every registry metric at time ``now``.
+
+        Labeled children ride along as their own series under
+        :meth:`series_name` keys; histogram children reuse the parent's
+        bucket bounds.
+        """
         registry = self._registry or get_registry()
         snap = registry.snapshot()
         now = float(now)
@@ -135,20 +170,14 @@ class MetricHistory:
             self._times.append(now)
             for name, m in snap.items():
                 kind = m.get("kind", "gauge")
-                if kind == "histogram":
-                    payload = [m.get("count", 0), m.get("sum", 0.0),
-                               list(m.get("counts", []))]
-                    self._bounds[name] = [
-                        float(b) for b in m.get("buckets", [])
-                    ]
-                else:
-                    payload = m.get("value", 0.0)
-                dq = self._samples.get(name)
-                if dq is None:
-                    dq = deque(maxlen=self.capacity)
-                    self._samples[name] = dq
-                self._kinds[name] = kind
-                dq.append([now, payload])
+                self._record(name, kind, m, now)
+                for child in m.get("series") or ():
+                    child_name = self.series_name(
+                        name, child.get("labels", {})
+                    )
+                    if kind == "histogram" and "buckets" not in child:
+                        child = dict(child, buckets=m.get("buckets", []))
+                    self._record(child_name, kind, child, now)
         counter("obs.history_samples").inc()
 
     def annotate(self, kind: str, t: float, detail: Optional[dict] = None

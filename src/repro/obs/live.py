@@ -21,7 +21,9 @@ exposition format — the registry's counter/gauge/histogram model maps
 * ``GET /alerts``  — the SLO engine's alert states (pending/firing/
   resolved, burn values, exemplars);
 * ``GET /profile`` — the sampling profiler's per-stage tables
-  (``?format=collapsed`` for the flamegraph export).
+  (``?format=collapsed`` for the flamegraph export);
+* ``GET /fleet``   — the active :mod:`repro.fleet` supervisor's
+  per-shard health (``{"active": false}`` when no fleet is running).
 
 Unknown paths get a JSON 404 listing the available endpoints; clients
 hanging up mid-response (``BrokenPipeError``/``ConnectionResetError``)
@@ -34,6 +36,7 @@ never hangs on it.
 
 from __future__ import annotations
 
+import errno
 import json
 import math
 import re
@@ -57,6 +60,7 @@ __all__ = [
 #: Every route the server answers (also the JSON-404 hint list).
 ENDPOINTS = (
     "/", "/metrics", "/health", "/state", "/query", "/alerts", "/profile",
+    "/fleet",
 )
 
 _NAME_BAD = re.compile(r"[^a-zA-Z0-9_:]")
@@ -365,6 +369,17 @@ class _Handler(BaseHTTPRequestHandler):
         elif path == "/alerts":
             engine = srv.slo_fn()  # type: ignore[attr-defined]
             self._reply(200, json.dumps(engine.alerts(), indent=1) + "\n")
+        elif path == "/fleet":
+            fleet = srv.fleet_fn()  # type: ignore[attr-defined]
+            if fleet is None:
+                self._reply(200, json.dumps(
+                    {"active": False, "shards": {}}, indent=1,
+                ) + "\n")
+            else:
+                body = fleet() if callable(fleet) else fleet
+                self._reply(
+                    200, json.dumps(body, default=str, indent=1) + "\n"
+                )
         elif path == "/profile":
             profiler = srv.profiler_fn()  # type: ignore[attr-defined]
             if params.get("format", [""])[0] == "collapsed":
@@ -443,6 +458,10 @@ class TelemetryServer:
             ...                 # run the pipeline
     """
 
+    #: bind-retry schedule for a fixed port: attempts and initial delay
+    BIND_RETRIES = 5
+    BIND_BACKOFF_SECONDS = 0.05
+
     def __init__(
         self,
         host: str = "127.0.0.1",
@@ -451,6 +470,9 @@ class TelemetryServer:
         history_fn: Optional[Callable[[], object]] = None,
         slo_fn: Optional[Callable[[], object]] = None,
         profiler_fn: Optional[Callable[[], object]] = None,
+        fleet_fn: Optional[Callable[[], object]] = None,
+        bind_retries: Optional[int] = None,
+        bind_backoff_seconds: Optional[float] = None,
     ) -> None:
         self.host = host
         self.requested_port = int(port)
@@ -458,6 +480,14 @@ class TelemetryServer:
         self._history_fn = history_fn or self._live_history
         self._slo_fn = slo_fn or self._live_slo
         self._profiler_fn = profiler_fn or self._live_profiler
+        self._fleet_fn = fleet_fn or self._live_fleet
+        self.bind_retries = (
+            self.BIND_RETRIES if bind_retries is None else int(bind_retries)
+        )
+        self.bind_backoff_seconds = (
+            self.BIND_BACKOFF_SECONDS
+            if bind_backoff_seconds is None else float(bind_backoff_seconds)
+        )
         self._httpd: Optional[ThreadingHTTPServer] = None
         self._thread: Optional[threading.Thread] = None
 
@@ -485,6 +515,13 @@ class TelemetryServer:
 
         return get_profiler()
 
+    @staticmethod
+    def _live_fleet():
+        from repro.fleet import get_active_fleet  # lazy: avoid a cycle
+
+        fleet = get_active_fleet()
+        return fleet.state() if fleet is not None else None
+
     @property
     def port(self) -> int:
         """The bound port (valid after :meth:`start`)."""
@@ -497,13 +534,37 @@ class TelemetryServer:
         """Base URL of the running server."""
         return f"http://{self.host}:{self.port}"
 
+    def _bind(self) -> ThreadingHTTPServer:
+        """Bind, retrying ``EADDRINUSE`` with exponential backoff.
+
+        Port 0 never collides (the kernel hands out a free ephemeral
+        port), so the retry loop only engages for fixed ports — the
+        race where a parallel test or a restarting process still holds
+        the address in TIME_WAIT.  After the retry budget the last
+        ``OSError`` propagates.
+        """
+        delay = self.bind_backoff_seconds
+        attempts = max(1, self.bind_retries)
+        for attempt in range(attempts):
+            try:
+                return _QuietServer(
+                    (self.host, self.requested_port), _Handler
+                )
+            except OSError as exc:
+                in_use = exc.errno == errno.EADDRINUSE
+                last = attempt == attempts - 1
+                if not in_use or last or self.requested_port == 0:
+                    raise
+                _counter("telemetry.bind_retries").inc()
+                time.sleep(delay)
+                delay *= 2.0
+        raise AssertionError("unreachable")  # pragma: no cover
+
     def start(self) -> "TelemetryServer":
         """Bind and start serving from a daemon thread; returns self."""
         if self._httpd is not None:
             raise RuntimeError("server already started")
-        self._httpd = _QuietServer(
-            (self.host, self.requested_port), _Handler
-        )
+        self._httpd = self._bind()
         self._httpd.daemon_threads = True
         self._httpd.state_fn = self._state_fn  # type: ignore[attr-defined]
         self._httpd.history_fn = self._history_fn  # type: ignore[attr-defined]
@@ -511,6 +572,7 @@ class TelemetryServer:
         self._httpd.profiler_fn = (  # type: ignore[attr-defined]
             self._profiler_fn
         )
+        self._httpd.fleet_fn = self._fleet_fn  # type: ignore[attr-defined]
         self._thread = threading.Thread(
             target=self._httpd.serve_forever,
             name="elsa-telemetry",

@@ -15,6 +15,7 @@ so a tripped component is visible in every metrics dump, never silent.
 from __future__ import annotations
 
 import enum
+import threading
 import time
 from typing import Any, Callable, Dict, Optional
 
@@ -52,6 +53,11 @@ class CircuitBreaker:
         How long the breaker stays open before allowing one trial call.
     clock:
         Monotonic time source; injectable for deterministic tests.
+
+    The state machine is thread-safe: concurrent callers racing into a
+    half-open breaker get exactly one trial call (the fleet pump and a
+    telemetry scraper may both poke the same breaker), and success /
+    failure bookkeeping is serialized under one lock.
     """
 
     def __init__(
@@ -72,42 +78,52 @@ class CircuitBreaker:
         self.last_error: Optional[BaseException] = None
         self._opened_at: Optional[float] = None
         self._trial_pending = False
+        self._lock = threading.Lock()
 
     # -- state machine -------------------------------------------------------
 
     def allow(self) -> bool:
-        """May the protected component be called right now?"""
-        if self.state == BreakerState.OPEN:
-            assert self._opened_at is not None
-            if self.clock() - self._opened_at >= self.cooldown_seconds:
-                self._set_state(BreakerState.HALF_OPEN)
-                self._trial_pending = True
-        if self.state == BreakerState.HALF_OPEN:
-            # one trial call per half-open episode
-            if self._trial_pending:
-                self._trial_pending = False
-                return True
-            return False
-        return self.state == BreakerState.CLOSED
+        """May the protected component be called right now?
+
+        At most one caller wins the half-open trial slot: the
+        open→half-open transition and the trial-pending handoff happen
+        atomically, so concurrent racers see exactly one ``True`` per
+        half-open episode.
+        """
+        with self._lock:
+            if self.state == BreakerState.OPEN:
+                assert self._opened_at is not None
+                if self.clock() - self._opened_at >= self.cooldown_seconds:
+                    self._set_state(BreakerState.HALF_OPEN)
+                    self._trial_pending = True
+            if self.state == BreakerState.HALF_OPEN:
+                # one trial call per half-open episode
+                if self._trial_pending:
+                    self._trial_pending = False
+                    return True
+                return False
+            return self.state == BreakerState.CLOSED
 
     def record_success(self) -> None:
         """A protected call completed; reclose if half-open."""
-        self.consecutive_failures = 0
-        if self.state != BreakerState.CLOSED:
-            self._set_state(BreakerState.CLOSED)
+        with self._lock:
+            self.consecutive_failures = 0
+            if self.state != BreakerState.CLOSED:
+                self._set_state(BreakerState.CLOSED)
 
     def record_failure(self, exc: Optional[BaseException] = None) -> None:
         """A protected call raised; trip when the budget is exhausted."""
-        self.last_error = exc
-        self.consecutive_failures += 1
-        obs.counter(f"resilience.breaker.{self.name}.failures").inc()
-        if self.state == BreakerState.HALF_OPEN:
-            self._trip()
-        elif (
-            self.state == BreakerState.CLOSED
-            and self.consecutive_failures >= self.failure_threshold
-        ):
-            self._trip()
+        with self._lock:
+            self.last_error = exc
+            self.consecutive_failures += 1
+            obs.counter(f"resilience.breaker.{self.name}.failures").inc()
+            if self.state == BreakerState.HALF_OPEN:
+                self._trip()
+            elif (
+                self.state == BreakerState.CLOSED
+                and self.consecutive_failures >= self.failure_threshold
+            ):
+                self._trip()
 
     def _trip(self) -> None:
         self._opened_at = self.clock()
@@ -177,17 +193,19 @@ class ComponentBreakers:
         self.cooldown_seconds = cooldown_seconds
         self.clock = clock
         self._breakers: Dict[str, CircuitBreaker] = {}
+        self._lock = threading.Lock()
 
     def get(self, name: str) -> CircuitBreaker:
         """The breaker for ``name``, created on first use."""
-        if name not in self._breakers:
-            self._breakers[name] = CircuitBreaker(
-                name,
-                failure_threshold=self.failure_threshold,
-                cooldown_seconds=self.cooldown_seconds,
-                clock=self.clock,
-            )
-        return self._breakers[name]
+        with self._lock:
+            if name not in self._breakers:
+                self._breakers[name] = CircuitBreaker(
+                    name,
+                    failure_threshold=self.failure_threshold,
+                    cooldown_seconds=self.cooldown_seconds,
+                    clock=self.clock,
+                )
+            return self._breakers[name]
 
     def guarded(
         self, name: str, fn: Callable[[], Any], fallback: Any = None

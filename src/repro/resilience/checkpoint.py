@@ -258,6 +258,61 @@ class ResumableRun:
             obs_state=self._obs_state(),
         )
 
+    def feed_chunk(self, batch: Sequence[LogRecord], local=None) -> int:
+        """Classify and feed one pre-windowed chunk; returns records fed.
+
+        This is the single feed step ``process`` loops over, exposed so
+        an external scheduler (the fleet shard pump) can drive a run
+        chunk by chunk from its own queue.  The caller owns windowing
+        and the resume cursor; the run still applies its own checkpoint
+        cadence when ``checkpoint_every`` is set.  ``local`` is an
+        optional :class:`~repro.obs.LocalCounters` batching sink —
+        without one, counters go straight to the registry.
+        """
+        if not batch:
+            return 0
+        # transient spans: profiler-visible stage attribution without
+        # growing any long-lived span's child list per chunk
+        with obs.span("classify", transient=True):
+            ids = self._classify(batch)
+        t0 = perf_counter()
+        with obs.span("feed", transient=True):
+            self.predictor.feed(batch, ids)
+        obs.histogram(
+            "predictor.feed_seconds", buckets=obs.metrics.TIME_BUCKETS
+        ).observe(perf_counter() - t0)
+        self._after_chunk(batch)
+        if local is not None:
+            local.inc("resilience.chunks_fed")
+            local.inc("resilience.records_fed", len(batch))
+        else:
+            obs.counter("resilience.chunks_fed").inc()
+            obs.counter("resilience.records_fed").inc(len(batch))
+        if self.history is not None:
+            stream_now = batch[-1].timestamp
+            if self.history.due(stream_now):
+                # flush buffered counters first so the sample sees
+                # this chunk's increments
+                if local is not None:
+                    local.flush()
+                self.history.sample(stream_now)
+                if self.slo is not None:
+                    self.slo.evaluate(self.history, stream_now)
+        if self.checkpoint_every:
+            # without an explicit batch_size the chunk IS the
+            # checkpoint cadence — checkpoint after every chunk,
+            # partial ones included (kill/resume tests rely on
+            # this); with one, checkpoint only once at least
+            # checkpoint_every records landed since the last
+            self._since_ckpt += len(batch)
+            if (
+                self.batch_size is None
+                or self._since_ckpt >= self.checkpoint_every
+            ):
+                self._maybe_checkpoint()
+                self._since_ckpt = 0
+        return len(batch)
+
     def process(
         self, records: Sequence[LogRecord], limit: Optional[int] = None
     ) -> int:
@@ -278,48 +333,12 @@ class ResumableRun:
         if limit is not None:
             todo = todo[:limit]
         chunk = self._chunk_size()
-        feed_hist = obs.histogram(
-            "predictor.feed_seconds", buckets=obs.metrics.TIME_BUCKETS
-        )
         # per-chunk counters accumulate locally and flush once per call
         # so metric-lock traffic stays off the feed loop
         with obs.span("stream", records=len(todo), chunk=chunk) as sp, \
                 obs.LocalCounters() as local:
             for i in range(0, len(todo), chunk):
-                batch = todo[i : i + chunk]
-                # transient spans: profiler-visible stage attribution
-                # without growing the stream root's child list per chunk
-                with obs.span("classify", transient=True):
-                    ids = self._classify(batch)
-                t0 = perf_counter()
-                with obs.span("feed", transient=True):
-                    self.predictor.feed(batch, ids)
-                feed_hist.observe(perf_counter() - t0)
-                self._after_chunk(batch)
-                local.inc("resilience.chunks_fed")
-                local.inc("resilience.records_fed", len(batch))
-                if self.history is not None and batch:
-                    stream_now = batch[-1].timestamp
-                    if self.history.due(stream_now):
-                        # flush buffered counters first so the sample
-                        # sees this chunk's increments
-                        local.flush()
-                        self.history.sample(stream_now)
-                        if self.slo is not None:
-                            self.slo.evaluate(self.history, stream_now)
-                if self.checkpoint_every:
-                    # without an explicit batch_size the chunk IS the
-                    # checkpoint cadence — checkpoint after every chunk,
-                    # partial ones included (kill/resume tests rely on
-                    # this); with one, checkpoint only once at least
-                    # checkpoint_every records landed since the last
-                    self._since_ckpt += len(batch)
-                    if (
-                        self.batch_size is None
-                        or self._since_ckpt >= self.checkpoint_every
-                    ):
-                        self._maybe_checkpoint()
-                        self._since_ckpt = 0
+                self.feed_chunk(todo[i : i + chunk], local=local)
             if todo and sp.duration > 0:
                 sp["records_per_sec"] = round(len(todo) / sp.duration, 1)
         return self.predictor.n_records_fed

@@ -237,6 +237,56 @@ class TestCheckpointMigration:
         with pytest.raises(ValueError, match="not supported"):
             load_checkpoint(path)
 
+    def test_missing_model_snapshot_degrades_to_fresh_fit(
+        self, fitted_elsa, small_scenario, tmp_path
+    ):
+        """A v2 checkpoint naming a swapped model whose pickle is gone
+        resumes on the seed model instead of crashing (PR satellite)."""
+        gone = tmp_path / "model_v3.pkl"
+        gone.write_text("placeholder")
+        path = self._checkpoint(
+            fitted_elsa, small_scenario, tmp_path,
+            lifecycle={"model_version": 3, "ladder_rung": 0,
+                       "model_path": str(gone)},
+        )
+        gone.unlink()
+        elsa = copy.deepcopy(fitted_elsa)
+        run = SelfHealingRun.resume(elsa, load_checkpoint(path))
+        assert run.resumed_degraded is True
+        assert run.manager.active_version == 1
+        assert obs.counter(
+            "lifecycle.resume_snapshot_missing"
+        ).value == 1
+        # and the degraded run still works end to end
+        preds = run.run(small_scenario.test_records[:2000])
+        assert isinstance(preds, list)
+
+    def test_null_model_path_with_swapped_version_degrades(
+        self, fitted_elsa, small_scenario, tmp_path
+    ):
+        path = self._checkpoint(
+            fitted_elsa, small_scenario, tmp_path,
+            lifecycle={"model_version": 2, "ladder_rung": 0,
+                       "model_path": None},
+        )
+        elsa = copy.deepcopy(fitted_elsa)
+        run = SelfHealingRun.resume(elsa, load_checkpoint(path))
+        assert run.resumed_degraded is True
+        assert obs.counter(
+            "lifecycle.resume_snapshot_missing"
+        ).value == 1
+
+    def test_intact_snapshot_resumes_undegraded(
+        self, fitted_elsa, small_scenario, tmp_path
+    ):
+        path = self._checkpoint(fitted_elsa, small_scenario, tmp_path)
+        elsa = copy.deepcopy(fitted_elsa)
+        run = SelfHealingRun.resume(elsa, load_checkpoint(path))
+        assert run.resumed_degraded is False
+        assert obs.counter(
+            "lifecycle.resume_snapshot_missing"
+        ).value == 0
+
 
 # -- drift hook ---------------------------------------------------------------
 

@@ -212,3 +212,77 @@ class TestTelemetryServer:
         with TelemetryServer(port=0, state_fn=lambda: frozen) as srv:
             _, body, _ = http_get(srv.url + "/metrics")
             assert "x_y_total 5" in body
+
+
+class TestBindRetry:
+    """Fixed-port binds retry EADDRINUSE with backoff (PR satellite).
+
+    Two telemetry servers racing for the same fixed port used to be a
+    hard crash; now the loser retries with exponential backoff and only
+    raises once the schedule is exhausted.  Port 0 never retries — the
+    kernel always has a free ephemeral port, so a failure there is real.
+    """
+
+    def test_exhausted_retries_raise_and_are_counted(self):
+        with TelemetryServer(port=0) as holder:
+            loser = TelemetryServer(
+                port=holder.port, bind_retries=3,
+                bind_backoff_seconds=0.01,
+            )
+            with pytest.raises(OSError):
+                loser.start()
+        # 3 attempts = 2 counted retries between them
+        snap = obs.get_registry().snapshot()
+        assert snap["telemetry.bind_retries"]["value"] == 2
+
+    def test_retry_wins_once_the_port_frees_up(self):
+        import threading
+        import time as _time
+
+        with TelemetryServer(port=0) as holder:
+            port = holder.port
+            threading.Timer(0.15, holder.stop).start()
+            racer = TelemetryServer(
+                port=port, bind_retries=8, bind_backoff_seconds=0.05,
+            )
+            try:
+                racer.start()  # retries until the holder lets go
+                assert racer.port == port
+                code, _, _ = http_get(racer.url + "/health")
+                assert code == 200
+            finally:
+                racer.stop()
+        assert (
+            obs.get_registry().snapshot()
+            ["telemetry.bind_retries"]["value"] >= 1
+        )
+
+    def test_port_zero_binds_without_retry_accounting(self):
+        with TelemetryServer(port=0) as srv:
+            assert srv.port != 0
+        snap = obs.get_registry().snapshot()
+        assert snap.get(
+            "telemetry.bind_retries", {"value": 0.0}
+        )["value"] == 0.0
+
+
+class TestFleetEndpoint:
+    def test_no_active_fleet_reports_inactive(self):
+        with TelemetryServer(port=0) as srv:
+            code, body, _ = http_get(srv.url + "/fleet")
+        assert code == 200
+        doc = json.loads(body)
+        assert doc["active"] is False
+        assert doc["shards"] == {}
+
+    def test_custom_fleet_fn_is_served(self):
+        doc = {"active": True, "tenants": 3, "shards": {"t0": {}}}
+        with TelemetryServer(port=0, fleet_fn=lambda: doc) as srv:
+            code, body, _ = http_get(srv.url + "/fleet")
+        assert code == 200
+        assert json.loads(body)["tenants"] == 3
+
+    def test_index_lists_fleet_route(self):
+        with TelemetryServer(port=0) as srv:
+            _, body, _ = http_get(srv.url + "/")
+        assert "/fleet" in body

@@ -182,3 +182,91 @@ class TestPredictorDegradation:
             assert all(p.anchor_event != bad for p in predictions)
         finally:
             fitted_elsa.restore_online_state(helo_state)
+
+
+class TestThreadSafety:
+    """The breaker is shared mutable state (PR satellite).
+
+    The fleet's telemetry thread reads breaker health while the pump
+    thread records outcomes; without the internal lock the half-open
+    handoff could admit several concurrent probes and a success/failure
+    race could wedge the state machine.
+    """
+
+    def test_half_open_admits_exactly_one_probe_across_threads(self):
+        import threading
+
+        clock = FakeClock()
+        br = CircuitBreaker(
+            "concurrent", failure_threshold=1, cooldown_seconds=5.0,
+            clock=clock,
+        )
+        br.record_failure()
+        assert br.state is BreakerState.OPEN
+        clock.advance(10.0)  # cooldown elapsed: next allow() arms a probe
+
+        admitted = []
+        barrier = threading.Barrier(8)
+
+        def probe():
+            barrier.wait()
+            if br.allow():
+                admitted.append(threading.get_ident())
+
+        threads = [threading.Thread(target=probe) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(admitted) == 1
+        assert br.state is BreakerState.HALF_OPEN
+
+    def test_concurrent_outcomes_leave_a_consistent_state(self):
+        import threading
+
+        clock = FakeClock()
+        br = CircuitBreaker(
+            "hammered", failure_threshold=3, cooldown_seconds=0.0,
+            clock=clock,
+        )
+        barrier = threading.Barrier(16)
+
+        def hammer(i):
+            barrier.wait()
+            for _ in range(200):
+                if br.allow():
+                    if i % 2:
+                        br.record_failure()
+                    else:
+                        br.record_success()
+
+        threads = [
+            threading.Thread(target=hammer, args=(i,)) for i in range(16)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # no crash, and the machine landed in a legal state
+        assert br.state in (
+            BreakerState.CLOSED, BreakerState.OPEN, BreakerState.HALF_OPEN
+        )
+        assert br.consecutive_failures >= 0
+
+    def test_component_breakers_get_is_race_free(self):
+        import threading
+
+        cbs = ComponentBreakers(failure_threshold=3)
+        got = []
+        barrier = threading.Barrier(8)
+
+        def fetch():
+            barrier.wait()
+            got.append(cbs.get("shared"))
+
+        threads = [threading.Thread(target=fetch) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len({id(b) for b in got}) == 1
