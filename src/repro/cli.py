@@ -508,6 +508,12 @@ def cmd_fleet(args: argparse.Namespace) -> int:
     scenario = builder(duration_days=args.days, seed=args.seed)
     elsa = ELSA(scenario.machine)
     elsa.fit(scenario.records, t_train_end=scenario.train_end)
+    if args.model_out:
+        # the pristine fitted pipeline (shards deep-copy it, so this
+        # is exactly what `postmortem --replay` needs later)
+        with Path(args.model_out).open("wb") as fh:
+            pickle.dump(elsa, fh)
+        _emit(f"model saved to {args.model_out}")
     test = [
         r for r in scenario.records if r.timestamp >= scenario.train_end
     ]
@@ -535,6 +541,9 @@ def cmd_fleet(args: argparse.Namespace) -> int:
             faults=list(scenario.ground_truth),
             self_heal=args.self_heal,
         )
+        if args.incident_dir:
+            fleet.bind_forensics(args.incident_dir)
+            _emit(f"incident bundles -> {args.incident_dir}")
         kills = []
         for spec in args.kill or ():
             tenant, _, after = spec.partition(":")
@@ -566,6 +575,12 @@ def cmd_fleet(args: argparse.Namespace) -> int:
         _emit(f"supervision : {restarts} restarts, "
               f"{len(quarantined)} quarantined"
               + (f" ({', '.join(quarantined)})" if quarantined else ""))
+        if args.incident_dir:
+            inc = obs.get_incident_manager().state()
+            _emit(f"incidents   : {inc['total']} captured, "
+                  f"{inc['failed']} failed, {inc['skipped']} skipped"
+                  + (f" (last: {inc['last_bundle']})"
+                     if inc["last_bundle"] else ""))
         if args.verbose:
             for tenant in tenants:
                 info = state["shards"][tenant]
@@ -694,6 +709,165 @@ def cmd_explain(args: argparse.Namespace) -> int:
     for i, rec in chosen:
         _emit(render_record(rec, index=i, event_name=event_name))
     return 0
+
+
+def _postmortem_timeline(bundle: dict) -> List[str]:
+    """Merge a bundle's evidence into one causally-ordered timeline.
+
+    Supervisor events, history annotations and SLO alert transitions
+    all carry stream timestamps; provenance exemplars anchor the trace
+    ids.  Sorting the union by time reconstructs the incident story.
+    """
+    events: List[tuple] = []
+    for ev in bundle.get("supervisor_events", []):
+        detail = ev.get("detail", {})
+        extra = ", ".join(
+            f"{k}={v}" for k, v in sorted(detail.items())
+        )
+        events.append((
+            float(ev.get("t", 0.0)), "supervisor",
+            f"{ev.get('kind', '?')} tenant={ev.get('tenant', '?')}"
+            + (f" ({extra})" if extra else ""),
+        ))
+    for ev in (bundle.get("history") or {}).get("events", []):
+        if isinstance(ev, (list, tuple)) and len(ev) >= 2:
+            t, kind = ev[0], ev[1]
+            detail = ev[2] if len(ev) > 2 else {}
+        elif isinstance(ev, dict):
+            t, kind = ev.get("t", 0.0), ev.get("kind", "?")
+            detail = ev.get("detail", {})
+        else:
+            continue
+        extra = ", ".join(
+            f"{k}={v}" for k, v in sorted(dict(detail or {}).items())
+        )
+        events.append((
+            float(t), "annotation",
+            str(kind) + (f" ({extra})" if extra else ""),
+        ))
+    for slo in (bundle.get("alerts") or {}).get("slos", []):
+        for tr in slo.get("transitions", []):
+            events.append((
+                float(tr.get("t", 0.0)), "slo",
+                f"{slo.get('name', '?')}: "
+                f"{tr.get('from', '?')} -> {tr.get('to', '?')}",
+            ))
+    for prov in bundle.get("provenance", [])[-8:]:
+        t = prov.get("emitted_at")
+        if t is None:
+            continue
+        events.append((
+            float(t), "prediction",
+            f"locations={','.join(prov.get('locations', []))}"
+            f" lead={prov.get('lead_time')}"
+            + (f" trace={prov['trace_id']}"
+               if prov.get("trace_id") else ""),
+        ))
+    events.sort(key=lambda e: (e[0], e[1]))
+    return [f"  {t:12.1f}  {src:<10} {msg}" for t, src, msg in events]
+
+
+def cmd_postmortem(args: argparse.Namespace) -> int:
+    """``postmortem``: list, inspect and replay incident bundles.
+
+    ``--dir`` lists every retained bundle's manifest; ``--bundle``
+    renders one bundle's merged causal timeline (supervisor events,
+    SLO transitions, history annotations, provenance exemplars on the
+    shared stream clock); add ``--replay --model MODEL`` to re-feed the
+    captured record window through a fresh pipeline and verify the
+    recorded predictions reproduce byte-for-byte (exit 0) or not
+    (exit :data:`EXIT_DEGRADED`).
+    """
+    from repro.obs.forensics import (
+        MANIFEST, load_bundle, replay_bundle,
+    )
+
+    if not args.bundle and not args.dir:
+        print("error: postmortem needs --dir or --bundle", file=sys.stderr)
+        return 2
+    if args.replay and not args.bundle:
+        print("error: --replay needs --bundle", file=sys.stderr)
+        return 2
+    if args.replay and not args.model:
+        print("error: --replay needs --model (a fitted pipeline pickle, "
+              "e.g. fleet --model-out)", file=sys.stderr)
+        return 2
+
+    if not args.bundle:
+        root = Path(args.dir)
+        manifests = []
+        for sub in sorted(p for p in root.iterdir() if p.is_dir()):
+            mf = sub / MANIFEST
+            if not mf.exists():
+                continue
+            try:
+                m = json.loads(mf.read_text())
+            except (OSError, json.JSONDecodeError):
+                continue
+            m["path"] = str(sub)
+            manifests.append(m)
+        if getattr(args, "json", False):
+            _emit(json.dumps({"bundles": manifests}, indent=1,
+                             default=_json_default))
+            return 0
+        if not manifests:
+            _emit(f"no incident bundles under {root}")
+            return 0
+        _emit(f"{len(manifests)} incident bundle(s) under {root}:")
+        for m in manifests:
+            _emit(f"  {m.get('id', '?'):<28} {m.get('kind', '?'):<18}"
+                  f" tenant={m.get('tenant') or '-':<8}"
+                  f" records={m.get('records', 0):<6}"
+                  f" t={m.get('stream_time')}")
+        return 0
+
+    try:
+        bundle = load_bundle(args.bundle)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: cannot read bundle: {exc}", file=sys.stderr)
+        return 1
+    manifest = bundle["manifest"]
+    if getattr(args, "json", False) and not args.replay:
+        _emit(json.dumps(bundle, indent=1, default=_json_default))
+        return 0
+    _emit(f"== incident {manifest.get('id', '?')} ==")
+    _emit(f"kind     : {manifest.get('kind', '?')}"
+          f" (trigger: {json.dumps(manifest.get('trigger'))})")
+    _emit(f"tenant   : {manifest.get('tenant') or '-'}")
+    _emit(f"stream t : {manifest.get('stream_time')}")
+    _emit(f"trace    : {manifest.get('trace_id') or '-'}")
+    if manifest.get("runbook"):
+        _emit(f"runbook  : {manifest['runbook']}")
+    _emit(f"window   : {manifest.get('records', 0)} records, "
+          f"cursor={manifest.get('cursor')}, "
+          f"{manifest.get('predictions', 0)} predictions")
+    _emit("")
+    _emit("timeline:")
+    lines = _postmortem_timeline(bundle)
+    _emit("\n".join(lines) if lines else "  (no timeline events)")
+    if not args.replay:
+        return 0
+
+    with Path(args.model).open("rb") as fh:
+        elsa: ELSA = pickle.load(fh)
+    result = replay_bundle(args.bundle, elsa,
+                           chunk_records=args.chunk_records)
+    _emit("")
+    _emit(f"replay   : {result['records_replayed']} records "
+          f"({'from checkpoint' if result['from_checkpoint'] else 'fresh'})"
+          f" as {result['trace_id']}"
+          f" (parent {result['parent_trace_id'] or '-'})")
+    _emit(f"verdict  : "
+          + ("IDENTICAL — "
+             f"{result['replayed_predictions']} predictions reproduced "
+             "byte-for-byte"
+             if result["identical"] else
+             f"DIVERGED at prediction {result['first_divergence']} "
+             f"(recorded {result['recorded_predictions']}, "
+             f"replayed {result['replayed_predictions']})"))
+    if getattr(args, "json", False):
+        _emit(json.dumps(result, indent=1, default=_json_default))
+    return 0 if result["identical"] else EXIT_DEGRADED
 
 
 def cmd_stats(args: argparse.Namespace) -> int:
@@ -860,6 +1034,22 @@ def render_dashboard(base: str) -> str:
                 f"  event: {ev.get('kind', '?'):<10} "
                 f"tenant={ev.get('tenant', '?')}"
             )
+    try:
+        incidents = _fetch_json(base, "/incidents")
+    except Exception:
+        incidents = None  # older server without the endpoint: omit
+    if incidents and (incidents.get("armed") or incidents.get("triggers")):
+        lines += ["", f"Incidents ({incidents.get('active', 0)} retained, "
+                      f"{incidents.get('triggers', 0)} triggers, "
+                      f"{incidents.get('failed', 0)} failed):"]
+        for m in incidents.get("incidents", [])[-4:]:
+            lines.append(
+                f"  {m.get('id', '?'):<26} {m.get('kind', '?'):<16}"
+                f" tenant={m.get('tenant') or '-':<8}"
+                f" t={m.get('stream_time')}"
+            )
+        if not incidents.get("incidents"):
+            lines.append("  (no bundles captured)")
     return "\n".join(lines)
 
 
@@ -1112,6 +1302,17 @@ def build_parser() -> argparse.ArgumentParser:
              "records (default 0 = first step); repeatable",
     )
     p.add_argument(
+        "--incident-dir", dest="incident_dir", metavar="DIR", default=None,
+        help="arm incident forensics: SLO firings and shard "
+             "quarantines/restarts freeze evidence bundles here "
+             "(inspect them with `postmortem`)",
+    )
+    p.add_argument(
+        "--model-out", dest="model_out", metavar="FILE", default=None,
+        help="pickle the fitted pipeline (what `postmortem --replay "
+             "--model` needs to re-run a bundle)",
+    )
+    p.add_argument(
         "--listen", metavar="HOST:PORT", default=None,
         help="serve the telemetry endpoints incl. /fleet during the run "
              "(port 0 picks a free port)",
@@ -1177,6 +1378,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--linger", type=float, metavar="SECONDS", default=None,
                    help="serve this long then exit (default: until ctrl-c)")
     p.set_defaults(func=cmd_monitor)
+
+    p = sub.add_parser(
+        "postmortem",
+        help="list, inspect and deterministically replay incident "
+             "bundles (see fleet --incident-dir)",
+    )
+    p.add_argument("--dir", default=None, metavar="DIR",
+                   help="incident directory: list every bundle's manifest")
+    p.add_argument("--bundle", default=None, metavar="DIR",
+                   help="one bundle directory: render its causal timeline")
+    p.add_argument("--replay", action="store_true",
+                   help="re-feed the bundle's record window through a "
+                        "fresh pipeline and verify the recorded "
+                        "predictions reproduce (exit 3 on divergence)")
+    p.add_argument("--model", default=None, metavar="FILE",
+                   help="fitted pipeline pickle for --replay "
+                        "(fleet --model-out / fit --model)")
+    p.add_argument("--chunk-records", dest="chunk_records", type=int,
+                   default=None, metavar="N",
+                   help="replay feed quantum (default: the bundle's "
+                        "recorded chunk_records)")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable output")
+    p.set_defaults(func=cmd_postmortem)
 
     p = sub.add_parser(
         "explain",

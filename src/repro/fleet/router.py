@@ -112,6 +112,13 @@ class IngestionRouter:
             self._dead(rec, "fenced", tenant)
             return "dead-letter"
         verdict = shard.offer(rec)
+        if verdict == "accepted" and shard.pending_trace is None:
+            # mint the causal trace at ingestion: this batch-epoch of
+            # the tenant's queue travels as one chain through the shard
+            # pump, feed_chunk, and prediction provenance
+            from repro.obs.forensics import mint_trace
+
+            shard.pending_trace = mint_trace(tenant=tenant)
         self.stats[verdict] = self.stats.get(verdict, 0) + 1
         if verdict == "shed":
             obs.counter("fleet.records_shed").inc()

@@ -46,8 +46,9 @@ __all__ = [
 log = obs.get_logger(__name__)
 
 #: per-tenant SLOs are only generated up to this many tenants — beyond
-#: it (e.g. the 100-tenant smoke) the aggregate series carry the SLO
-#: and per-tenant label sets overflow the metric cardinality cap anyway
+#: it (e.g. the 100-tenant smoke) the aggregate series carry the SLO;
+#: per-tenant *metrics* still exist (the fleet raises the label-set cap
+#: to cover its tenant count), there is just no alert per tenant
 MAX_TENANT_SLOS = 16
 
 _SAFE = re.compile(r"[^A-Za-z0-9_.-]+")
@@ -69,6 +70,7 @@ def fleet_slos(tenants: Optional[Sequence[str]] = None) -> List[SLOSpec]:
             threshold=4.0,
             fast_window=1800.0,
             slow_window=10800.0,
+            runbook="runbook-fleet-restart-rate",
         ),
         SLOSpec(
             name="fleet_quarantine",
@@ -78,6 +80,7 @@ def fleet_slos(tenants: Optional[Sequence[str]] = None) -> List[SLOSpec]:
             threshold=0.0,
             fast_window=300.0,
             slow_window=1800.0,
+            runbook="runbook-fleet-quarantine",
         ),
         SLOSpec(
             name="fleet_feed_p99",
@@ -88,6 +91,7 @@ def fleet_slos(tenants: Optional[Sequence[str]] = None) -> List[SLOSpec]:
             q=0.99,
             fast_window=300.0,
             slow_window=1800.0,
+            runbook="runbook-fleet-feed-latency",
         ),
     ]
     for tenant in list(tenants or [])[:MAX_TENANT_SLOS]:
@@ -103,6 +107,7 @@ def fleet_slos(tenants: Optional[Sequence[str]] = None) -> List[SLOSpec]:
             q=0.99,
             fast_window=300.0,
             slow_window=1800.0,
+            runbook="runbook-fleet-feed-latency",
         ))
     return specs
 
@@ -156,10 +161,15 @@ class Fleet:
         )
         self.stream_time: Optional[float] = None
         self._routed = 0
+        # per-tenant labeled series (feed_seconds, records_fed, ...)
+        # must not collapse into the overflow child on large fleets
+        obs.metrics.ensure_label_capacity(2 * len(shards) + 16)
         self._install_slos()
+        self._forensics_bound = False
         if register:
             set_active_fleet(self)
             obs.register_state_section("fleet", self.state)
+            self.bind_forensics()
 
     # -- construction --------------------------------------------------------
 
@@ -354,8 +364,24 @@ class Fleet:
             "supervision": self.supervisor.info(),
         }
 
+    def bind_forensics(self, directory: Optional[os.PathLike] = None,
+                       retention: Optional[int] = None) -> None:
+        """Wire the incident manager's evidence sources to this fleet.
+
+        With ``directory`` the manager is also armed, so SLO firings
+        and supervisor quarantine/restart events freeze bundles there.
+        """
+        manager = obs.get_incident_manager()
+        manager.bind_fleet(self)
+        self._forensics_bound = True
+        if directory is not None:
+            manager.arm(directory, retention=retention)
+
     def close(self) -> None:
         """Deregister from the process-wide observation points."""
         if get_active_fleet() is self:
             set_active_fleet(None)
         obs.unregister_state_section("fleet")
+        if self._forensics_bound:
+            obs.get_incident_manager().unbind()
+            self._forensics_bound = False

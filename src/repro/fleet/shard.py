@@ -36,6 +36,7 @@ from typing import Callable, Deque, List, Optional, Sequence
 
 from repro import obs
 from repro.fleet.policy import FleetPolicy
+from repro.obs.forensics import mint_trace, trace_scope
 from repro.resilience.checkpoint import ResumableRun, load_checkpoint
 from repro.simulation.trace import LogRecord, Severity
 
@@ -119,6 +120,10 @@ class Shard:
         self._overflow = 0
         self.last_error: Optional[str] = None
         self.predictions: Optional[list] = None
+        # causal tracing: the router mints a context when it starts a
+        # fresh batch-epoch on an idle queue; step() consumes it
+        self.pending_trace = None
+        self.last_trace: Optional[str] = None
         # chaos injection points
         self._kill_at: Optional[int] = None
         self._hang_seconds: float = 0.0
@@ -208,19 +213,24 @@ class Shard:
         n = min(self.policy.chunk_records, len(self.queue))
         batch = [self.queue.popleft() for _ in range(n)]
         self._unacked.extend(batch)
+        ctx = self.pending_trace or mint_trace(tenant=self.tenant)
+        self.pending_trace = None
+        self.last_trace = ctx.trace_id
         if self._kill_at is not None and self.records_fed + n > self._kill_at:
             # crash mid-chunk: feed up to the kill point, then die —
             # the partial work is exactly what recovery must redo
             k = self._kill_at - self.records_fed
             self._kill_at = None
             if k > 0:
-                self.run.feed_chunk(batch[:k])
+                with trace_scope(ctx):
+                    self.run.feed_chunk(batch[:k])
             raise ShardKilled(
                 f"chaos kill of {self.tenant} at "
                 f"{self.records_fed + max(k, 0)} records"
             )
         t0 = perf_counter()
-        fed = self.run.feed_chunk(batch)
+        with trace_scope(ctx):
+            fed = self.run.feed_chunk(batch)
         obs.histogram(
             "fleet.feed_seconds", buckets=obs.metrics.TIME_BUCKETS
         ).labels(tenant=self.tenant).observe(perf_counter() - t0)
@@ -296,14 +306,19 @@ class Shard:
         self.run = run
         self.records_fed = run.predictor.n_records_fed
         chunk = self.policy.chunk_records
-        for i in range(0, len(replay), chunk):
-            part = replay[i : i + chunk]
-            # back into the replay buffer before feeding — a crash
-            # during replay must not lose the tail either
-            self._unacked.extend(part)
-            fed = run.feed_chunk(part)
-            self.records_fed += fed
-            self._maybe_ack()
+        # the replayed tail is a new causal chain, parented on the one
+        # that crashed — postmortems link the restart to its incident
+        ctx = mint_trace(tenant=self.tenant, parent_id=self.last_trace)
+        self.last_trace = ctx.trace_id
+        with trace_scope(ctx):
+            for i in range(0, len(replay), chunk):
+                part = replay[i : i + chunk]
+                # back into the replay buffer before feeding — a crash
+                # during replay must not lose the tail either
+                self._unacked.extend(part)
+                fed = run.feed_chunk(part)
+                self.records_fed += fed
+                self._maybe_ack()
         self.state = ShardState.RUNNING
         self.restart_at = None
         self.last_error = None
@@ -363,6 +378,7 @@ class Shard:
             "restart_at": self.restart_at,
             "last_beat": self.last_beat,
             "last_error": self.last_error,
+            "last_trace": self.last_trace,
             "ladder_rung": rung,
             "predictions": (
                 len(self.predictions) if self.predictions is not None

@@ -223,11 +223,17 @@ class ShardSupervisor:
 
     def _event(self, now: float, tenant: str, kind: str,
                detail: dict) -> None:
-        self.events.append({
+        event = {
             "t": now, "tenant": tenant, "kind": kind, "detail": detail,
-        })
+        }
+        self.events.append(event)
         if self.annotate is not None:
             self.annotate(f"shard_{kind}", dict(detail, tenant=tenant))
+        # forensics subscription: quarantines and restarts freeze an
+        # incident bundle (capture never raises back into supervision)
+        from repro.obs.forensics import notify_supervisor_event
+
+        notify_supervisor_event(event)
 
     def info(self) -> dict:
         """The ``/fleet`` supervision section."""

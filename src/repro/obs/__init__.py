@@ -74,12 +74,25 @@ from repro.obs.provenance import (
     LifecycleEvent,
     PredictionProvenance,
 )
+from repro.obs.forensics import (
+    IncidentManager,
+    TraceContext,
+    current_trace,
+    current_trace_id,
+    get_incident_manager,
+    mint_trace,
+    replay_bundle,
+    reset_forensics,
+    set_incident_manager,
+    trace_scope,
+)
 
 __all__ = [
     "Counter",
     "FlightRecorder",
     "Gauge",
     "Histogram",
+    "IncidentManager",
     "LifecycleEvent",
     "LocalCounters",
     "MetricHistory",
@@ -90,31 +103,40 @@ __all__ = [
     "Span",
     "StageProfiler",
     "TelemetryServer",
+    "TraceContext",
     "active_roots",
     "configure_logging",
     "counter",
     "current_span",
+    "current_trace",
+    "current_trace_id",
     "default_slos",
     "export_state",
     "gauge",
     "get_history",
+    "get_incident_manager",
     "get_logger",
     "get_profiler",
     "get_registry",
     "get_slo_engine",
     "health_report",
     "histogram",
+    "mint_trace",
     "register_state_section",
     "render_prometheus",
+    "replay_bundle",
     "reset",
+    "reset_forensics",
     "reset_history",
     "reset_profiler",
     "reset_slo_engine",
     "reset_tracing",
     "set_history",
+    "set_incident_manager",
     "set_profiler",
     "set_slo_engine",
     "span",
+    "trace_scope",
     "span_roots",
     "span_tree",
     "unregister_state_section",
@@ -134,7 +156,7 @@ def register_state_section(name: str, provider) -> None:
     Re-registering a name replaces the previous provider (a rebuilt
     subsystem simply takes over its section).
     """
-    if name in ("metrics", "spans"):
+    if name in ("metrics", "spans", "incidents"):
         raise ValueError(f"state section name {name!r} is reserved")
     _state_sections[name] = provider
 
@@ -159,6 +181,10 @@ def export_state() -> dict:
         "metrics": get_registry().snapshot(),
         "spans": span_tree(include_active=True),
     }
+    try:
+        state["incidents"] = get_incident_manager().state()
+    except Exception as exc:  # forensics must not kill /state either
+        state["incidents"] = {"error": f"{type(exc).__name__}: {exc}"}
     for name, provider in list(_state_sections.items()):
         try:
             state[name] = provider()
@@ -171,8 +197,9 @@ def reset() -> None:
     """Fresh observability slate (tests, CLI runs).
 
     Clears the registry, the finished-span buffer, registered state
-    sections, the metric history, the SLO engine, and the profiler (a
-    running default profiler is stopped).
+    sections, the metric history, the SLO engine, the profiler (a
+    running default profiler is stopped), and the forensics layer
+    (trace counter and incident manager).
     """
     get_registry().reset()
     reset_tracing()
@@ -180,3 +207,4 @@ def reset() -> None:
     reset_history()
     reset_slo_engine()
     reset_profiler()
+    reset_forensics()

@@ -17,13 +17,18 @@ exposition format — the registry's counter/gauge/histogram model maps
 * ``GET /state``   — the full :func:`repro.obs.export_state` snapshot
   as JSON, including in-progress spans (``done: false``);
 * ``GET /query``   — windowed queries against the
-  :mod:`repro.obs.history` store (``?metric=...&window=...``);
+  :mod:`repro.obs.history` store (``?metric=...&window=...``; add
+  ``label=key=value`` selectors — or the ``tenant=`` shorthand — to
+  query a labeled child series such as a fleet tenant's);
 * ``GET /alerts``  — the SLO engine's alert states (pending/firing/
   resolved, burn values, exemplars);
 * ``GET /profile`` — the sampling profiler's per-stage tables
   (``?format=collapsed`` for the flamegraph export);
 * ``GET /fleet``   — the active :mod:`repro.fleet` supervisor's
-  per-shard health (``{"active": false}`` when no fleet is running).
+  per-shard health (``{"active": false}`` when no fleet is running);
+* ``GET /incidents`` — the :mod:`repro.obs.forensics` incident
+  manager's capture stats and retained bundle manifests;
+  ``/incidents/<id>`` views one bundle (manifest + artifact sizes).
 
 Unknown paths get a JSON 404 listing the available endpoints; clients
 hanging up mid-response (``BrokenPipeError``/``ConnectionResetError``)
@@ -60,7 +65,7 @@ __all__ = [
 #: Every route the server answers (also the JSON-404 hint list).
 ENDPOINTS = (
     "/", "/metrics", "/health", "/state", "/query", "/alerts", "/profile",
-    "/fleet",
+    "/fleet", "/incidents",
 )
 
 _NAME_BAD = re.compile(r"[^a-zA-Z0-9_:]")
@@ -291,6 +296,32 @@ def _history_query(history, params: Dict[str, List[str]]) -> Tuple[int, dict]:
         window = float(params.get("window", ["600"])[0])
     except ValueError:
         return 400, {"error": "window must be a number of seconds"}
+    labels: Dict[str, str] = {}
+    for spec in params.get("label", []):
+        key, sep, value = spec.partition("=")
+        if not sep or not key:
+            return 400, {
+                "error": f"label selector must be key=value, got {spec!r}",
+                "example": (
+                    "/query?metric=fleet.feed_seconds&label=tenant=t42"
+                ),
+            }
+        labels[key] = value
+    if params.get("tenant"):  # shorthand for the common fleet selector
+        labels["tenant"] = params["tenant"][0]
+    if labels:
+        base = name
+        name = history.series_name(base, labels)
+        if history.kind(name) is None:
+            return 400, {
+                "error": f"no history for labeled series {name!r}",
+                "metric": base,
+                "labels": labels,
+                "series": [
+                    s for s in history.names()
+                    if s == base or s.startswith(base + "{")
+                ],
+            }
     kind = history.kind(name)
     if kind is None:
         return 404, {
@@ -300,6 +331,7 @@ def _history_query(history, params: Dict[str, List[str]]) -> Tuple[int, dict]:
     points = history.series(name, window)
     out = {
         "metric": name,
+        "labels": labels,
         "kind": kind,
         "window": window,
         "now": history.last_time,
@@ -328,7 +360,12 @@ class _Handler(BaseHTTPRequestHandler):
     def do_GET(self) -> None:  # noqa: N802 - http.server API
         parsed = urllib.parse.urlsplit(self.path)
         path = parsed.path
-        route = path if path in ENDPOINTS else "other"
+        if path in ENDPOINTS:
+            route = path
+        elif path.startswith("/incidents/"):
+            route = "/incidents"  # per-bundle views share the label
+        else:
+            route = "other"
         _counter("telemetry.http_requests").inc()
         _counter("telemetry.http_requests").labels(path=route).inc()
         try:
@@ -380,6 +417,27 @@ class _Handler(BaseHTTPRequestHandler):
                 self._reply(
                     200, json.dumps(body, default=str, indent=1) + "\n"
                 )
+        elif path == "/incidents" or path.startswith("/incidents/"):
+            manager = srv.incidents_fn()  # type: ignore[attr-defined]
+            if path == "/incidents":
+                self._reply(200, json.dumps(
+                    manager.index(), default=str, indent=1,
+                ) + "\n")
+            else:
+                bundle_id = path[len("/incidents/"):].strip("/")
+                view = manager.bundle_view(bundle_id)
+                if view is None:
+                    self._reply(404, json.dumps({
+                        "error": f"unknown incident bundle {bundle_id!r}",
+                        "bundles": [
+                            b.get("id")
+                            for b in manager.index().get("incidents", [])
+                        ],
+                    }, indent=1) + "\n")
+                else:
+                    self._reply(200, json.dumps(
+                        view, default=str, indent=1,
+                    ) + "\n")
         elif path == "/profile":
             profiler = srv.profiler_fn()  # type: ignore[attr-defined]
             if params.get("format", [""])[0] == "collapsed":
@@ -471,6 +529,7 @@ class TelemetryServer:
         slo_fn: Optional[Callable[[], object]] = None,
         profiler_fn: Optional[Callable[[], object]] = None,
         fleet_fn: Optional[Callable[[], object]] = None,
+        incidents_fn: Optional[Callable[[], object]] = None,
         bind_retries: Optional[int] = None,
         bind_backoff_seconds: Optional[float] = None,
     ) -> None:
@@ -481,6 +540,7 @@ class TelemetryServer:
         self._slo_fn = slo_fn or self._live_slo
         self._profiler_fn = profiler_fn or self._live_profiler
         self._fleet_fn = fleet_fn or self._live_fleet
+        self._incidents_fn = incidents_fn or self._live_incidents
         self.bind_retries = (
             self.BIND_RETRIES if bind_retries is None else int(bind_retries)
         )
@@ -521,6 +581,12 @@ class TelemetryServer:
 
         fleet = get_active_fleet()
         return fleet.state() if fleet is not None else None
+
+    @staticmethod
+    def _live_incidents():
+        from repro.obs.forensics import get_incident_manager
+
+        return get_incident_manager()
 
     @property
     def port(self) -> int:
@@ -573,6 +639,9 @@ class TelemetryServer:
             self._profiler_fn
         )
         self._httpd.fleet_fn = self._fleet_fn  # type: ignore[attr-defined]
+        self._httpd.incidents_fn = (  # type: ignore[attr-defined]
+            self._incidents_fn
+        )
         self._thread = threading.Thread(
             target=self._httpd.serve_forever,
             name="elsa-telemetry",

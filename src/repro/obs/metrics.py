@@ -14,10 +14,13 @@ child metric of the same kind scoped to that label set (Prometheus
 child-metric model).  The unlabeled parent keeps its own independent
 series — existing dashboards and the JSON snapshot shape are untouched;
 labeled children appear under an additional ``"series"`` key.  Label
-cardinality is bounded per metric (:data:`MAX_LABEL_SETS`): once the cap
-is hit, new label sets collapse into one ``{overflow="true"}`` child and
-``obs.labels_overflowed`` counts the spill, so a label-by-node-id bug
-cannot eat the process.
+cardinality is bounded per metric (:data:`MAX_LABEL_SETS` by default,
+raisable via :func:`set_max_label_sets` / :func:`ensure_label_capacity`):
+once the cap is hit, new label sets collapse into one
+``{overflow="true"}`` child, ``obs.labels_overflowed`` /
+``obs.labels_overflow_total`` count the spill, and one warning per
+metric is logged — so a label-by-node-id bug cannot eat the process,
+and a 100-tenant fleet can raise the cap deliberately.
 """
 
 from __future__ import annotations
@@ -36,17 +39,54 @@ __all__ = [
     "MAX_LABEL_SETS",
     "TIME_BUCKETS",
     "counter",
+    "ensure_label_capacity",
     "gauge",
     "get_registry",
     "histogram",
+    "max_label_sets",
+    "set_max_label_sets",
 ]
 
-#: Distinct label sets allowed per metric before new ones collapse into
-#: the ``{overflow="true"}`` child.
+#: Default distinct label sets allowed per metric before new ones
+#: collapse into the ``{overflow="true"}`` child.  The *effective* cap
+#: is process-configurable: :func:`set_max_label_sets` raises it (a
+#: 100-tenant fleet needs >100 per-tenant series) and
+#: :func:`ensure_label_capacity` bumps it only upward.
 MAX_LABEL_SETS = 64
+
+_max_label_sets = MAX_LABEL_SETS
+
+#: metric names already warned about overflowing (one log line per
+#: metric per run, not one per spilled label set)
+_overflow_warned: set = set()
 
 #: The label set every over-cap request collapses into.
 _OVERFLOW_KEY: Tuple[Tuple[str, str], ...] = (("overflow", "true"),)
+
+
+def max_label_sets() -> int:
+    """The effective per-metric label-cardinality cap."""
+    return _max_label_sets
+
+
+def set_max_label_sets(limit: int) -> int:
+    """Set the cap; returns the previous value.
+
+    Existing overflow children stay collapsed — the cap only governs
+    *new* label sets.  ``MetricsRegistry.reset`` restores the default.
+    """
+    global _max_label_sets
+    if int(limit) < 1:
+        raise ValueError("label-set cap must be >= 1")
+    previous, _max_label_sets = _max_label_sets, int(limit)
+    return previous
+
+
+def ensure_label_capacity(needed: int) -> None:
+    """Raise the cap to at least ``needed`` (never lowers it)."""
+    global _max_label_sets
+    if int(needed) > _max_label_sets:
+        _max_label_sets = int(needed)
 
 
 def _label_key(kv: Dict[str, object]) -> Tuple[Tuple[str, str], ...]:
@@ -86,7 +126,7 @@ class _Labeled:
                 self._children = {}
             child = self._children.get(key)
             if child is None:
-                if len(self._children) >= MAX_LABEL_SETS:
+                if len(self._children) >= _max_label_sets:
                     key = _OVERFLOW_KEY
                     overflowed = True
                     child = self._children.get(key)
@@ -98,6 +138,20 @@ class _Labeled:
             # outside self._lock: the registry lock nests metric locks
             # (snapshot), so a metric lock must never wait on it
             _default_registry.counter("obs.labels_overflowed").inc()
+            _default_registry.counter("obs.labels_overflow_total").inc()
+            if self.name not in _overflow_warned:
+                _overflow_warned.add(self.name)
+                from repro.obs.logging import get_logger
+
+                get_logger(__name__).warning(
+                    "label cardinality cap hit; new label sets collapse "
+                    "into the overflow child",
+                    extra={
+                        "metric": self.name, "cap": _max_label_sets,
+                        "hint": "raise it with "
+                        "obs.metrics.set_max_label_sets()",
+                    },
+                )
         return child
 
     def _series(self) -> Optional[List[dict]]:
@@ -471,15 +525,22 @@ class MetricsRegistry:
             }
 
     def reset(self) -> None:
-        """Zero every metric (registrations survive)."""
+        """Zero every metric (registrations survive); the label-set cap
+        returns to its default and overflow warnings re-arm."""
+        global _max_label_sets
         with self._lock:
             for metric in self._metrics.values():
                 metric.reset()
+        _max_label_sets = MAX_LABEL_SETS
+        _overflow_warned.clear()
 
     def clear(self) -> None:
         """Drop every registration."""
+        global _max_label_sets
         with self._lock:
             self._metrics.clear()
+        _max_label_sets = MAX_LABEL_SETS
+        _overflow_warned.clear()
 
 
 _default_registry = MetricsRegistry()

@@ -76,7 +76,9 @@ class PredictionProvenance:
     delay)`` pairs — the delays are the per-signal θ offsets (in
     samples) the miner learned.  ``window`` describes the outlier-train
     window that shaped the prediction interval: the adaptive per-chain
-    quantiles when known, the fixed chain span otherwise.
+    quantiles when known, the fixed chain span otherwise.  ``trace_id``
+    ties the record to the causal trace of the batch that produced it
+    (see :mod:`repro.obs.forensics`); None outside a trace scope.
     """
 
     source: str
@@ -92,6 +94,7 @@ class PredictionProvenance:
     trigger_time: float
     emitted_at: float
     predicted_time: float
+    trace_id: Optional[str] = None
 
     @property
     def analysis_time(self) -> float:
@@ -121,6 +124,7 @@ class PredictionProvenance:
             "predicted_time": float(self.predicted_time),
             "analysis_time": float(self.analysis_time),
             "lead_time": float(self.lead_time),
+            "trace_id": self.trace_id,
         }
 
     @classmethod
@@ -140,6 +144,7 @@ class PredictionProvenance:
             trigger_time=float(d["trigger_time"]),
             emitted_at=float(d["emitted_at"]),
             predicted_time=float(d["predicted_time"]),
+            trace_id=d.get("trace_id"),
         )
 
 

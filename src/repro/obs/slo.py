@@ -39,6 +39,7 @@ __all__ = [
     "default_slos",
     "get_slo_engine",
     "reset_slo_engine",
+    "runbook_url",
     "set_slo_engine",
 ]
 
@@ -53,6 +54,15 @@ MAX_TRANSITIONS = 32
 #: Alert states, and their ``slo.state`` gauge encoding.
 OK, PENDING, FIRING, RESOLVED = "ok", "pending", "firing", "resolved"
 _STATE_CODE = {OK: 0.0, PENDING: 1.0, FIRING: 2.0, RESOLVED: 3.0}
+
+#: where the runbook anchors live — ``SLOSpec.runbook`` slugs resolve
+#: against this document (see :func:`runbook_url`)
+RUNBOOK_DOC = "docs/observability.md"
+
+
+def runbook_url(slug: str) -> Optional[str]:
+    """Resolve a ``SLOSpec.runbook`` slug to its documentation anchor."""
+    return f"{RUNBOOK_DOC}#{slug}" if slug else None
 
 
 @dataclass
@@ -285,6 +295,12 @@ class SLOEngine:
                 counter("slo.alerts_fired").inc()
                 counter("slo.alerts_fired").labels(slo=tr["slo"]).inc()
                 history.annotate("slo_firing", now, {"slo": tr["slo"]})
+                # forensics subscription: a firing alert freezes an
+                # incident bundle (no-op while the manager is disarmed);
+                # lazy import keeps obs.slo importable standalone
+                from repro.obs.forensics import notify_slo_transition
+
+                notify_slo_transition(tr)
             elif tr["to"] == RESOLVED:
                 counter("slo.alerts_resolved").inc()
                 history.annotate("slo_resolved", now, {"slo": tr["slo"]})
@@ -307,6 +323,7 @@ class SLOEngine:
                     "fast_window": spec.fast_window,
                     "slow_window": spec.slow_window,
                     "runbook": spec.runbook,
+                    "runbook_url": runbook_url(spec.runbook),
                 }
                 entry.update(
                     {k: (list(v) if isinstance(v, list) else v)

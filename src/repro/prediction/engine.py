@@ -29,6 +29,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 import numpy as np
 
 from repro import obs
+from repro.obs.forensics import current_trace_id
 from repro.obs.metrics import TIME_BUCKETS
 from repro.obs.provenance import FlightRecorder, PredictionProvenance
 from repro.location.propagation import LocationIndex, LocationPredictor
@@ -377,6 +378,7 @@ class HybridPredictor:
                 trigger_time=pred.trigger_time,
                 emitted_at=pred.emitted_at,
                 predicted_time=pred.predicted_time,
+                trace_id=current_trace_id(),
             )
         )
 

@@ -295,11 +295,14 @@ def observability_json(state: Dict) -> Dict:
         ),
         "calls": len(streams),
     }
-    return {
+    out = {
         "metrics": metrics_out,
         "throughput": throughput,
         "spans": spans,
     }
+    if "incidents" in state:
+        out["incidents"] = state["incidents"]
+    return out
 
 
 def _collect_spans(roots: List[Dict], name: str) -> List[Dict]:

@@ -25,9 +25,10 @@ Format (version 2)::
       },                               # model (non-seed versions)
       "obs": {                         # optional observability block:
         "history": {...},              # MetricHistory.state_dict()
-        "slo": {...}                   # SLOEngine.state_dict()
-      }                                # (absent on pre-v2-obs files)
-    }
+        "slo": {...},                  # SLOEngine.state_dict()
+        "incidents": {...}             # IncidentManager.state_dict()
+      }                                # (absent on pre-v2-obs files;
+    }                                  # every key inside is optional)
 
 Version-1 checkpoints (no ``lifecycle`` block) still load: a migration
 shim fills in the seed defaults, so a pre-lifecycle run resumes as
@@ -42,6 +43,7 @@ from __future__ import annotations
 import json
 import os
 import time
+from contextlib import nullcontext
 from pathlib import Path
 from time import perf_counter
 from typing import List, Optional, Sequence
@@ -208,6 +210,8 @@ class ResumableRun:
             run.history.load_state(obs_block["history"])
         if obs_block.get("slo") is not None:
             run.slo.load_state(obs_block["slo"])
+        if obs_block.get("incidents") is not None:
+            obs.get_incident_manager().load_state(obs_block["incidents"])
         return run
 
     # -- driving ---------------------------------------------------------------
@@ -239,12 +243,16 @@ class ResumableRun:
         return self.checkpoint_every or 4096
 
     def _obs_state(self) -> Optional[dict]:
-        """The checkpoint's ``obs`` block (history + SLO alert state)."""
+        """The checkpoint's ``obs`` block (history + SLO alert state +
+        incident-manager counters)."""
         out = {}
         if self.history is not None:
             out["history"] = self.history.state_dict()
         if self.slo is not None:
             out["slo"] = self.slo.state_dict()
+        manager = obs.get_incident_manager()
+        if manager.dirty:
+            out["incidents"] = manager.state_dict()
         return out or None
 
     def _maybe_checkpoint(self) -> None:
@@ -271,13 +279,23 @@ class ResumableRun:
         """
         if not batch:
             return 0
-        # transient spans: profiler-visible stage attribution without
-        # growing any long-lived span's child list per chunk
-        with obs.span("classify", transient=True):
-            ids = self._classify(batch)
-        t0 = perf_counter()
-        with obs.span("feed", transient=True):
-            self.predictor.feed(batch, ids)
+        # causal trace: adopt the caller's context (the fleet shard
+        # minted one at ingestion) or mint a per-chunk chain, so spans
+        # and prediction provenance correlate either way
+        ctx = obs.current_trace()
+        if ctx is not None:
+            scope = nullcontext(ctx)
+        else:
+            ctx = obs.mint_trace()
+            scope = obs.trace_scope(ctx)
+        with scope:
+            # transient spans: profiler-visible stage attribution
+            # without growing a long-lived span's child list per chunk
+            with obs.span("classify", transient=True, trace=ctx.trace_id):
+                ids = self._classify(batch)
+            t0 = perf_counter()
+            with obs.span("feed", transient=True, trace=ctx.trace_id):
+                self.predictor.feed(batch, ids)
         obs.histogram(
             "predictor.feed_seconds", buckets=obs.metrics.TIME_BUCKETS
         ).observe(perf_counter() - t0)

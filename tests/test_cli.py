@@ -140,7 +140,7 @@ class TestObservabilityFlags:
         ])
         assert rc == 0
         state = json.loads(metrics.read_text())
-        assert set(state) == {"metrics", "spans"}
+        assert set(state) == {"metrics", "spans", "incidents"}
         capsys.readouterr()
         rc = main(["stats", "--metrics", str(metrics)])
         assert rc == 0

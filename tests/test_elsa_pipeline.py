@@ -172,7 +172,7 @@ class TestObservability:
         state = obs.export_state()
         encoded = json.dumps(state, default=float)
         decoded = json.loads(encoded)
-        assert set(decoded) == {"metrics", "spans"}
+        assert set(decoded) == {"metrics", "spans", "incidents"}
 
 
 class TestInfoChains:

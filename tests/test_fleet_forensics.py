@@ -1,0 +1,200 @@
+"""The end-to-end forensic loop, proven under fleet chaos.
+
+Run with ``pytest -m fleet_chaos``.  The acceptance path: a chaos kill
+(or an SLO firing) during a supervised fleet run freezes an on-disk
+incident bundle, and ``replay_bundle`` re-feeds the bundle's record
+window through a fresh pipeline to **byte-identical** predictions —
+the postmortem is a reproducible experiment, not a screenshot.  The
+dual proof: a capture that *fails* mid-write must leave the fleet's
+output byte-identical to an undisturbed run.
+"""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.fleet import Fleet, FleetPolicy, ManualClock, rack_subtree_key
+from repro.obs.forensics import MANIFEST, replay_bundle
+
+pytestmark = pytest.mark.fleet_chaos
+
+CHAOS_SEED = 20120407
+
+
+def pred_json(predictions):
+    return json.dumps([p.to_dict() for p in predictions])
+
+
+@pytest.fixture(autouse=True)
+def _fresh_obs():
+    obs.reset()
+    yield
+    obs.reset()
+
+
+def build_fleet(fitted_elsa, small_scenario, tmp_path, name, **kw):
+    key = rack_subtree_key(depth=2)
+    test = small_scenario.test_records
+    tenants = sorted({key(r.location) for r in test})
+    policy = kw.pop("policy", FleetPolicy(jitter_seed=CHAOS_SEED))
+    fleet = Fleet.build(
+        fitted_elsa, tenants, small_scenario.train_end,
+        small_scenario.t_end, key, tmp_path / name,
+        policy=policy, clock=ManualClock(), register=False, **kw,
+    )
+    return fleet, tenants, test
+
+
+class TestChaosCaptureAndReplay:
+    def test_kill_captures_a_bundle_that_replays_byte_identically(
+        self, fitted_elsa, small_scenario, tmp_path
+    ):
+        """The headline loop: chaos kill -> restart -> bundle on disk ->
+        deterministic replay reproduces the recorded predictions."""
+        policy = FleetPolicy(jitter_seed=CHAOS_SEED, checkpoint_every=256)
+        baseline, tenants, test = build_fleet(
+            fitted_elsa, small_scenario, tmp_path, "base", policy=policy
+        )
+        base_out = baseline.run(test)
+
+        fleet, _, _ = build_fleet(
+            fitted_elsa, small_scenario, tmp_path, "chaos",
+            policy=FleetPolicy(jitter_seed=CHAOS_SEED, checkpoint_every=256),
+        )
+        fleet.bind_forensics(tmp_path / "inc")
+        victim = tenants[3]
+        # past checkpoint_every: the bundle gets a checkpoint.json and
+        # the replay exercises the resume path
+        fleet.kill(victim, after_records=700)
+        out = fleet.run(test)
+
+        # the fleet itself recovered exactly (capture was a bystander)
+        for tenant in tenants:
+            assert pred_json(out[tenant]) == pred_json(base_out[tenant])
+
+        mgr = obs.get_incident_manager()
+        bundles = mgr.bundles()
+        assert [b["kind"] for b in bundles] == ["shard_restart"]
+        bundle = bundles[0]
+        assert bundle["tenant"] == victim
+        assert bundle["trace_id"], "restart replay must leave a trace"
+        path = tmp_path / "inc" / bundle["id"]
+        assert (path / MANIFEST).exists()
+        assert (path / "checkpoint.json").exists()
+
+        result = replay_bundle(path, fitted_elsa)
+        assert result["from_checkpoint"] is True
+        assert result["records_replayed"] > 0
+        assert result["cursor_replayed"] == result["cursor_recorded"]
+        assert result["identical"] is True, result
+        assert result["first_divergence"] is None
+        # the replay trace is parent-linked to the incident's trace
+        assert result["parent_trace_id"] == bundle["trace_id"]
+        assert obs.counter(
+            "forensics.bundles_captured_total"
+        ).value == 1.0
+
+    def test_kill_before_first_checkpoint_replays_from_scratch(
+        self, fitted_elsa, small_scenario, tmp_path
+    ):
+        """No checkpoint yet: the window IS the whole delivered prefix,
+        so the replay starts a fresh run and still matches."""
+        fleet, tenants, test = build_fleet(
+            fitted_elsa, small_scenario, tmp_path, "early"
+        )
+        fleet.bind_forensics(tmp_path / "inc")
+        fleet.kill(tenants[0], after_records=100)
+        fleet.run(test)
+        bundles = obs.get_incident_manager().bundles()
+        assert len(bundles) == 1
+        path = tmp_path / "inc" / bundles[0]["id"]
+        assert not (path / "checkpoint.json").exists()
+        result = replay_bundle(path, fitted_elsa)
+        assert result["from_checkpoint"] is False
+        assert result["identical"] is True, result
+
+    def test_slo_firing_freezes_a_bundle_with_its_runbook(
+        self, fitted_elsa, small_scenario, tmp_path
+    ):
+        """A quarantine pins the fleet_quarantine gauge at 1; burning
+        the alert to firing must freeze an ``slo_firing`` bundle whose
+        manifest links the runbook."""
+        fleet, tenants, test = build_fleet(
+            fitted_elsa, small_scenario, tmp_path, "slo",
+            history=obs.get_history(), slo_engine=obs.get_slo_engine(),
+        )
+        fleet._install_slos()
+        fleet.bind_forensics(tmp_path / "inc")
+        victim = tenants[2]
+        fleet.shards[victim].inject_poison()
+        fleet.run(test)
+        engine, history = obs.get_slo_engine(), obs.get_history()
+        t = fleet.stream_time
+        for dt in (0.0, 400.0, 2200.0):
+            history.sample(t + dt)
+            engine.evaluate(history, t + dt)
+        assert "fleet_quarantine" in engine.firing()
+        kinds = {b["kind"] for b in obs.get_incident_manager().bundles()}
+        assert "shard_quarantine" in kinds  # the supervision capture
+        assert "slo_firing" in kinds        # the alert capture
+        slo_bundle = [
+            b for b in obs.get_incident_manager().bundles()
+            if b["kind"] == "slo_firing"
+            and b["trigger"]["slo"] == "fleet_quarantine"
+        ][-1]
+        assert slo_bundle["runbook"].endswith(
+            "#runbook-fleet-quarantine"
+        )
+        alerts = json.loads(
+            (tmp_path / "inc" / slo_bundle["id"] / "alerts.json")
+            .read_text()
+        )
+        states = {s["name"]: s["state"] for s in alerts["slos"]}
+        assert states["fleet_quarantine"] == "firing"
+
+    def test_capture_failure_leaves_the_fleet_byte_identical(
+        self, fitted_elsa, small_scenario, tmp_path
+    ):
+        """Satellite proof at fleet scale: captures that raise mid-write
+        must never leak into shard supervision.  Three failures trip
+        the forensics breaker; the fourth trigger is skipped; every
+        tenant's output stays byte-identical to the undisturbed run."""
+        baseline, tenants, test = build_fleet(
+            fitted_elsa, small_scenario, tmp_path, "base2"
+        )
+        base_out = baseline.run(test)
+
+        fleet, _, _ = build_fleet(
+            fitted_elsa, small_scenario, tmp_path, "chaos2"
+        )
+        fleet.bind_forensics(tmp_path / "inc2")
+
+        def explode():
+            raise OSError("disk full")
+
+        mgr = obs.get_incident_manager()
+        mgr.bind(stream_time=explode)  # every capture now dies mid-write
+        victims = [tenants[1], tenants[4], tenants[7], tenants[10]]
+        for victim in victims:
+            fleet.kill(victim, after_records=300)
+        out = fleet.run(test)
+
+        for tenant in tenants:
+            assert pred_json(out[tenant]) == pred_json(base_out[tenant])
+        state = fleet.state()
+        for victim in victims:
+            # sealed to "stopped" at run end; never quarantined
+            assert state["shards"][victim]["state"] != "quarantined"
+            assert state["shards"][victim]["restarts"] == 1
+
+        st = mgr.state()
+        assert st["triggers"] == 4
+        assert st["failed"] == 3       # breaker threshold
+        assert st["skipped"] == 1      # fourth capture skipped, not run
+        assert st["total"] == 0
+        assert st["last_outcome"] == "skipped_breaker"
+        reg = obs.get_registry()
+        assert reg.get("forensics.capture_failures_total").value == 3.0
+        assert reg.get("forensics.captures_skipped_total").value == 1.0
+        assert mgr.breaker.state.name == "OPEN"

@@ -272,7 +272,7 @@ class TestExportAndReset:
         with span("s"):
             pass
         state = obs.export_state()
-        assert set(state) == {"metrics", "spans"}
+        assert set(state) == {"metrics", "spans", "incidents"}
         assert state["metrics"]["c"]["value"] == 1
         assert state["spans"][0]["name"] == "s"
 
