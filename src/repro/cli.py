@@ -617,6 +617,251 @@ def cmd_fleet(args: argparse.Namespace) -> int:
             tmp.cleanup()
 
 
+def _scenario_test_records(args: argparse.Namespace):
+    """(scenario, test records, tenant key, tenants) for serve/feed.
+
+    Both sides of the wire derive the stream from the same
+    ``--system/--days/--seed`` so the network run can be compared
+    byte-for-byte against the in-process ``fleet`` run — reading the
+    written log file instead would round timestamps through the text
+    format's ``%.3f`` and break the identity.
+    """
+    from repro.fleet import hashed_tenant_key, rack_subtree_key
+
+    builder = (
+        bluegene_scenario if args.system == "bluegene" else mercury_scenario
+    )
+    scenario = builder(duration_days=args.days, seed=args.seed)
+    test = [
+        r for r in scenario.records if r.timestamp >= scenario.train_end
+    ]
+    if getattr(args, "rack_sharding", False):
+        key = rack_subtree_key(depth=2)
+    else:
+        key = hashed_tenant_key(args.tenants)
+    tenants = sorted({key(r.location) for r in test})
+    return scenario, test, key, tenants
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """``serve``: the network ingest frontend over a fleet.
+
+    Fits the offline phase from the scenario seed, builds one shard
+    per tenant, and serves the ingest API (``POST /ingest/<tenant>``
+    NDJSON batches, ``GET /predictions/<tenant>``, ``/tenants``,
+    ``POST /seal/<tenant>``) plus every telemetry endpoint on
+    ``--listen``, pumping the fleet from the main loop until SIGTERM/
+    SIGINT — then the graceful drain: admission stops (503s), queues
+    pump dry, every tenant checkpoints, the idempotency ledger
+    persists.  ``--resume`` adopts the checkpoints + ledger a previous
+    incarnation left in ``--checkpoint-dir``.
+
+    Exit status: 0 clean drain, :data:`EXIT_DEGRADED` when any tenant
+    ended quarantined or records were shed/dead-lettered.
+    """
+    import signal
+    import tempfile
+    import threading
+
+    from repro.fleet import Fleet, FleetPolicy
+    from repro.fleet.ingest import IngestAPI, IngestConfig, IngestServer
+    from repro.obs.live import parse_listen
+
+    scenario, test, key, tenants = _scenario_test_records(args)
+    elsa = ELSA(scenario.machine)
+    elsa.fit(scenario.records, t_train_end=scenario.train_end)
+
+    policy = FleetPolicy(
+        queue_capacity=args.queue_capacity,
+        chunk_records=args.chunk_records,
+        checkpoint_every=args.checkpoint_every,
+    )
+    ckpt_dir = args.checkpoint_dir
+    tmp = None
+    if ckpt_dir is None:
+        if args.resume:
+            print("error: --resume needs --checkpoint-dir",
+                  file=sys.stderr)
+            return 2
+        tmp = tempfile.TemporaryDirectory(prefix="elsa-serve-")
+        ckpt_dir = tmp.name
+    host, port = parse_listen(args.listen)
+    stop = threading.Event()
+
+    def _graceful(signum, frame):
+        stop.set()
+
+    old_term = signal.signal(signal.SIGTERM, _graceful)
+    old_int = signal.signal(signal.SIGINT, _graceful)
+    fleet = None
+    server = None
+    try:
+        fleet = Fleet.build(
+            elsa, tenants, scenario.train_end, scenario.t_end, key,
+            ckpt_dir, policy=policy,
+            faults=list(scenario.ground_truth),
+            self_heal=args.self_heal,
+            resume=args.resume,
+        )
+        api = IngestAPI(
+            fleet,
+            config=IngestConfig(
+                max_batch_records=args.max_batch_records,
+                admission_rate=args.admission_rate,
+                admission_capacity=max(
+                    args.admission_rate, 2.0 * args.max_batch_records
+                ),
+            ),
+            ledger_path=Path(ckpt_dir) / "ingest-ledger.json",
+            resume=args.resume,
+        )
+        server = IngestServer(
+            api, host=host, port=port,
+            request_timeout_seconds=args.request_timeout,
+        ).start()
+        resumed = sum(
+            1 for s in fleet.shards.values() if s.records_fed > 0
+        )
+        _emit(f"ingest listening on {server.url} "
+              f"({len(tenants)} tenants, window "
+              f"[{scenario.train_end:.0f}, {scenario.t_end:.0f})"
+              + (f", {resumed} resumed" if args.resume else "") + ")")
+        deadline = (
+            None if args.max_runtime is None
+            else time.monotonic() + args.max_runtime
+        )
+        while not stop.is_set():
+            api.pump_once()
+            if deadline is not None and time.monotonic() >= deadline:
+                _emit("max runtime reached; draining")
+                break
+            stop.wait(args.pump_interval)
+        summary = api.drain()
+        _emit(f"drained     : {summary['routed']} routed, "
+              f"{summary['checkpointed']} tenants checkpointed, "
+              f"{summary['shed']} shed, "
+              f"{summary['dead_lettered']} dead-lettered, "
+              f"{len(summary['quarantined'])} quarantined")
+        return EXIT_DEGRADED if summary["degraded"] else 0
+    finally:
+        signal.signal(signal.SIGTERM, old_term)
+        signal.signal(signal.SIGINT, old_int)
+        if server is not None:
+            server.stop()
+        if fleet is not None:
+            fleet.close()
+        if tmp is not None:
+            tmp.cleanup()
+
+
+def cmd_feed(args: argparse.Namespace) -> int:
+    """``feed``: drive a ``serve`` frontend through the ingest client.
+
+    Derives the same test stream as the server (``--system/--days/
+    --seed``) or reads ``--log``, partitions it per tenant with the
+    same keying, and delivers it in idempotent sequenced batches with
+    bounded retries — optionally through the wire-chaos transport
+    (``--chaos-*`` flags) that drops, duplicates, reorders, truncates
+    and stalls requests.  ``--seal`` closes every touched tenant and
+    ``--predictions-out`` saves the returned predictions in the same
+    ``{"tenants": {...}}`` shape ``fleet --out`` writes, so the two
+    can be diffed byte-for-byte.
+    """
+    import urllib.parse as _url
+
+    from repro.fleet.client import (
+        ClientError, HTTPTransport, IngestClient, IngestGaveUp,
+    )
+
+    split = _url.urlsplit(args.url)
+    if not split.hostname or not split.port:
+        print(f"error: --url wants http://HOST:PORT, got {args.url!r}",
+              file=sys.stderr)
+        return 2
+    if args.log:
+        records = _read_records(args.log, "text")
+        if args.t_start is not None:
+            records = [r for r in records if r.timestamp >= args.t_start]
+        if args.t_end is not None:
+            records = [r for r in records if r.timestamp < args.t_end]
+        from repro.fleet import hashed_tenant_key, rack_subtree_key
+
+        key = (rack_subtree_key(depth=2) if args.rack_sharding
+               else hashed_tenant_key(args.tenants))
+    else:
+        _, records, key, _ = _scenario_test_records(args)
+
+    transport = HTTPTransport(
+        split.hostname, split.port, timeout=args.timeout
+    )
+    chaos_rates = (
+        args.chaos_drop, args.chaos_drop_response, args.chaos_dup,
+        args.chaos_reorder, args.chaos_truncate, args.chaos_stall,
+    )
+    if any(rate > 0 for rate in chaos_rates):
+        from repro.resilience.wire import ChaosTransport
+
+        transport = ChaosTransport(
+            transport,
+            drop_request_rate=args.chaos_drop,
+            drop_response_rate=args.chaos_drop_response,
+            duplicate_rate=args.chaos_dup,
+            reorder_rate=args.chaos_reorder,
+            truncate_rate=args.chaos_truncate,
+            stall_rate=args.chaos_stall,
+            stall_seconds=args.chaos_stall_seconds,
+            seed=args.chaos_seed,
+        )
+        _emit(f"wire chaos armed (seed {args.chaos_seed}): "
+              f"drop={args.chaos_drop:g} "
+              f"drop_resp={args.chaos_drop_response:g} "
+              f"dup={args.chaos_dup:g} reorder={args.chaos_reorder:g} "
+              f"truncate={args.chaos_truncate:g} "
+              f"stall={args.chaos_stall:g}")
+    client = IngestClient(
+        transport,
+        stream_id=args.stream_id,
+        max_attempts=args.max_attempts,
+        seed=args.seed,
+    )
+    touched = sorted({key(r.location) for r in records})
+    try:
+        stats = client.feed(records, key, batch_size=args.batch_size)
+        payloads = {}
+        if args.seal or args.predictions_out:
+            for tenant in touched:
+                payloads[tenant] = client.seal(tenant)
+    except (ClientError, IngestGaveUp) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    _emit(f"fed         : {stats['records']} records in "
+          f"{stats['batches']} batches to {len(touched)} tenants")
+    _emit(f"resilience  : {stats['retries']} retries, "
+          f"{stats['duplicates']} duplicate acks, "
+          f"{stats['throttled']} throttled, "
+          f"{stats['resyncs']} resyncs")
+    chaos_injected = getattr(transport, "injected", None)
+    if chaos_injected:
+        _emit("chaos       : " + ", ".join(
+            f"{kind}={n}" for kind, n in sorted(chaos_injected.items())
+        ))
+    if payloads:
+        n_preds = sum(p["count"] for p in payloads.values())
+        _emit(f"predictions : {n_preds} across "
+              f"{len(payloads)} sealed tenants")
+    if args.predictions_out:
+        doc = {
+            "tenants": {
+                t: payloads[t]["predictions"] for t in sorted(payloads)
+            },
+        }
+        Path(args.predictions_out).write_text(
+            json.dumps(doc, default=str) + "\n"
+        )
+        _emit(f"predictions written to {args.predictions_out}")
+    return 0
+
+
 def cmd_reproduce(args: argparse.Namespace) -> int:
     """``reproduce``: the headline paper tables as a markdown report."""
     from repro.reporting import full_reproduction_report
@@ -1330,6 +1575,178 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the per-tenant shard table",
     )
     p.set_defaults(func=cmd_fleet)
+
+    p = sub.add_parser(
+        "serve",
+        help="network ingest frontend: serve POST /ingest/<tenant> + "
+             "GET /predictions/<tenant> over a supervised fleet until "
+             "SIGTERM, then drain gracefully",
+    )
+    p.add_argument("--system", choices=("bluegene", "mercury"),
+                   default="bluegene")
+    p.add_argument("--days", type=float, default=1.5)
+    p.add_argument("--seed", type=int, default=0)
+    group = p.add_mutually_exclusive_group()
+    group.add_argument(
+        "--tenants", type=int, default=8, metavar="N",
+        help="shard locations into N stable hash buckets (default 8)",
+    )
+    group.add_argument(
+        "--rack-sharding", dest="rack_sharding", action="store_true",
+        default=False,
+        help="shard by rack-midplane subtree instead of hash buckets",
+    )
+    p.add_argument(
+        "--listen", metavar="HOST:PORT", default="127.0.0.1:0",
+        help="bind address for the ingest + telemetry endpoints "
+             "(default 127.0.0.1:0 = free port, printed on startup)",
+    )
+    p.add_argument(
+        "--checkpoint-dir", dest="checkpoint_dir", metavar="DIR",
+        default=None,
+        help="directory for per-shard checkpoints + the idempotency "
+             "ledger (default: temporary; required for --resume)",
+    )
+    p.add_argument(
+        "--resume", action="store_true", default=False,
+        help="adopt the checkpoints and ingest ledger a drained "
+             "server left in --checkpoint-dir",
+    )
+    p.add_argument(
+        "--queue-capacity", dest="queue_capacity", type=int, default=8192,
+        metavar="N", help="bounded per-tenant ingest queue size",
+    )
+    p.add_argument(
+        "--chunk-records", dest="chunk_records", type=int, default=512,
+        metavar="N", help="records per shard step (pump quantum)",
+    )
+    p.add_argument(
+        "--checkpoint-every", dest="checkpoint_every", type=int,
+        default=2048, metavar="N",
+        help="records between per-shard checkpoints",
+    )
+    p.add_argument(
+        "--max-batch-records", dest="max_batch_records", type=int,
+        default=8192, metavar="N",
+        help="largest NDJSON batch one POST may carry (413 above)",
+    )
+    p.add_argument(
+        "--admission-rate", dest="admission_rate", type=float,
+        default=50000.0, metavar="RECORDS_PER_SEC",
+        help="token-bucket refill at full queue headroom; refill "
+             "scales down with live queue depth, 429 + Retry-After "
+             "past it",
+    )
+    p.add_argument(
+        "--request-timeout", dest="request_timeout", type=float,
+        default=30.0, metavar="SECONDS",
+        help="per-connection socket timeout (slowloris guard; "
+             "counted in telemetry.request_timeouts)",
+    )
+    p.add_argument(
+        "--pump-interval", dest="pump_interval", type=float,
+        default=0.02, metavar="SECONDS",
+        help="sleep between fleet pump passes in the serve loop",
+    )
+    p.add_argument(
+        "--max-runtime", dest="max_runtime", type=float, default=None,
+        metavar="SECONDS",
+        help="drain and exit after this long even without a signal "
+             "(smoke tests)",
+    )
+    p.add_argument(
+        "--self-heal", dest="self_heal", action="store_true",
+        help="run each shard on the self-healing lifecycle loop",
+    )
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "feed",
+        help="drive a `serve` frontend through the resilient ingest "
+             "client (idempotent batches, retries, optional wire chaos)",
+    )
+    p.add_argument("--url", required=True,
+                   help="base URL printed by `serve` "
+                        "(e.g. http://127.0.0.1:9200)")
+    p.add_argument("--system", choices=("bluegene", "mercury"),
+                   default="bluegene")
+    p.add_argument("--days", type=float, default=1.5)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--log", default=None, metavar="FILE",
+        help="feed this text log instead of regenerating the scenario "
+             "(note: the text format rounds timestamps to 1ms, so "
+             "byte-identity checks against an in-process run must use "
+             "scenario mode)",
+    )
+    p.add_argument("--t-start", type=float, default=None, dest="t_start",
+                   help="with --log: drop records before this time")
+    p.add_argument("--t-end", type=float, default=None, dest="t_end",
+                   help="with --log: drop records at/after this time")
+    group = p.add_mutually_exclusive_group()
+    group.add_argument(
+        "--tenants", type=int, default=8, metavar="N",
+        help="tenant hash buckets — must match the server's",
+    )
+    group.add_argument(
+        "--rack-sharding", dest="rack_sharding", action="store_true",
+        default=False,
+        help="rack-subtree keying — must match the server's",
+    )
+    p.add_argument(
+        "--batch-size", dest="batch_size", type=int, default=256,
+        metavar="N", help="records per POST batch",
+    )
+    p.add_argument(
+        "--stream-id", dest="stream_id", default="s0", metavar="ID",
+        help="idempotency stream id (sequence numbers are per "
+             "tenant+stream)",
+    )
+    p.add_argument(
+        "--max-attempts", dest="max_attempts", type=int, default=8,
+        metavar="N", help="transport-failure retry budget per batch",
+    )
+    p.add_argument(
+        "--timeout", type=float, default=10.0, metavar="SECONDS",
+        help="per-request HTTP timeout",
+    )
+    p.add_argument(
+        "--seal", action="store_true", default=False,
+        help="seal every touched tenant after feeding (final sorted "
+             "predictions)",
+    )
+    p.add_argument(
+        "--predictions-out", dest="predictions_out", metavar="FILE",
+        default=None,
+        help="write sealed per-tenant predictions as JSON (same "
+             "'tenants' shape as `fleet --out`; implies --seal)",
+    )
+    p.add_argument("--chaos-drop", dest="chaos_drop", type=float,
+                   default=0.0, metavar="RATE",
+                   help="wire chaos: drop requests at this rate")
+    p.add_argument("--chaos-drop-response", dest="chaos_drop_response",
+                   type=float, default=0.0, metavar="RATE",
+                   help="wire chaos: deliver but drop the response "
+                        "(the at-least-once hazard)")
+    p.add_argument("--chaos-dup", dest="chaos_dup", type=float,
+                   default=0.0, metavar="RATE",
+                   help="wire chaos: duplicate requests")
+    p.add_argument("--chaos-reorder", dest="chaos_reorder", type=float,
+                   default=0.0, metavar="RATE",
+                   help="wire chaos: redeliver a stale copy before the "
+                        "next request")
+    p.add_argument("--chaos-truncate", dest="chaos_truncate", type=float,
+                   default=0.0, metavar="RATE",
+                   help="wire chaos: cut requests mid-body (server 408s)")
+    p.add_argument("--chaos-stall", dest="chaos_stall", type=float,
+                   default=0.0, metavar="RATE",
+                   help="wire chaos: pause mid-body for "
+                        "--chaos-stall-seconds")
+    p.add_argument("--chaos-stall-seconds", dest="chaos_stall_seconds",
+                   type=float, default=0.1, metavar="SECONDS")
+    p.add_argument("--chaos-seed", dest="chaos_seed", type=int, default=0,
+                   metavar="N", help="seed for the chaos RNG")
+    p.set_defaults(func=cmd_feed)
 
     p = sub.add_parser(
         "reproduce",

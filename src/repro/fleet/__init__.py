@@ -44,10 +44,26 @@ from repro.fleet.runner import (
     get_active_fleet,
     set_active_fleet,
 )
+from repro.fleet.ingest import (
+    AdmissionController,
+    IngestAPI,
+    IngestConfig,
+    IngestLedger,
+    IngestServer,
+    ingest_slos,
+)
+from repro.fleet.client import HTTPTransport, IngestClient
 
 __all__ = [
+    "AdmissionController",
     "Fleet",
     "FleetPolicy",
+    "HTTPTransport",
+    "IngestAPI",
+    "IngestClient",
+    "IngestConfig",
+    "IngestLedger",
+    "IngestServer",
     "IngestionRouter",
     "ManualClock",
     "RestartBackoff",
@@ -58,6 +74,7 @@ __all__ = [
     "fleet_slos",
     "get_active_fleet",
     "hashed_tenant_key",
+    "ingest_slos",
     "partition_faults",
     "rack_subtree_key",
     "set_active_fleet",

@@ -123,6 +123,9 @@ class IngestionRouter:
         if verdict == "shed":
             obs.counter("fleet.records_shed").inc()
             obs.counter("fleet.records_shed").labels(tenant=tenant).inc()
+            obs.counter("fleet.records_shed").labels(
+                severity=rec.severity.name
+            ).inc()
         return verdict
 
     def dead_letter_all(

@@ -186,6 +186,7 @@ class Fleet:
         faults: Sequence = (),
         self_heal: bool = False,
         clock: Callable[[], float] = time.monotonic,
+        resume: bool = False,
         **kwargs,
     ) -> "Fleet":
         """One shard per tenant, each on a deep copy of ``elsa``.
@@ -194,6 +195,8 @@ class Fleet:
         online classification mutates the HELO template table, so two
         tenants on one ELSA would couple their outputs.  Ground-truth
         ``faults`` are partitioned per tenant by their first location.
+        With ``resume=True`` every shard adopts its existing checkpoint
+        in ``checkpoint_dir`` (a drained ingest server restarting).
         """
         checkpoint_dir = Path(checkpoint_dir)
         checkpoint_dir.mkdir(parents=True, exist_ok=True)
@@ -214,6 +217,7 @@ class Fleet:
                     checkpoint_dir / f"{safe}.models" if self_heal else None
                 ),
                 clock=clock,
+                resume=resume,
             )
         return cls(shards, key, policy=policy, clock=clock, **kwargs)
 
@@ -282,6 +286,27 @@ class Fleet:
                 else:
                     time.sleep(self.policy.idle_advance_seconds)
         raise RuntimeError("fleet drain did not converge")
+
+    def checkpoint_all(self) -> int:
+        """Force-checkpoint every unsealed shard; returns how many wrote.
+
+        The graceful-drain step: after :meth:`drain` empties the queues
+        this persists every tenant's cursor so a restarted server
+        (``Fleet.build(..., resume=True)``) continues byte-identically.
+        """
+        return sum(
+            1 for shard in self.shards.values() if shard.force_checkpoint()
+        )
+
+    def queue_headroom(self) -> float:
+        """Free queue fraction across the fleet, 0.0 (saturated) – 1.0.
+
+        Feeds the ingest admission controller's token refill rate, so
+        admission slows as the pump falls behind.
+        """
+        capacity = self.policy.queue_capacity * max(1, len(self.shards))
+        depth = sum(len(s.queue) for s in self.shards.values())
+        return max(0.0, min(1.0, 1.0 - depth / capacity))
 
     def finish(self) -> Dict[str, list]:
         """Seal every shard; returns tenant → sorted predictions."""

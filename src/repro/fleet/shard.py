@@ -80,6 +80,11 @@ class Shard:
     clock:
         Monotonic supervision clock (injectable; see
         :class:`~repro.fleet.policy.ManualClock`).
+    resume:
+        Adopt an existing checkpoint at ``checkpoint_path`` on
+        construction instead of starting the window fresh — the path a
+        restarted ingest server takes so a graceful drain/restart cycle
+        continues exactly where it stopped.
     """
 
     def __init__(
@@ -94,6 +99,7 @@ class Shard:
         self_heal: bool = False,
         store_dir: Optional[os.PathLike] = None,
         clock: Callable[[], float] = time.monotonic,
+        resume: bool = False,
     ) -> None:
         self.tenant = str(tenant)
         self.elsa = elsa
@@ -116,6 +122,7 @@ class Shard:
         self.crashes = 0
         self.records_fed = 0
         self.shed = 0
+        self.shed_by_severity: dict = {}
         self.rejected = 0
         self._overflow = 0
         self.last_error: Optional[str] = None
@@ -124,13 +131,18 @@ class Shard:
         # fresh batch-epoch on an idle queue; step() consumes it
         self.pending_trace = None
         self.last_trace: Optional[str] = None
-        # chaos injection points
-        self._kill_at: Optional[int] = None
+        # chaos injection points — a *list* so stacked --kill specs for
+        # the same tenant queue up instead of overwriting each other
+        # (repeated kills are how the CLI drives flapping → quarantine)
+        self._kill_at: List[int] = []
         self._hang_seconds: float = 0.0
         self._poisoned = False
         # pristine template state, for a restart before any checkpoint
         self._helo_seed = copy.deepcopy(elsa.online_state_dict())
+        self.resume_existing = bool(resume)
         self.run = self._build_run()
+        if self.resume_existing:
+            self.records_fed = self.run.predictor.n_records_fed
 
     # -- run construction ----------------------------------------------------
 
@@ -153,6 +165,22 @@ class Shard:
         }
 
     def _build_run(self) -> ResumableRun:
+        if (
+            self.resume_existing
+            and self.checkpoint_path is not None
+            and self.checkpoint_path.exists()
+        ):
+            ckpt = load_checkpoint(self.checkpoint_path)
+            if self.self_heal:
+                from repro.lifecycle.healing import SelfHealingRun
+
+                return self._silence(SelfHealingRun.resume(
+                    self.elsa, ckpt, faults=self.faults,
+                    store_dir=self.store_dir, **self._run_kwargs(),
+                ))
+            return self._silence(ResumableRun.resume(
+                self.elsa, ckpt, **self._run_kwargs(),
+            ))
         if self.self_heal:
             from repro.lifecycle.healing import SelfHealingRun
 
@@ -185,9 +213,23 @@ class Shard:
                 self._overflow += 1
                 if self._overflow % self.policy.overflow_stride != 0:
                     self.shed += 1
+                    name = rec.severity.name
+                    self.shed_by_severity[name] = (
+                        self.shed_by_severity.get(name, 0) + 1
+                    )
                     return "shed"
         self.queue.append(rec)
         return "accepted"
+
+    def free_slots(self) -> int:
+        """Queue headroom before severity-aware shedding would engage.
+
+        The ingest frontend's admission control rejects batches larger
+        than this (``429 Retry-After``) so overload is pushed back to
+        the client *before* the router has to shed — the zero-loss
+        guarantee for admitted batches.
+        """
+        return max(0, self.policy.queue_capacity - len(self.queue))
 
     # -- stepping ------------------------------------------------------------
 
@@ -216,11 +258,10 @@ class Shard:
         ctx = self.pending_trace or mint_trace(tenant=self.tenant)
         self.pending_trace = None
         self.last_trace = ctx.trace_id
-        if self._kill_at is not None and self.records_fed + n > self._kill_at:
+        if self._kill_at and self.records_fed + n > self._kill_at[0]:
             # crash mid-chunk: feed up to the kill point, then die —
             # the partial work is exactly what recovery must redo
-            k = self._kill_at - self.records_fed
-            self._kill_at = None
+            k = self._kill_at.pop(0) - self.records_fed
             if k > 0:
                 with trace_scope(ctx):
                     self.run.feed_chunk(batch[:k])
@@ -339,11 +380,43 @@ class Shard:
                 self.state = ShardState.STOPPED
         return self.predictions
 
+    def force_checkpoint(self) -> bool:
+        """Checkpoint now regardless of cadence (graceful-drain path).
+
+        Unlike :meth:`finish` this does **not** seal the stream — a
+        restarted server resumes from here and keeps feeding.  Returns
+        whether a checkpoint was written.
+        """
+        if self.checkpoint_path is None or self.predictions is not None:
+            return False
+        self.run._maybe_checkpoint()
+        self.run._since_ckpt = 0
+        self._maybe_ack()
+        return True
+
+    def partial_predictions(self) -> list:
+        """Predictions emitted so far, without sealing the stream.
+
+        Once sealed, the sealed list is returned instead (it is the
+        same data, finish() only sorts and stops the clock).
+        """
+        if self.predictions is not None:
+            return list(self.predictions)
+        preds = list(getattr(self.run.predictor, "_predictions", ()))
+        preds.sort(key=lambda p: p.emitted_at)
+        return preds
+
     # -- chaos hooks ---------------------------------------------------------
 
     def inject_kill(self, after_records: int) -> None:
-        """Crash once when the feed cursor crosses ``after_records``."""
-        self._kill_at = int(after_records)
+        """Crash once when the feed cursor crosses ``after_records``.
+
+        Kill points stack: each call queues another crash, so repeated
+        ``--kill TENANT:N`` specs drive the flap counter all the way to
+        quarantine instead of silently replacing one another.
+        """
+        self._kill_at.append(int(after_records))
+        self._kill_at.sort()
 
     def inject_hang(self, seconds: float) -> None:
         """Stall the next step for ``seconds`` of supervision time."""
@@ -374,6 +447,7 @@ class Shard:
             "restarts": self.restarts,
             "crashes": self.crashes,
             "shed": self.shed,
+            "shed_by_severity": dict(self.shed_by_severity),
             "rejected": self.rejected,
             "restart_at": self.restart_at,
             "last_beat": self.last_beat,

@@ -30,6 +30,16 @@ exposition format — the registry's counter/gauge/histogram model maps
   manager's capture stats and retained bundle manifests;
   ``/incidents/<id>`` views one bundle (manifest + artifact sizes).
 
+When an *ingest API* is mounted (``ingest_fn``; see
+:mod:`repro.fleet.ingest`) the server additionally answers the write
+path — ``POST /ingest/<tenant>`` NDJSON batches, ``GET
+/predictions/<tenant>``, ``/tenants``, ``POST /seal/<tenant>`` and
+``POST /drain`` — with payload caps enforced *before* the body is read
+(413) and a per-connection socket timeout (``request_timeout_seconds``)
+so a stalled or slowloris client releases its handler thread; timeouts
+are counted in ``telemetry.request_timeouts`` and answered 408 when the
+body stalls mid-read.
+
 Unknown paths get a JSON 404 listing the available endpoints; clients
 hanging up mid-response (``BrokenPipeError``/``ConnectionResetError``)
 are counted in ``telemetry.client_disconnects`` instead of spraying
@@ -55,6 +65,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 from repro.obs.metrics import counter as _counter
 
 __all__ = [
+    "INGEST_ENDPOINTS",
     "TelemetryServer",
     "health_report",
     "parse_listen",
@@ -66,6 +77,13 @@ __all__ = [
 ENDPOINTS = (
     "/", "/metrics", "/health", "/state", "/query", "/alerts", "/profile",
     "/fleet", "/incidents",
+)
+
+#: Routes added when an ingest API is mounted (``ingest_fn``); prefix
+#: routes — ``<tenant>`` is a path segment, e.g. ``POST /ingest/t03``.
+INGEST_ENDPOINTS = (
+    "/ingest/<tenant>", "/predictions/<tenant>", "/tenants",
+    "/tenants/<tenant>", "/seal/<tenant>", "/drain",
 )
 
 _NAME_BAD = re.compile(r"[^a-zA-Z0-9_:]")
@@ -357,19 +375,49 @@ class _Handler(BaseHTTPRequestHandler):
 
     server_version = "elsa-telemetry/1"
 
+    @property
+    def timeout(self):  # consulted by StreamRequestHandler.setup
+        # slowloris guard: a per-connection socket timeout so a client
+        # that stalls mid-request (or never sends one) releases its
+        # handler thread; None disables (the stdlib default)
+        if "_timeout_override" in self.__dict__:
+            return self.__dict__["_timeout_override"]
+        return getattr(self.server, "request_timeout", None)
+
+    @timeout.setter
+    def timeout(self, value) -> None:
+        # the stdlib never assigns, but keep the attribute writable
+        self.__dict__["_timeout_override"] = value
+
+    def log_error(self, format: str, *args) -> None:  # noqa: A002
+        # handle_one_request reports a request-line read timeout here;
+        # count it (satellite: slowloris visibility), stay silent
+        if "timed out" in format:
+            _counter("telemetry.request_timeouts").inc()
+
+    @staticmethod
+    def _route_label(path: str) -> str:
+        if path in ENDPOINTS:
+            return path
+        head = "/" + path.lstrip("/").split("/", 1)[0]
+        if head in ("/incidents", "/ingest", "/predictions", "/tenants",
+                    "/seal", "/drain"):
+            return head
+        return "other"
+
     def do_GET(self) -> None:  # noqa: N802 - http.server API
         parsed = urllib.parse.urlsplit(self.path)
         path = parsed.path
-        if path in ENDPOINTS:
-            route = path
-        elif path.startswith("/incidents/"):
-            route = "/incidents"  # per-bundle views share the label
-        else:
-            route = "other"
         _counter("telemetry.http_requests").inc()
-        _counter("telemetry.http_requests").labels(path=route).inc()
+        _counter("telemetry.http_requests").labels(
+            path=self._route_label(path)
+        ).inc()
         try:
             self._route(path, urllib.parse.parse_qs(parsed.query))
+        except TimeoutError:
+            # the connection stalled mid-response; drop it
+            _counter("telemetry.request_timeouts").inc()
+            self.close_connection = True
         except (BrokenPipeError, ConnectionResetError):
             # the client hung up mid-response; routine, not an error
             _counter("telemetry.client_disconnects").inc()
@@ -380,6 +428,93 @@ class _Handler(BaseHTTPRequestHandler):
                             "text/plain; charset=utf-8")
             except OSError:
                 pass
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        parsed = urllib.parse.urlsplit(self.path)
+        path = parsed.path
+        _counter("telemetry.http_requests").inc()
+        _counter("telemetry.http_requests").labels(
+            path=self._route_label(path)
+        ).inc()
+        try:
+            self._post(path)
+        except TimeoutError:
+            # body never arrived within the socket timeout: the
+            # slowloris/truncation path — answer 408 and hang up
+            _counter("telemetry.request_timeouts").inc()
+            self.close_connection = True
+            try:
+                self._reply(408, json.dumps(
+                    {"error": "request body timed out"}) + "\n")
+            except OSError:
+                pass
+        except (BrokenPipeError, ConnectionResetError):
+            _counter("telemetry.client_disconnects").inc()
+        except Exception as exc:
+            _counter("telemetry.http_errors").inc()
+            try:
+                self._reply(500, f"error: {exc}\n",
+                            "text/plain; charset=utf-8")
+            except OSError:
+                pass
+
+    def _post(self, path: str) -> None:
+        srv = self.server
+        api = srv.ingest_fn()  # type: ignore[attr-defined]
+        if api is None:
+            self._reply(405, json.dumps({
+                "error": "no ingest API mounted on this server",
+                "endpoints": list(ENDPOINTS),
+            }, indent=1) + "\n")
+            return
+        raw_length = self.headers.get("Content-Length")
+        if raw_length is None:
+            self._reply(411, json.dumps(
+                {"error": "Content-Length required"}) + "\n")
+            return
+        try:
+            length = int(raw_length)
+        except ValueError:
+            self._reply(400, json.dumps(
+                {"error": f"bad Content-Length {raw_length!r}"}) + "\n")
+            return
+        max_bytes = int(getattr(api, "max_body_bytes", 8 << 20))
+        if length > max_bytes:
+            # refuse before reading: the payload cap must not cost a
+            # max-size read to enforce
+            self.close_connection = True
+            self._reply(413, json.dumps({
+                "error": "payload too large",
+                "max_bytes": max_bytes,
+            }) + "\n")
+            return
+        body = self.rfile.read(length) if length > 0 else b""
+        if len(body) < length:
+            # client hung up early; the declared length never arrived
+            self._reply(400, json.dumps({
+                "error": "truncated body",
+                "declared": length,
+                "received": len(body),
+            }) + "\n")
+            return
+        headers = {k.lower(): v for k, v in self.headers.items()}
+        result = api.handle_request("POST", path, headers, body)
+        if result is None:
+            self._not_found(path, api)
+            return
+        code, payload, extra = result
+        self._reply(code, json.dumps(payload, default=str, indent=1) + "\n",
+                    extra_headers=extra)
+
+    def _not_found(self, path: str, api=None) -> None:
+        endpoints = list(ENDPOINTS)
+        if api is not None:
+            endpoints += list(INGEST_ENDPOINTS)
+        self._reply(404, json.dumps({
+            "error": "not found",
+            "path": path,
+            "endpoints": endpoints,
+        }, indent=1) + "\n")
 
     def _route(self, path: str, params: Dict[str, List[str]]) -> None:
         srv = self.server
@@ -456,18 +591,28 @@ class _Handler(BaseHTTPRequestHandler):
                 "text/plain; charset=utf-8",
             )
         else:
-            self._reply(404, json.dumps({
-                "error": "not found",
-                "path": path,
-                "endpoints": list(ENDPOINTS),
-            }, indent=1) + "\n")
+            api = srv.ingest_fn()  # type: ignore[attr-defined]
+            if api is not None:
+                result = api.handle_request("GET", path, {}, b"")
+                if result is not None:
+                    code, payload, extra = result
+                    self._reply(
+                        code,
+                        json.dumps(payload, default=str, indent=1) + "\n",
+                        extra_headers=extra,
+                    )
+                    return
+            self._not_found(path, api)
 
     def _reply(self, code: int, body: str,
-               content_type: str = "application/json") -> None:
+               content_type: str = "application/json",
+               extra_headers: Optional[Dict[str, str]] = None) -> None:
         payload = body.encode("utf-8")
         self.send_response(code)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(payload)))
+        for key, value in (extra_headers or {}).items():
+            self.send_header(key, str(value))
         self.end_headers()
         self.wfile.write(payload)
 
@@ -532,6 +677,8 @@ class TelemetryServer:
         incidents_fn: Optional[Callable[[], object]] = None,
         bind_retries: Optional[int] = None,
         bind_backoff_seconds: Optional[float] = None,
+        ingest_fn: Optional[Callable[[], object]] = None,
+        request_timeout_seconds: Optional[float] = 30.0,
     ) -> None:
         self.host = host
         self.requested_port = int(port)
@@ -541,6 +688,11 @@ class TelemetryServer:
         self._profiler_fn = profiler_fn or self._live_profiler
         self._fleet_fn = fleet_fn or self._live_fleet
         self._incidents_fn = incidents_fn or self._live_incidents
+        self._ingest_fn = ingest_fn or (lambda: None)
+        self.request_timeout_seconds = (
+            None if request_timeout_seconds is None
+            else float(request_timeout_seconds)
+        )
         self.bind_retries = (
             self.BIND_RETRIES if bind_retries is None else int(bind_retries)
         )
@@ -641,6 +793,10 @@ class TelemetryServer:
         self._httpd.fleet_fn = self._fleet_fn  # type: ignore[attr-defined]
         self._httpd.incidents_fn = (  # type: ignore[attr-defined]
             self._incidents_fn
+        )
+        self._httpd.ingest_fn = self._ingest_fn  # type: ignore[attr-defined]
+        self._httpd.request_timeout = (  # type: ignore[attr-defined]
+            self.request_timeout_seconds
         )
         self._thread = threading.Thread(
             target=self._httpd.serve_forever,

@@ -14,7 +14,10 @@ between that hostile reality and the pipeline's assumptions:
   online state (template table, detector windows, active chains) so a
   killed ``predict`` run resumes mid-stream with identical output;
 * ``repro.resilience.chaos`` — seeded stream perturbators used by the
-  resilience test matrix.
+  resilience test matrix;
+* :class:`ChaosTransport` (``repro.resilience.wire``) — wire-level
+  fault injection (drop/duplicate/reorder/truncate/stall) between the
+  ingest client and the network frontend.
 
 ``checkpoint`` and ``chaos`` are imported on demand (they pull in the
 prediction engine); the lightweight ingestion pieces are re-exported
@@ -35,15 +38,18 @@ from repro.resilience.stream import (
     ResilientStream,
     sanitize_records,
 )
+from repro.resilience.wire import ChaosTransport, WireDropped
 
 __all__ = [
     "BreakerOpen",
     "BreakerState",
+    "ChaosTransport",
     "CircuitBreaker",
     "ComponentBreakers",
     "DeadLetter",
     "GAP_MARKER_LOCATION",
     "ResilienceConfig",
     "ResilientStream",
+    "WireDropped",
     "sanitize_records",
 ]

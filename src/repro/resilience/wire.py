@@ -1,0 +1,149 @@
+"""Wire-level chaos: a hostile network between client and ingest API.
+
+:class:`ChaosTransport` wraps any transport with the ``request(method,
+path, body, headers)`` shape (duck-typed; no import of the fleet
+client from here) and perturbs traffic the way real networks do:
+
+* **drop_request** — the request never reaches the server (connection
+  error surfaces to the caller);
+* **drop_response** — the server processes the request but the
+  response is lost: the classic at-least-once hazard, because the
+  client must retry something that already *happened*;
+* **duplicate** — the request is delivered twice back-to-back; the
+  second delivery's response is returned;
+* **reorder** — a copy of the request is stashed and redelivered just
+  *before* the next request, producing genuine out-of-order arrival at
+  the server;
+* **truncate** — the request is cut mid-body with the full
+  Content-Length declared, pinning a server handler until its socket
+  timeout (the 408/slowloris path); needs the base transport's
+  ``send_raw`` (falls back to a plain drop without it);
+* **stall** — the body pauses mid-send for ``stall_seconds`` (exercises
+  the server-side read timeout without necessarily tripping it).
+
+All draws come from one seeded RNG in a fixed per-request order, so a
+given (seed, request sequence) replays the same chaos — the
+equivalence tests depend on that.  Injections are counted per kind in
+``resilience.wire_injections``.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Callable, Dict, Optional, Tuple
+
+from repro import obs
+
+__all__ = ["ChaosTransport", "WireDropped"]
+
+
+class WireDropped(ConnectionError):
+    """A chaos-injected delivery failure (retryable by design)."""
+
+
+class ChaosTransport:
+    """Seeded fault-injecting wrapper around an ingest transport."""
+
+    def __init__(
+        self,
+        base,
+        drop_request_rate: float = 0.0,
+        drop_response_rate: float = 0.0,
+        duplicate_rate: float = 0.0,
+        reorder_rate: float = 0.0,
+        truncate_rate: float = 0.0,
+        stall_rate: float = 0.0,
+        stall_seconds: float = 0.1,
+        seed: int = 0,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self.base = base
+        self.drop_request_rate = float(drop_request_rate)
+        self.drop_response_rate = float(drop_response_rate)
+        self.duplicate_rate = float(duplicate_rate)
+        self.reorder_rate = float(reorder_rate)
+        self.truncate_rate = float(truncate_rate)
+        self.stall_rate = float(stall_rate)
+        self.stall_seconds = float(stall_seconds)
+        self.rng = random.Random(seed)
+        self.sleep = sleep
+        self.injected: Dict[str, int] = {}
+        self._stashed: Optional[Tuple[str, str, bytes, dict]] = None
+
+    def _count(self, kind: str) -> None:
+        self.injected[kind] = self.injected.get(kind, 0) + 1
+        obs.counter("resilience.wire_injections").inc()
+        obs.counter("resilience.wire_injections").labels(kind=kind).inc()
+
+    def request(self, method: str, path: str, body: bytes = b"",
+                headers: Optional[dict] = None):
+        headers = dict(headers or {})
+        if self._stashed is not None:
+            # redeliver the reordered copy first: it arrives at the
+            # server *after* younger requests already did — true
+            # out-of-order duplicate delivery
+            stale, self._stashed = self._stashed, None
+            self._count("reorder_delivery")
+            try:
+                self.base.request(*stale)
+            except (ConnectionError, OSError):
+                pass  # a lost stale duplicate is chaos squared; fine
+
+        # one draw per fault class, fixed order, every request — the
+        # stream of RNG values is a pure function of the request index
+        draws = {
+            kind: self.rng.random()
+            for kind in ("drop_request", "truncate", "stall",
+                         "drop_response", "duplicate", "reorder")
+        }
+
+        if draws["drop_request"] < self.drop_request_rate:
+            self._count("drop_request")
+            raise WireDropped("chaos: request dropped")
+
+        if draws["truncate"] < self.truncate_rate:
+            self._count("truncate")
+            send_raw = getattr(self.base, "send_raw", None)
+            if send_raw is not None and len(body) > 1:
+                # deliver half the body under the full declared length;
+                # the server handler blocks until its socket timeout
+                send_raw(method, path, body[: len(body) // 2],
+                         headers=headers, declared_length=len(body))
+            raise WireDropped("chaos: request truncated mid-body")
+
+        if draws["stall"] < self.stall_rate and len(body) > 1:
+            self._count("stall")
+            send_raw = getattr(self.base, "send_raw", None)
+            if send_raw is not None:
+                resp = send_raw(
+                    method, path, body, headers=headers,
+                    pause_after=len(body) // 2,
+                    pause_seconds=self.stall_seconds,
+                    sleep=self.sleep, await_response=True,
+                )
+                if resp is None:
+                    raise WireDropped("chaos: stalled send lost")
+                return self._after(method, path, body, headers, resp,
+                                   draws)
+
+        resp = self.base.request(method, path, body, headers)
+        return self._after(method, path, body, headers, resp, draws)
+
+    def _after(self, method: str, path: str, body: bytes, headers: dict,
+               resp, draws: Dict[str, float]):
+        if draws["drop_response"] < self.drop_response_rate:
+            # the server already processed it; the caller sees a dead
+            # connection and must retry — dedupe's moment to shine
+            self._count("drop_response")
+            raise WireDropped("chaos: response dropped")
+        if draws["duplicate"] < self.duplicate_rate:
+            self._count("duplicate")
+            try:
+                resp = self.base.request(method, path, body, headers)
+            except (ConnectionError, OSError):
+                pass  # duplicate lost in transit; original stands
+        if draws["reorder"] < self.reorder_rate:
+            self._count("reorder")
+            self._stashed = (method, path, body, dict(headers))
+        return resp

@@ -1,0 +1,262 @@
+"""Wire-chaos ingest matrix: byte-identity over a hostile network.
+
+Run with ``pytest -m ingest_chaos``.  The proofs the PR rides on:
+
+* **Equivalence** — a real :class:`IngestServer` fed by the resilient
+  client through :class:`ChaosTransport` (drops, duplicated and
+  reordered deliveries, mid-body truncation, stalls) plus one graceful
+  drain + ``--resume``-style restart mid-stream must produce
+  predictions byte-identical to an undisturbed in-process fleet run,
+  with nothing shed and nothing crashed.
+* **Overload** — a fleet with tiny queues pushed far past its drain
+  rate answers 429 + Retry-After; the client honors the pushback and
+  every record is eventually accepted: overload means *slower*, never
+  *lossy* (and never a shard crash).
+"""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.fleet import (
+    Fleet,
+    FleetPolicy,
+    IngestAPI,
+    IngestConfig,
+    IngestServer,
+    ManualClock,
+    hashed_tenant_key,
+)
+from repro.fleet.client import HTTPTransport, IngestClient, Response
+from repro.resilience.wire import ChaosTransport
+
+pytestmark = pytest.mark.ingest_chaos
+
+CHAOS_SEED = 20120407
+
+
+def pred_json(dicts):
+    return json.dumps(dicts, sort_keys=True)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_obs():
+    obs.reset()
+    yield
+    obs.reset()
+
+
+def build_fleet(fitted_elsa, small_scenario, ckpt_dir, resume=False,
+                policy=None):
+    key = hashed_tenant_key(4)
+    test = small_scenario.test_records
+    tenants = sorted({key(r.location) for r in test})
+    fleet = Fleet.build(
+        fitted_elsa, tenants, small_scenario.train_end,
+        small_scenario.t_end, key, ckpt_dir,
+        policy=policy or FleetPolicy(jitter_seed=CHAOS_SEED),
+        clock=ManualClock(), register=False, resume=resume,
+    )
+    return fleet, tenants, test, key
+
+
+def baseline_predictions(fitted_elsa, small_scenario, tmp_path):
+    fleet, tenants, test, _ = build_fleet(
+        fitted_elsa, small_scenario, tmp_path / "base"
+    )
+    out = fleet.run(test)
+    assert fleet.router.stats["shed"] == 0
+    fleet.close()
+    return {
+        tenant: [p.to_dict() for p in preds]
+        for tenant, preds in out.items()
+    }
+
+
+class TestWireChaosEquivalence:
+    def test_hostile_wire_and_restart_are_byte_identical(
+        self, fitted_elsa, small_scenario, tmp_path
+    ):
+        """The headline proof: chaos on every axis at once, plus a
+        graceful drain + resumed restart halfway through the stream."""
+        base = baseline_predictions(fitted_elsa, small_scenario, tmp_path)
+        ckpt = tmp_path / "srv"
+
+        fleet1, tenants, test, key = build_fleet(
+            fitted_elsa, small_scenario, ckpt
+        )
+        api1 = IngestAPI(
+            fleet1, config=IngestConfig(),
+            ledger_path=ckpt / "ledger.json",
+        )
+        server1 = IngestServer(api1, request_timeout_seconds=0.25)
+        server1.start()
+
+        transport = HTTPTransport("127.0.0.1", server1.port, timeout=5.0)
+        chaos = ChaosTransport(
+            transport,
+            drop_request_rate=0.05,
+            drop_response_rate=0.05,
+            duplicate_rate=0.05,
+            reorder_rate=0.05,
+            truncate_rate=0.03,
+            stall_rate=0.05,
+            stall_seconds=0.05,
+            seed=CHAOS_SEED,
+        )
+        client = IngestClient(
+            chaos, max_attempts=12, backoff_initial=0.01,
+            backoff_max=0.1, breaker_cooldown=0.05, seed=CHAOS_SEED,
+        )
+
+        mid = len(test) // 2
+        client.feed(test[:mid], key, batch_size=128)
+
+        # graceful drain: checkpoints + ledger land on disk, then the
+        # process "dies" and a fresh one adopts the directory
+        summary = api1.drain()
+        assert summary["degraded"] is False
+        server1.stop()
+        fleet1.close()
+
+        fleet2, _, _, _ = build_fleet(
+            fitted_elsa, small_scenario, ckpt, resume=True
+        )
+        api2 = IngestAPI(
+            fleet2, config=IngestConfig(),
+            ledger_path=ckpt / "ledger.json", resume=True,
+        )
+        server2 = IngestServer(api2, request_timeout_seconds=0.25)
+        server2.start()
+        transport.port = server2.port  # repoint the live client
+
+        client.feed(test[mid:], key, batch_size=128)
+
+        try:
+            for tenant in tenants:
+                payload = client.seal(tenant)
+                assert payload["sealed"] is True
+                assert pred_json(payload["predictions"]) == pred_json(
+                    base[tenant]
+                ), tenant
+            # the wire was genuinely hostile...
+            assert sum(chaos.injected.values()) > 20
+            assert chaos.injected.get("drop_response", 0) > 0
+            assert chaos.injected.get("duplicate", 0) > 0
+            # ...the client genuinely retried into the dedupe path...
+            assert client.stats["retries"] > 0
+            assert client.stats["duplicates"] > 0
+            # ...and nothing was lost or crashed on the server
+            assert fleet2.router.stats["shed"] == 0
+            assert fleet2.router.stats["dead_lettered"] == 0
+            for shard in fleet2.shards.values():
+                assert shard.crashes == 0
+        finally:
+            server2.stop()
+            fleet2.close()
+
+    def test_clean_wire_sanity(
+        self, fitted_elsa, small_scenario, tmp_path
+    ):
+        """No chaos, no restart: the plain network path alone must
+        already be byte-identical (isolates wire bugs from chaos bugs
+        when the headline test fails)."""
+        base = baseline_predictions(fitted_elsa, small_scenario, tmp_path)
+        fleet, tenants, test, key = build_fleet(
+            fitted_elsa, small_scenario, tmp_path / "clean"
+        )
+        api = IngestAPI(fleet, ledger_path=None)
+        server = IngestServer(api)
+        server.start()
+        try:
+            client = IngestClient(
+                HTTPTransport("127.0.0.1", server.port, timeout=5.0),
+                seed=CHAOS_SEED,
+            )
+            client.feed(test, key, batch_size=512)
+            for tenant in tenants:
+                payload = client.seal(tenant)
+                assert pred_json(payload["predictions"]) == pred_json(
+                    base[tenant]
+                ), tenant
+            assert client.stats["retries"] == 0
+        finally:
+            server.stop()
+            fleet.close()
+
+
+class LoopbackTransport:
+    """Calls the API in-process: overload tests without socket jitter."""
+
+    def __init__(self, api):
+        self.api = api
+
+    def request(self, method, path, body=b"", headers=None):
+        result = self.api.handle_request(
+            method, path,
+            {k.lower(): v for k, v in (headers or {}).items()}, body,
+        )
+        if result is None:
+            return Response(404, {}, b'{"error": "no route"}')
+        code, payload, extra = result
+        return Response(
+            code, extra, json.dumps(payload).encode("utf-8")
+        )
+
+
+class TestOverloadPushback:
+    def test_429_pushback_without_loss_or_crashes(
+        self, fitted_elsa, small_scenario, tmp_path
+    ):
+        """Queues 100x smaller than the stream: the client must see
+        429s, and waiting out Retry-After (pumping meanwhile, as wall
+        time would) must deliver every single record."""
+        base = baseline_predictions(fitted_elsa, small_scenario, tmp_path)
+        policy = FleetPolicy(
+            queue_capacity=64, chunk_records=32,
+            pump_interval_records=1_000_000,  # no implicit pump on route
+            jitter_seed=CHAOS_SEED,
+        )
+        fleet, tenants, test, key = build_fleet(
+            fitted_elsa, small_scenario, tmp_path / "overload",
+            policy=policy,
+        )
+        api = IngestAPI(
+            fleet,
+            config=IngestConfig(
+                admission_capacity=128.0, admission_rate=256.0,
+                retry_after_min=0.0, retry_after_max=5.0,
+            ),
+            ledger_path=None,
+        )
+        # sleeping on pushback *is* the pump: every Retry-After wait
+        # drains a few chunks, exactly what wall-clock time does live
+        client = IngestClient(
+            LoopbackTransport(api),
+            max_throttles=100_000, seed=CHAOS_SEED,
+            sleep=lambda seconds: api.pump_once(),
+        )
+        client.feed(test, key, batch_size=48)
+
+        assert client.stats["throttled"] > 0
+        assert client.last_retry_after is not None
+        reg = obs.get_registry()
+        assert reg.get("ingest.rejected").value > 0
+
+        summary = api.drain()
+        assert summary["degraded"] is False
+        assert summary["shed"] == 0
+        assert summary["dead_lettered"] == 0
+        total_fed = sum(s.records_fed for s in fleet.shards.values())
+        assert total_fed == len(test)  # zero loss, all records applied
+        for shard in fleet.shards.values():
+            assert shard.crashes == 0
+
+        # overload changed pacing, not output
+        out = fleet.finish()
+        for tenant in tenants:
+            assert pred_json(
+                [p.to_dict() for p in out[tenant]]
+            ) == pred_json(base[tenant]), tenant
+        fleet.close()
