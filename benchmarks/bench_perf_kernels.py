@@ -56,6 +56,69 @@ def test_perf_template_match_linear(bg, elsa_bg, benchmark):
     assert hit_rate > 0.95
 
 
+def test_perf_columnar_parse(bg, benchmark):
+    """Lines/second through the columnar batch tokenizer.
+
+    The parse half of the end-to-end columnar claim: raw text lines to
+    a :class:`RecordBatch` with cached token lists, no ``LogRecord``
+    objects anywhere.
+    """
+    from repro.helo.batch import parse_lines_batch
+
+    lines = [r.format_line() for r in bg.test_records[:20000]]
+
+    batch = benchmark.pedantic(
+        parse_lines_batch, args=(lines,), rounds=2, iterations=1
+    )
+    assert len(batch) == len(lines)
+
+
+def test_perf_columnar_template_match(bg, elsa_bg, benchmark):
+    """Messages/second through the batched template matcher.
+
+    The columnar analogue of :func:`test_perf_online_classification`:
+    one ``observe_tokens_batch`` call over pre-split token lists
+    instead of a Python loop of per-message lookups.
+    """
+    token_lists = [
+        r.message.split() for r in bg.test_records[:20000]
+    ]
+    table = elsa_bg._online_helo.table
+
+    def classify():
+        helo = OnlineHELO(table=table)
+        return helo.observe_tokens_batch(token_lists)
+
+    ids = benchmark.pedantic(classify, rounds=2, iterations=1)
+    hit_rate = float((ids >= 0).mean())
+    assert hit_rate > 0.95
+
+
+def test_perf_columnar_feed_binning(bg, elsa_bg, benchmark):
+    """Records/second through the batched feed over a RecordBatch.
+
+    Isolates the columnar sample-binning half of the pipeline: the
+    timestamps array bins straight into detector-bank ticks without a
+    record-object loop (classification is precomputed and excluded).
+    """
+    from repro.columnar import RecordBatch
+
+    records = RecordBatch.from_records(bg.test_records)
+    ids = elsa_bg._classify(records, online=True)
+
+    def run():
+        elsa_bg.set_fast_path(True)
+        pred = elsa_bg.streaming_predictor(
+            t_start=bg.train_end, t_end=bg.t_end
+        )
+        for a in range(0, len(records), 4096):
+            pred.feed(records[a:a + 4096], ids[a:a + 4096])
+        return pred.finish()
+
+    preds = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert preds
+
+
 def test_perf_signal_extraction(bg, benchmark):
     """Records/second into the sparse signal matrix."""
     records = bg.test_records[:100000]

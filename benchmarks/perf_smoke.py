@@ -41,6 +41,19 @@ PRE_PR_RECORDS_PER_SEC = 58_979.0
 #: the gate: fail when the fast/legacy ratio drops below 70% of baseline
 MAX_RATIO_REGRESSION = 0.30
 
+#: the columnar gate: parse→predict on RecordBatches must stay at least
+#: this much faster than the same pipeline over record objects (a
+#: machine-independent ratio, like the fast/legacy gate).  The object
+#: side of this ratio shares the vectorized bank and chain-prefix
+#: kernels — only the parse/classify/handoff layout differs — which is
+#: why the floor is well under the ~3x the columnar path shows against
+#: the pre-columnar fast path (see PRE_PR_E2E_RECORDS_PER_SEC)
+COLUMNAR_MIN_SPEEDUP = 1.25
+
+#: pre-columnar fast path, parse→predict end to end on the same lines
+#: (best of 3, measured on the commit before RecordBatch landed)
+PRE_PR_E2E_RECORDS_PER_SEC = 114_000.0
+
 #: the profiler gate: sampling the stage profiler during the fast-path
 #: run may cost at most 5% throughput (extra_info.profiler in the report)
 PROFILER_MAX_OVERHEAD = 1.05
@@ -67,6 +80,33 @@ def _scenario():
     elsa.fit(sc.records, t_train_end=sc.train_end)
     test = [r for r in sc.records if r.timestamp >= sc.train_end]
     return sc, elsa, test
+
+
+def _peak_rss_mb():
+    """Process peak RSS in MB (ru_maxrss is KiB on Linux)."""
+    import resource
+
+    return round(
+        resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0, 1
+    )
+
+
+def _weighted_percentile(values, weights, q):
+    """Percentile of per-chunk values weighted by records per chunk.
+
+    Feed latency is measured per *chunk* and amortized to µs/record;
+    a plain percentile over those values overweights the ragged tail
+    chunk (its fixed per-chunk costs amortize over far fewer records,
+    which is what produced the phantom 12.8 µs p99).  Weighting each
+    chunk by its record count makes the percentile answer the question
+    the metric claims to: "what did the p99 *record* pay?"
+    """
+    values = np.asarray(values, dtype=np.float64)
+    weights = np.asarray(weights, dtype=np.float64)
+    order = np.argsort(values)
+    values, weights = values[order], weights[order]
+    cum = np.cumsum(weights)
+    return float(values[np.searchsorted(cum, q / 100.0 * cum[-1])])
 
 
 def _run_once(sc, elsa, test, fast, spans=False):
@@ -154,11 +194,90 @@ def measure_profiler_overhead(sc, elsa, test, trials=3):
     }
 
 
+def _e2e_once(sc, elsa, lines, columnar):
+    """One parse→classify→feed→finish pass over serialized log lines.
+
+    ``columnar=True`` runs the RecordBatch pipeline (batch tokenizer,
+    columnar classify, batched feed); ``columnar=False`` runs the same
+    fast-path engine over record objects parsed one line at a time —
+    the pre-columnar shape of the hot path, and the denominator of the
+    end-to-end speedup gate.
+    """
+    from repro.helo.online import OnlineHELO
+
+    elsa.set_fast_path(True)
+    helo_state = elsa._online_helo.state_dict()
+    pred = elsa.streaming_predictor(t_start=sc.train_end, t_end=sc.t_end)
+    t0 = time.perf_counter()
+    if columnar:
+        from repro.helo.batch import parse_lines_batch
+
+        records = parse_lines_batch(lines)
+    else:
+        from repro.simulation.trace import parse_log_line
+
+        records = [parse_log_line(ln) for ln in lines]
+    ids = elsa._classify(records, online=True)
+    for a in range(0, len(records), CHUNK):
+        pred.feed(records[a:a + CHUNK], ids[a:a + CHUNK])
+    predictions = pred.finish()
+    elapsed = time.perf_counter() - t0
+    elsa._online_helo = OnlineHELO.from_state(helo_state)
+    return elapsed, predictions
+
+
+def measure_columnar(sc, elsa, test, trials=3) -> dict:
+    """End-to-end parse→predict: RecordBatch pipeline vs record objects.
+
+    Both sides consume the *same* serialized text lines (what a real
+    ingest sees), so parsing is inside the measurement — the columnar
+    claim is about the whole path, not just the feed.  The gate rides
+    the speedup ratio (machine-independent) and the byte-identity of
+    the two prediction streams.
+    """
+    lines = [r.format_line() for r in test]
+    n = len(lines)
+    best = {}
+    preds = {}
+    for label, columnar in (("columnar", True), ("object", False)):
+        best[label] = float("inf")
+        for _ in range(trials):
+            elapsed, p = _e2e_once(sc, elsa, lines, columnar)
+            best[label] = min(best[label], elapsed)
+            preds[label] = p
+    identical = (
+        [p.to_dict() for p in preds["columnar"]]
+        == [p.to_dict() for p in preds["object"]]
+    )
+    if not identical:
+        raise SystemExit(
+            "FAIL: columnar and object parse→predict paths emitted "
+            "different predictions"
+        )
+    col_rps = n / best["columnar"]
+    obj_rps = n / best["object"]
+    return {
+        "records": n,
+        "predictions": len(preds["columnar"]),
+        "end_to_end_records_per_sec": round(col_rps, 1),
+        "end_to_end_us_per_record": round(best["columnar"] / n * 1e6, 3),
+        "object_path_records_per_sec": round(obj_rps, 1),
+        "speedup_vs_object_path": round(col_rps / obj_rps, 3),
+        "pre_pr_fast_path_records_per_sec": PRE_PR_E2E_RECORDS_PER_SEC,
+        "speedup_vs_pre_pr_fast_path": round(
+            col_rps / PRE_PR_E2E_RECORDS_PER_SEC, 2
+        ),
+        "predictions_identical": identical,
+    }
+
+
 def measure(trials: int = 3) -> dict:
     sc, elsa, test = _scenario()
     n = len(test)
     out = {}
     preds = {}
+    # per-chunk record counts, for record-weighted latency percentiles
+    lens = [len(test[a:a + CHUNK]) for a in range(0, n, CHUNK)]
     for label, fast in (("fast", True), ("legacy", False)):
         best = float("inf")
         all_chunk_us = []
@@ -167,14 +286,15 @@ def measure(trials: int = 3) -> dict:
             best = min(best, elapsed)
             all_chunk_us.extend(chunk_us)
             preds[label] = p
+        weights = lens * trials
         out[label] = {
             "records_per_sec": round(n / best, 1),
             "us_per_record": round(best / n * 1e6, 3),
             "feed_us_per_record_p50": round(
-                float(np.percentile(all_chunk_us, 50)), 3
+                _weighted_percentile(all_chunk_us, weights, 50), 3
             ),
             "feed_us_per_record_p99": round(
-                float(np.percentile(all_chunk_us, 99)), 3
+                _weighted_percentile(all_chunk_us, weights, 99), 3
             ),
             "best_seconds": round(best, 4),
         }
@@ -186,6 +306,7 @@ def measure(trials: int = 3) -> dict:
             "FAIL: fast and legacy paths emitted different predictions"
         )
     fast_rps = out["fast"]["records_per_sec"]
+    columnar_info = measure_columnar(sc, elsa, test, trials=trials)
     profiler_info = measure_profiler_overhead(sc, elsa, test, trials=trials)
     return {
         "scenario": {
@@ -201,13 +322,23 @@ def measure(trials: int = 3) -> dict:
         "speedup_fast_vs_legacy": round(
             fast_rps / out["legacy"]["records_per_sec"], 3
         ),
+        "columnar": columnar_info,
         "pre_pr_baseline": {
             "records_per_sec": PRE_PR_RECORDS_PER_SEC,
             "note": "scalar pipeline before the fast path landed, "
                     "same scenario, best of 3",
         },
         "speedup_vs_pre_pr": round(fast_rps / PRE_PR_RECORDS_PER_SEC, 2),
-        "extra_info": {"profiler": profiler_info},
+        "latency_metric_note": (
+            "feed_us_per_record_* are per-chunk feed times amortized to "
+            "µs/record, percentiled with each chunk weighted by its "
+            "record count — an unweighted percentile overweights the "
+            "ragged tail chunk and reports a phantom p99"
+        ),
+        "extra_info": {
+            "profiler": profiler_info,
+            "peak_rss_mb": _peak_rss_mb(),
+        },
     }
 
 
@@ -224,6 +355,7 @@ def measure_fleet(trials: int = 3, shards: int = 8) -> dict:
     import tempfile
 
     from repro import obs
+    from repro.columnar import RecordBatch
     from repro.fleet import Fleet, FleetPolicy, hashed_tenant_key
     from repro.resilience.checkpoint import ResumableRun
 
@@ -239,21 +371,31 @@ def measure_fleet(trials: int = 3, shards: int = 8) -> dict:
         elapsed, _, single_preds = _run_once(sc, elsa, test, fast=True)
         best_single = min(best_single, elapsed)
 
-    best_fleet = float("inf")
+    # fleet over record objects (scalar handoff) vs over one
+    # RecordBatch (segments travel router → queue → feed intact) —
+    # the before/after of the array-batch shard handoff
+    test_batch = RecordBatch.from_records(test)
+    best_by_mode = {"object": float("inf"), "batch": float("inf")}
     fleet_out = None
+    # modes interleave within each trial so slow drift in machine load
+    # cancels out of the handoff ratio instead of biasing one side
     for _ in range(trials):
-        obs.reset()
-        with tempfile.TemporaryDirectory() as ckpt_dir:
-            fleet = Fleet.build(
-                elsa, tenants, sc.train_end, sc.t_end, key, ckpt_dir,
-                policy=policy,
-            )
-            t0 = time.perf_counter()
-            out = fleet.run(test)
-            elapsed = time.perf_counter() - t0
-            fleet.close()
-        if elapsed < best_fleet:
-            best_fleet, fleet_out = elapsed, out
+        for mode, stream in (("object", test), ("batch", test_batch)):
+            obs.reset()
+            with tempfile.TemporaryDirectory() as ckpt_dir:
+                fleet = Fleet.build(
+                    elsa, tenants, sc.train_end, sc.t_end, key, ckpt_dir,
+                    policy=policy,
+                )
+                t0 = time.perf_counter()
+                out = fleet.run(stream)
+                elapsed = time.perf_counter() - t0
+                fleet.close()
+            if elapsed < best_by_mode[mode]:
+                best_by_mode[mode] = elapsed
+                if mode == "batch":
+                    fleet_out = out
+    best_fleet = best_by_mode["batch"]
 
     # byte-identity smoke: each tenant == a standalone run on its slice
     identical = True
@@ -275,6 +417,7 @@ def measure_fleet(trials: int = 3, shards: int = 8) -> dict:
 
     single_rps = n / best_single
     fleet_rps = n / best_fleet
+    object_rps = n / best_by_mode["object"]
     return {
         "scenario": {
             "name": "bluegene-1.5d",
@@ -285,6 +428,8 @@ def measure_fleet(trials: int = 3, shards: int = 8) -> dict:
             "chunk": CHUNK,
         },
         "records_per_sec": round(fleet_rps, 1),
+        "object_handoff_records_per_sec": round(object_rps, 1),
+        "batch_handoff_speedup": round(fleet_rps / object_rps, 3),
         "single_stream_records_per_sec": round(single_rps, 1),
         "throughput_ratio_vs_single": round(fleet_rps / single_rps, 3),
         "predictions": sum(len(p) for p in fleet_out.values()),
@@ -345,6 +490,24 @@ def check(result: dict) -> int:
         )
         return 1
     print("OK: fast path within budget")
+    col = result.get("columnar")
+    if col:
+        speedup = col["speedup_vs_object_path"]
+        print(
+            f"columnar parse→predict: {speedup:.3f}x vs object path "
+            f"(floor {COLUMNAR_MIN_SPEEDUP:.1f}x), "
+            f"identical={col['predictions_identical']}"
+        )
+        if not col["predictions_identical"]:
+            print("FAIL: columnar path predictions diverged")
+            return 1
+        if speedup < COLUMNAR_MIN_SPEEDUP:
+            print(
+                f"FAIL: columnar end-to-end speedup fell below "
+                f"{COLUMNAR_MIN_SPEEDUP:.1f}x"
+            )
+            return 1
+        print("OK: columnar end-to-end within budget")
     prof = result.get("extra_info", {}).get("profiler")
     if prof:
         overhead = prof["overhead_ratio"]

@@ -1,0 +1,325 @@
+"""Columnar record batches: the array-of-structs → struct-of-arrays turn.
+
+A :class:`RecordBatch` holds one contiguous slice of a log stream as
+parallel numpy arrays — timestamps (float64), interned location ids
+(int32 into a shared string pool), severity codes (int8), and optional
+template ids (int64, ``-1`` = unclassified) — plus the raw message
+strings.  It is produced **once** at parse time
+(:func:`repro.helo.batch.parse_lines_batch` or :meth:`from_records`)
+and consumed zero-copy by every downstream stage: template matching
+(:meth:`repro.helo.online.OnlineHELO.observe_tokens_batch`), sanitizing
+(:func:`repro.resilience.stream.sanitize_batch`), binning and detector
+ticking (:meth:`repro.prediction.streaming.StreamingHybridPredictor.feed`),
+and fleet shard handoff (:class:`repro.fleet.queue.RecordDeque`).
+
+Slicing is a view (arrays are numpy views, the location pool is
+shared); :meth:`take` and :meth:`concat` copy.  :meth:`to_records`
+materializes :class:`~repro.simulation.trace.LogRecord` objects for the
+scalar path — the equivalence contract is that a round trip through a
+batch is lossless, including the ground-truth side channels.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.simulation.trace import LogRecord, Severity
+
+__all__ = ["RecordBatch"]
+
+_NO_SIDE = None
+
+
+class RecordBatch:
+    """A columnar slice of a log stream (struct-of-arrays).
+
+    Parameters are taken by reference, not copied — builders hand over
+    ownership.  ``event_types``/``fault_ids`` are plain Python lists (or
+    ``None`` meaning "all None"); they are ground-truth side channels
+    that never appear on hot paths but must survive a round trip.
+    """
+
+    __slots__ = (
+        "timestamps",
+        "loc_ids",
+        "severities",
+        "messages",
+        "loc_pool",
+        "template_ids",
+        "event_types",
+        "fault_ids",
+        "_loc_index",
+        "token_lists",
+    )
+
+    def __init__(
+        self,
+        timestamps: np.ndarray,
+        loc_ids: np.ndarray,
+        severities: np.ndarray,
+        messages: List[str],
+        loc_pool: List[str],
+        template_ids: Optional[np.ndarray] = None,
+        event_types: Optional[list] = _NO_SIDE,
+        fault_ids: Optional[list] = _NO_SIDE,
+        loc_index: Optional[Dict[str, int]] = None,
+        token_lists: Optional[list] = None,
+    ) -> None:
+        self.timestamps = timestamps
+        self.loc_ids = loc_ids
+        self.severities = severities
+        self.messages = messages
+        self.loc_pool = loc_pool
+        self.template_ids = template_ids
+        self.event_types = event_types
+        self.fault_ids = fault_ids
+        self._loc_index = loc_index
+        #: transient: per-record token lists cached by the batch parser
+        #: so classification does not re-split messages; never persisted
+        self.token_lists = token_lists
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def empty(cls) -> "RecordBatch":
+        return cls(
+            np.empty(0, dtype=np.float64),
+            np.empty(0, dtype=np.int32),
+            np.empty(0, dtype=np.int8),
+            [],
+            [],
+        )
+
+    @classmethod
+    def from_records(cls, records: Sequence[LogRecord]) -> "RecordBatch":
+        """Columnarize a list of record objects (interning locations)."""
+        n = len(records)
+        ts = np.empty(n, dtype=np.float64)
+        lids = np.empty(n, dtype=np.int32)
+        sevs = np.empty(n, dtype=np.int8)
+        msgs: List[str] = [""] * n
+        pool: List[str] = []
+        index: Dict[str, int] = {}
+        ets: Optional[list] = None
+        fids: Optional[list] = None
+        for i, rec in enumerate(records):
+            ts[i] = rec.timestamp
+            lid = index.get(rec.location)
+            if lid is None:
+                lid = len(pool)
+                index[rec.location] = lid
+                pool.append(rec.location)
+            lids[i] = lid
+            sevs[i] = int(rec.severity)
+            msgs[i] = rec.message
+            if rec.event_type is not None:
+                if ets is None:
+                    ets = [None] * n
+                ets[i] = rec.event_type
+            if rec.fault_id is not None:
+                if fids is None:
+                    fids = [None] * n
+                fids[i] = rec.fault_id
+        return cls(ts, lids, sevs, msgs, pool, event_types=ets,
+                   fault_ids=fids, loc_index=index)
+
+    # -- basic protocol ------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.timestamps)
+
+    def __bool__(self) -> bool:
+        return len(self.timestamps) > 0
+
+    def location(self, i: int) -> str:
+        """The location string of row ``i``."""
+        return self.loc_pool[self.loc_ids[i]]
+
+    def record(self, i: int) -> LogRecord:
+        """Materialize row ``i`` as a :class:`LogRecord`."""
+        if i < 0:
+            i += len(self.timestamps)
+        return LogRecord(
+            timestamp=float(self.timestamps[i]),
+            location=self.loc_pool[self.loc_ids[i]],
+            severity=Severity(int(self.severities[i])),
+            message=self.messages[i],
+            event_type=(
+                None if self.event_types is None else self.event_types[i]
+            ),
+            fault_id=(
+                None if self.fault_ids is None else self.fault_ids[i]
+            ),
+        )
+
+    def __getitem__(
+        self, key: Union[int, slice]
+    ) -> Union[LogRecord, "RecordBatch"]:
+        if isinstance(key, slice):
+            start, stop, step = key.indices(len(self))
+            if step != 1:
+                raise ValueError("RecordBatch slices must be contiguous")
+            return self.slice(start, stop)
+        return self.record(int(key))
+
+    def __iter__(self):
+        for i in range(len(self)):
+            yield self.record(i)
+
+    def slice(self, start: int, stop: int) -> "RecordBatch":
+        """A zero-copy contiguous view (shares the location pool)."""
+        sl = slice(start, stop)
+        return RecordBatch(
+            self.timestamps[sl],
+            self.loc_ids[sl],
+            self.severities[sl],
+            self.messages[sl],
+            self.loc_pool,
+            template_ids=(
+                None if self.template_ids is None else self.template_ids[sl]
+            ),
+            event_types=(
+                None if self.event_types is None else self.event_types[sl]
+            ),
+            fault_ids=(
+                None if self.fault_ids is None else self.fault_ids[sl]
+            ),
+            loc_index=self._loc_index,
+            token_lists=(
+                None if self.token_lists is None else self.token_lists[sl]
+            ),
+        )
+
+    def take(self, sel: np.ndarray) -> "RecordBatch":
+        """Rows selected by a boolean mask or integer index array (copy)."""
+        sel = np.asarray(sel)
+        if sel.dtype == np.bool_:
+            idx = np.flatnonzero(sel)
+        else:
+            idx = sel
+        msgs = [self.messages[i] for i in idx]
+        return RecordBatch(
+            self.timestamps[idx],
+            self.loc_ids[idx],
+            self.severities[idx],
+            msgs,
+            self.loc_pool,
+            template_ids=(
+                None if self.template_ids is None else self.template_ids[idx]
+            ),
+            event_types=(
+                None if self.event_types is None
+                else [self.event_types[i] for i in idx]
+            ),
+            fault_ids=(
+                None if self.fault_ids is None
+                else [self.fault_ids[i] for i in idx]
+            ),
+            loc_index=self._loc_index,
+            token_lists=(
+                None if self.token_lists is None
+                else [self.token_lists[i] for i in idx]
+            ),
+        )
+
+    @staticmethod
+    def concat(batches: Sequence["RecordBatch"]) -> "RecordBatch":
+        """Concatenate batches, remapping location ids to a union pool."""
+        batches = [b for b in batches if len(b)]
+        if not batches:
+            return RecordBatch.empty()
+        if len(batches) == 1:
+            return batches[0]
+        pool: List[str] = []
+        index: Dict[str, int] = {}
+        lid_parts = []
+        for b in batches:
+            remap = np.empty(len(b.loc_pool), dtype=np.int32)
+            for j, loc in enumerate(b.loc_pool):
+                lid = index.get(loc)
+                if lid is None:
+                    lid = len(pool)
+                    index[loc] = lid
+                    pool.append(loc)
+                remap[j] = lid
+            lid_parts.append(remap[b.loc_ids])
+        n = sum(len(b) for b in batches)
+        msgs: List[str] = []
+        for b in batches:
+            msgs.extend(b.messages)
+        ets = None
+        if any(b.event_types is not None for b in batches):
+            ets = []
+            for b in batches:
+                ets.extend(b.event_types if b.event_types is not None
+                           else [None] * len(b))
+        fids = None
+        if any(b.fault_ids is not None for b in batches):
+            fids = []
+            for b in batches:
+                fids.extend(b.fault_ids if b.fault_ids is not None
+                            else [None] * len(b))
+        tids = None
+        if all(b.template_ids is not None for b in batches):
+            tids = np.concatenate([b.template_ids for b in batches])
+        assert n == len(msgs)
+        return RecordBatch(
+            np.concatenate([b.timestamps for b in batches]),
+            np.concatenate(lid_parts),
+            np.concatenate([b.severities for b in batches]),
+            msgs,
+            pool,
+            template_ids=tids,
+            event_types=ets,
+            fault_ids=fids,
+            loc_index=index,
+        )
+
+    # -- conversion ----------------------------------------------------------
+
+    def to_records(self) -> List[LogRecord]:
+        """Materialize the whole batch as record objects (scalar path)."""
+        pool = self.loc_pool
+        ets = self.event_types
+        fids = self.fault_ids
+        sev_of = {int(s): s for s in Severity}
+        return [
+            LogRecord(
+                timestamp=float(self.timestamps[i]),
+                location=pool[self.loc_ids[i]],
+                severity=sev_of[int(self.severities[i])],
+                message=self.messages[i],
+                event_type=None if ets is None else ets[i],
+                fault_id=None if fids is None else fids[i],
+            )
+            for i in range(len(self.timestamps))
+        ]
+
+    def intern(self, location: str) -> int:
+        """Intern a location string into the pool, returning its id."""
+        if self._loc_index is None:
+            self._loc_index = {
+                loc: j for j, loc in enumerate(self.loc_pool)
+            }
+        lid = self._loc_index.get(location)
+        if lid is None:
+            lid = len(self.loc_pool)
+            self._loc_index[location] = lid
+            self.loc_pool.append(location)
+        return lid
+
+    def nbytes(self) -> int:
+        """Approximate array memory footprint (excludes strings)."""
+        n = self.timestamps.nbytes + self.loc_ids.nbytes
+        n += self.severities.nbytes
+        if self.template_ids is not None:
+            n += self.template_ids.nbytes
+        return n
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RecordBatch(n={len(self)}, locs={len(self.loc_pool)}, "
+            f"classified={self.template_ids is not None})"
+        )

@@ -16,7 +16,10 @@ import zlib
 from collections import deque
 from typing import Callable, Dict, List, Optional, Sequence
 
+import numpy as np
+
 from repro import obs
+from repro.columnar import RecordBatch
 from repro.fleet.policy import FleetPolicy
 from repro.fleet.shard import Shard, ShardState
 from repro.simulation.trace import LogRecord
@@ -127,6 +130,61 @@ class IngestionRouter:
                 severity=rec.severity.name
             ).inc()
         return verdict
+
+    def route_batch(self, batch: RecordBatch) -> dict:
+        """Place a whole batch; returns ``{verdict: count}``.
+
+        The tenant key runs once per *pool location*, not per record
+        (a batch has thousands of rows over a handful of locations);
+        each tenant's rows then travel to its shard as one sub-batch
+        and enqueue as a single segment via
+        :meth:`Shard.offer_batch`.  Per-tenant record order — the only
+        order a shard can see — matches scalar routing exactly.
+        """
+        totals = {"accepted": 0, "rejected": 0, "shed": 0,
+                  "dead-letter": 0}
+        if not len(batch):
+            return totals
+        self.stats["routed"] += len(batch)
+        tenant_ix: Dict[str, int] = {}
+        codes = np.empty(len(batch.loc_pool), dtype=np.int64)
+        for i, loc in enumerate(batch.loc_pool):
+            t = self.key(loc)
+            codes[i] = tenant_ix.setdefault(t, len(tenant_ix))
+        row_codes = codes[batch.loc_ids]
+        for tc, tenant in enumerate(tenant_ix):
+            rows = np.flatnonzero(row_codes == tc)
+            if not rows.size:
+                continue
+            sub = batch if len(tenant_ix) == 1 else batch.take(rows)
+            shard = self.shards.get(tenant)
+            if shard is None or shard.state is ShardState.QUARANTINED:
+                reason = "unknown-tenant" if shard is None else "fenced"
+                for rec in sub.to_records():
+                    self._dead(rec, reason, tenant)
+                totals["dead-letter"] += len(sub)
+                continue
+            shed_before = dict(shard.shed_by_severity)
+            counts = shard.offer_batch(sub)
+            for verdict, c in counts.items():
+                self.stats[verdict] = self.stats.get(verdict, 0) + c
+                totals[verdict] += c
+            if counts["accepted"] and shard.pending_trace is None:
+                from repro.obs.forensics import mint_trace
+
+                shard.pending_trace = mint_trace(tenant=tenant)
+            if counts["shed"]:
+                obs.counter("fleet.records_shed").inc(counts["shed"])
+                obs.counter("fleet.records_shed").labels(
+                    tenant=tenant
+                ).inc(counts["shed"])
+                for name, c in shard.shed_by_severity.items():
+                    d = c - shed_before.get(name, 0)
+                    if d:
+                        obs.counter("fleet.records_shed").labels(
+                            severity=name
+                        ).inc(d)
+        return totals
 
     def dead_letter_all(
         self, records: List[LogRecord], reason: str, tenant: str

@@ -29,13 +29,16 @@ import copy
 import enum
 import os
 import time
-from collections import deque
 from pathlib import Path
 from time import perf_counter
-from typing import Callable, Deque, List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
 
 from repro import obs
+from repro.columnar import RecordBatch
 from repro.fleet.policy import FleetPolicy
+from repro.fleet.queue import RecordDeque
 from repro.obs.forensics import mint_trace, trace_scope
 from repro.resilience.checkpoint import ResumableRun, load_checkpoint
 from repro.simulation.trace import LogRecord, Severity
@@ -113,8 +116,8 @@ class Shard:
         self.self_heal = bool(self_heal)
         self.store_dir = store_dir
         self.clock = clock
-        self.queue: Deque[LogRecord] = deque()
-        self._unacked: Deque[LogRecord] = deque()
+        self.queue = RecordDeque()
+        self._unacked = RecordDeque()
         self.state = ShardState.RUNNING
         self.last_beat = clock()
         self.restart_at: Optional[float] = None
@@ -221,6 +224,35 @@ class Shard:
         self.queue.append(rec)
         return "accepted"
 
+    def offer_batch(self, batch: RecordBatch) -> dict:
+        """Admit a routed batch; returns ``{verdict: count}``.
+
+        The steady-state path (headroom for the whole in-window slice)
+        checks the window as one mask and enqueues the batch as a
+        single segment — no per-record verdicts.  Near capacity it
+        falls back to record-at-a-time :meth:`offer` so the
+        severity-aware shedding stride sees the exact same sequence it
+        would have seen from scalar routing.
+        """
+        ts = batch.timestamps
+        inside = (ts >= self.t_start) & (ts < self.t_end)
+        n_in = int(inside.sum())
+        n_out = len(batch) - n_in
+        if len(self.queue) + n_in <= self.policy.queue_capacity:
+            self.rejected += n_out
+            if n_in:
+                if n_out:
+                    self.queue.append_batch(
+                        batch.take(np.flatnonzero(inside))
+                    )
+                else:
+                    self.queue.append_batch(batch)
+            return {"accepted": n_in, "rejected": n_out, "shed": 0}
+        counts = {"accepted": 0, "rejected": 0, "shed": 0}
+        for rec in batch.to_records():
+            counts[self.offer(rec)] += 1
+        return counts
+
     def free_slots(self) -> int:
         """Queue headroom before severity-aware shedding would engage.
 
@@ -253,7 +285,7 @@ class Shard:
         if self._poisoned:
             raise ShardKilled(f"shard {self.tenant} poisoned")
         n = min(self.policy.chunk_records, len(self.queue))
-        batch = [self.queue.popleft() for _ in range(n)]
+        batch = self.queue.popn(n)
         self._unacked.extend(batch)
         ctx = self.pending_trace or mint_trace(tenant=self.tenant)
         self.pending_trace = None
@@ -318,8 +350,7 @@ class Shard:
         so nothing is lost either way.
         """
         self.restarts += 1
-        replay = list(self._unacked)
-        self._unacked.clear()
+        replay = self._unacked.drain()
         have_ckpt = (
             self.checkpoint_path is not None and self.checkpoint_path.exists()
         )

@@ -19,10 +19,17 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+import numpy as np
+
 from repro import obs
+from repro.helo import tokenizer
 from repro.helo.miner import HELOMiner, MinerConfig
 from repro.helo.template import MinedTemplate, TemplateTable
-from repro.helo.tokenizer import normalize_tokens, tokenize
+from repro.helo.tokenizer import (
+    normalize_raw_token,
+    normalize_tokens,
+    tokenize,
+)
 
 
 @dataclass
@@ -97,6 +104,79 @@ class OnlineHELO:
             obs.counter("helo.online.table_updates").inc(
                 len(self.updated_ids) - updates_before
             )
+        return ids
+
+    def observe_tokens_batch(self, token_lists) -> "np.ndarray":
+        """Columnar :meth:`observe_many`: raw token lists → id array.
+
+        ``token_lists`` are per-record ``message.split()`` results (the
+        batch parser caches them on ``RecordBatch.token_lists``).  Each
+        record dispatches through :meth:`TemplateTable.batch_dispatch`
+        candidate lists, normalizing only the token positions a
+        candidate's verification spec needs — misses fall back to the
+        exact scalar :meth:`_handle_miss` (same table mutations, same
+        minting), after which the dispatch cache is refreshed if the
+        table changed.  Returns int64 ids with ``-1`` for ``None``.
+
+        Results (ids *and* table mutations) are identical to
+        ``observe_many(messages)`` for the messages the token lists came
+        from; ``tests/test_columnar.py`` holds the property.  Only valid
+        while ``table.use_index`` is True (callers route
+        ``--no-fast-path`` through the object path).
+        """
+        n = len(token_lists)
+        ids = np.empty(n, dtype=np.int64)
+        if n == 0:
+            return ids
+        misses_before = self._n_misses
+        updates_before = len(self.updated_ids)
+        table = self.table
+        dispatch = table.batch_dispatch()
+        gen = table.generation
+        cache = tokenizer._RAW_NORM_CACHE
+        cache_get = cache.get
+        for i, toks in enumerate(token_lists):
+            if not toks:
+                ids[i] = -1
+                continue
+            tid = -1
+            entry = dispatch.get(len(toks))
+            if entry is not None:
+                pos, groups, default = entry
+                raw = toks[pos]
+                nt = cache_get(raw)
+                if nt is None:
+                    nt = normalize_raw_token(raw)
+                for cand_tid, spec in groups.get(nt, default):
+                    for j, const in spec:
+                        raw = toks[j]
+                        nj = cache_get(raw)
+                        if nj is None:
+                            nj = normalize_raw_token(raw)
+                        if nj != const:
+                            break
+                    else:
+                        tid = cand_tid
+                        break
+            if tid < 0:
+                norm = []
+                for raw in toks:
+                    nj = cache_get(raw)
+                    if nj is None:
+                        nj = normalize_raw_token(raw)
+                    norm.append(nj)
+                res = self._handle_miss(tuple(norm))
+                if res is not None:
+                    tid = res
+                if table.generation != gen:
+                    dispatch = table.batch_dispatch()
+                    gen = table.generation
+            ids[i] = tid
+        obs.counter("helo.online.observed").inc(n)
+        obs.counter("helo.online.misses").inc(self._n_misses - misses_before)
+        obs.counter("helo.online.table_updates").inc(
+            len(self.updated_ids) - updates_before
+        )
         return ids
 
     # -- miss handling ------------------------------------------------------

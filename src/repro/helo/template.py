@@ -126,6 +126,9 @@ class TemplateTable:
         #                   tids wildcarded at the disc position)
         self._disc: Dict[int, Tuple[Optional[int], Dict[str, List[int]], List[int]]] = {}
         self._memo: Dict[Tuple[str, ...], Optional[int]] = {}
+        #: bumped on every mutation; batch classifiers key caches on it
+        self.generation = 0
+        self._dispatch_cache: Optional[tuple] = None
         for t in templates:
             self.add(t)
 
@@ -169,6 +172,7 @@ class TemplateTable:
 
     def _invalidate_index(self) -> None:
         self._index_dirty = True
+        self.generation += 1
         if self._memo:
             self._memo.clear()
 
@@ -216,6 +220,63 @@ class TemplateTable:
         self._exact = exact
         self._disc = disc
         self._index_dirty = False
+
+    def batch_dispatch(self) -> Dict[int, tuple]:
+        """Per-bucket candidate lists for the columnar batch classifier.
+
+        For each token-count bucket: ``(pos, groups, default)`` where
+        ``pos`` is the bucket's discrimination position (the one
+        :meth:`_rebuild_index` chose; 0 for all-constant buckets),
+        ``groups[tok]`` lists ``(tid, spec)`` candidates — every
+        template whose token at ``pos`` is ``tok`` or a wildcard, in
+        ascending-id order — and ``default`` lists the candidates whose
+        ``pos`` token is a wildcard (used when the message token matches
+        no group).  ``spec`` is the verification recipe: the template's
+        constant ``(position, token)`` pairs excluding ``pos`` when it
+        was already matched by group dispatch.
+
+        The first candidate whose spec verifies is the lowest matching
+        id, i.e. exactly :meth:`classify_tokens`'s answer: candidate
+        lists contain *every* bucket template that can match the
+        message (exact shapes included), in id order.  Cached until the
+        table mutates (keyed on :attr:`generation`).
+        """
+        if self._index_dirty:
+            self._rebuild_index()
+        cached = self._dispatch_cache
+        if cached is not None and cached[0] == self.generation:
+            return cached[1]
+        dispatch: Dict[int, tuple] = {}
+        for length, tids in self._buckets.items():
+            entry = self._disc.get(length)
+            pos = entry[0] if entry is not None and entry[0] is not None else 0
+            specs = []
+            keys = set()
+            for tid in tids:
+                t = self._templates[tid]
+                ptok = t.tokens[pos]
+                if ptok is not None:
+                    keys.add(ptok)
+                spec = tuple(
+                    (j, tok)
+                    for j, tok in enumerate(t.tokens)
+                    if tok is not None and j != pos
+                )
+                specs.append((tid, ptok, spec))
+            default = [
+                (tid, spec) for tid, ptok, spec in specs if ptok is None
+            ]
+            groups = {
+                key: [
+                    (tid, spec)
+                    for tid, ptok, spec in specs
+                    if ptok is None or ptok == key
+                ]
+                for key in keys
+            }
+            dispatch[length] = (pos, groups, default)
+        self._dispatch_cache = (self.generation, dispatch)
+        return dispatch
 
     def classify_tokens_linear(self, tokens: Sequence[str]) -> Optional[int]:
         """Reference linear bucket scan (first match in id order)."""

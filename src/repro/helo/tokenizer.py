@@ -91,6 +91,27 @@ def normalize_tokens(tokens: List[str]) -> List[str]:
     return out
 
 
+#: memo for the *raw* (un-lowercased) token → normalized form, used by
+#: the columnar batch classifier so it can normalize straight from
+#: ``message.split()`` tokens without building the lowercased message.
+#: ``msg.lower().split() == [t.lower() for t in msg.split()]`` (Unicode
+#: case mapping never creates or removes whitespace for str.split's
+#: default separator set), so caching on the raw token is sound.
+_RAW_NORM_CACHE: dict = {}
+
+
+def normalize_raw_token(token: str) -> str:
+    """Normalized form of one raw (not yet lowercased) token, memoized."""
+    cache = _RAW_NORM_CACHE
+    v = cache.get(token)
+    if v is None:
+        v = normalize_token(token.lower())
+        if len(cache) >= _NORM_CACHE_MAX:
+            cache.clear()
+        cache[token] = v
+    return v
+
+
 def signature(tokens: List[str]) -> Tuple[int, str]:
     """Coarse pre-clustering key: (token count, first constant token).
 

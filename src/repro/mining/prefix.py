@@ -1,0 +1,159 @@
+"""Chain-prefix index: columnar trigger matching for correlation chains.
+
+Both online engines walk the same pattern on every outlier: "which
+chains does this anchor event open, and when is each chain's failure
+expected?"  The object form — a linear scan over ``self.chains`` per
+flagged sample — is the chain-matching analogue of the per-record
+Python loops the columnar refactor removed everywhere else.
+
+:class:`ChainPrefixIndex` is the array form of that prefix state,
+built once per chain list:
+
+- ``by_anchor`` groups chain indices by their anchor (prefix head), so
+  a flagged anchor maps to its candidate chains in O(1);
+- parallel per-chain arrays (``spans``, ``anchors``, ``fatals``,
+  quantile columns) let a whole *batch* of triggers be priced at once:
+  predicted times, prediction intervals, and the too-late cut are
+  single vectorized expressions over ``(sample, chain)`` pairs instead
+  of per-trigger float arithmetic.
+
+The stateful part of chain matching (suppression of re-triggers while
+a chain instance is active) is inherently sequential and stays in the
+engines; everything feed-forward lives here.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.mining.correlations import CorrelationChain
+
+__all__ = ["ChainPrefixIndex"]
+
+
+def _chain_key(chain: CorrelationChain) -> Tuple:
+    return tuple((it.event_type, it.delay) for it in chain.items)
+
+
+class ChainPrefixIndex:
+    """Columnar view of a chain list, keyed by anchor event type.
+
+    Parameters
+    ----------
+    chains:
+        The armed correlation chains, in engine order (indices into
+        this sequence are the chain ids used throughout).
+    span_quantiles:
+        Optional ``chain_key -> (q_lo, q_med, q_hi)`` adaptive-window
+        quantiles (in samples); chains without an entry fall back to
+        their fixed span, mirroring the scalar engines.
+    """
+
+    def __init__(
+        self,
+        chains: Sequence[CorrelationChain],
+        span_quantiles: Optional[Mapping[Tuple, Tuple[int, int, int]]] = None,
+    ) -> None:
+        sq = span_quantiles or {}
+        n = len(chains)
+        self.chains = list(chains)
+        self.keys: List[Tuple] = [_chain_key(c) for c in chains]
+        self.by_anchor: Dict[int, List[int]] = {}
+        for i, chain in enumerate(chains):
+            self.by_anchor.setdefault(chain.anchor, []).append(i)
+        self.anchors = np.array(
+            [c.anchor for c in chains], dtype=np.int64
+        ).reshape(n)
+        self.fatals = np.array(
+            [c.items[-1].event_type for c in chains], dtype=np.int64
+        ).reshape(n)
+        self.spans = np.array(
+            [c.span for c in chains], dtype=np.float64
+        ).reshape(n)
+        #: -1 where no adaptive window is known (use the fixed span)
+        self.q_lo = np.full(n, -1.0)
+        self.q_med = np.full(n, -1.0)
+        self.q_hi = np.full(n, -1.0)
+        for i, key in enumerate(self.keys):
+            q = sq.get(key)
+            if q is not None:
+                self.q_lo[i], self.q_med[i], self.q_hi[i] = q
+        self.has_quantiles = self.q_med >= 0
+
+    def __len__(self) -> int:
+        return len(self.chains)
+
+    def chains_for(self, anchor: int) -> List[int]:
+        """Chain indices opened by an outlier on ``anchor``."""
+        return self.by_anchor.get(anchor, [])
+
+    def expand_triggers(
+        self, outliers: Mapping[int, np.ndarray]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """All ``(sample, chain)`` trigger pairs, in scalar-engine order.
+
+        ``outliers`` maps anchor event type to flagged sample indices.
+        Returns parallel int64 arrays ``(samples, chain_ids)`` sorted by
+        sample with ties in chain-list order — exactly the order the
+        object engine's ``triggers.sort`` (stable, chain-major build)
+        produces.
+        """
+        s_parts: List[np.ndarray] = []
+        c_parts: List[np.ndarray] = []
+        for ci, chain in enumerate(self.chains):
+            flagged = outliers.get(chain.anchor)
+            if flagged is None or len(flagged) == 0:
+                continue
+            flagged = np.asarray(flagged, dtype=np.int64)
+            s_parts.append(flagged)
+            c_parts.append(np.full(len(flagged), ci, dtype=np.int64))
+        if not s_parts:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+        s = np.concatenate(s_parts)
+        c = np.concatenate(c_parts)
+        order = np.lexsort((c, s))
+        return s[order], c[order]
+
+    def price_triggers(
+        self,
+        samples: np.ndarray,
+        chain_ids: np.ndarray,
+        t_start: float,
+        analysis: np.ndarray,
+        period: float,
+        min_visible_window: float,
+    ) -> Dict[str, np.ndarray]:
+        """Vectorized trigger timing: one expression per column.
+
+        For each ``(sample, chain)`` pair computes the trigger close
+        time, visibility time, predicted failure time and interval, and
+        the too-late mask — float-for-float what the scalar engine does
+        per trigger (quantile chains: ``t_anchor + q*period + period``;
+        span chains: ``t_anchor + span*period + period``; sample times
+        anchored at ``t_start``).
+        """
+        t_anchor = t_start + samples * period
+        t_trigger = t_anchor + period
+        t_emit = t_trigger + analysis[samples]
+        hq = self.has_quantiles[chain_ids]
+        span_term = np.where(
+            hq, self.q_med[chain_ids], self.spans[chain_ids]
+        )
+        t_pred = t_anchor + span_term * period + period
+        t_pred_lo = t_anchor + self.q_lo[chain_ids] * period + period
+        t_pred_hi = t_anchor + self.q_hi[chain_ids] * period + period
+        too_late = (t_pred - t_emit < min_visible_window) | (
+            t_pred <= t_emit
+        )
+        return {
+            "t_trigger": t_trigger,
+            "t_emit": t_emit,
+            "t_pred": t_pred,
+            "t_pred_lo": t_pred_lo,
+            "t_pred_hi": t_pred_hi,
+            "has_quantiles": hq,
+            "too_late": too_late,
+        }

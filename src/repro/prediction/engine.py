@@ -35,6 +35,7 @@ from repro.obs.provenance import FlightRecorder, PredictionProvenance
 from repro.location.propagation import LocationIndex, LocationPredictor
 from repro.mining.correlations import CorrelationChain
 from repro.mining.grite import GriteConfig
+from repro.mining.prefix import ChainPrefixIndex
 from repro.lifecycle.ladder import Rung
 from repro.prediction.analysis_time import AnalysisTimeModel
 from repro.resilience.breaker import ComponentBreakers
@@ -276,6 +277,8 @@ class HybridPredictor:
         )
         self.grite_config = grite_config or GriteConfig()
         self.breakers = breakers or ComponentBreakers()
+        #: columnar chain-prefix view (anchor dispatch + per-chain arrays)
+        self.prefix = ChainPrefixIndex(self.chains, self.span_quantiles)
         #: chain_key -> number of predictions it produced in the last run
         self.chain_usage: Counter = Counter()
         #: predictions dropped because analysis consumed their window
@@ -526,39 +529,18 @@ class HybridPredictor:
         predictions: List[Prediction] = []
         anchor_signals: Dict[int, np.ndarray] = {}
 
-        # Process triggers in time order across all chains.
-        triggers: List[Tuple[int, CorrelationChain]] = []
-        for chain in self.chains:
-            for s in outliers.get(chain.anchor, ()):  # sample indices
-                triggers.append((int(s), chain))
-        triggers.sort(key=lambda t: t[0])
-        sp["triggers"] = len(triggers)
-
-        for s, chain in triggers:
-            t_trigger = signals.sample_time(s) + period  # sample closes
-            t_emit = t_trigger + float(analysis[s])
-            t_anchor = signals.sample_time(s)
-            ckey = self._chain_key(chain)
-            quantiles = self.span_quantiles.get(ckey)
-            if quantiles is not None:
-                q_lo, q_med, q_hi = quantiles
-                t_pred = t_anchor + q_med * period + period
-                t_pred_lo = t_anchor + q_lo * period + period
-                t_pred_hi = t_anchor + q_hi * period + period
-            else:
-                t_pred = t_anchor + chain.span * period + period
-                t_pred_lo = t_pred_hi = None
-            if t_pred - t_emit < cfg.min_visible_window or t_pred <= t_emit:
-                self.n_too_late += 1
-                continue
-
+        def emit(s, chain, ckey, quantiles,
+                 t_trigger, t_emit, t_pred, t_pred_lo, t_pred_hi) -> None:
+            """Stateful tail of one surviving trigger (suppression,
+            location attachment, provenance) — shared verbatim by the
+            columnar and scalar trigger paths."""
             anchor_locs = index.locations_near(chain.anchor, s, 0)
             anchor_loc = anchor_locs[0] if anchor_locs else "unknown"
 
             skey = (ckey, anchor_loc)
             until = active.get(skey)
             if until is not None and t_trigger <= until:
-                continue
+                return
             active[skey] = (
                 (t_pred_hi if t_pred_hi is not None else t_pred)
                 + cfg.suppression_slack
@@ -586,6 +568,68 @@ class HybridPredictor:
                 anchor_value=float(anchor_signals[chain.anchor][s]),
                 quantiles=quantiles, anchor_loc=anchor_loc,
             )
+
+        if getattr(cfg, "fast_path", True):
+            # columnar trigger matching: anchor dispatch, trigger
+            # expansion, and all feed-forward timing (predicted times,
+            # intervals, the too-late cut) happen as array ops; only
+            # the surviving few enter the sequential suppression tail
+            samples, chain_ids = self.prefix.expand_triggers(outliers)
+            sp["triggers"] = len(samples)
+            cols = self.prefix.price_triggers(
+                samples, chain_ids, signals.t_start, analysis, period,
+                cfg.min_visible_window,
+            )
+            late = cols["too_late"]
+            self.n_too_late = int(late.sum())
+            hq = cols["has_quantiles"]
+            for i in np.flatnonzero(~late).tolist():
+                s = int(samples[i])
+                ci = int(chain_ids[i])
+                ckey = self.prefix.keys[ci]
+                emit(
+                    s, self.chains[ci], ckey,
+                    self.span_quantiles.get(ckey),
+                    float(cols["t_trigger"][i]),
+                    float(cols["t_emit"][i]),
+                    float(cols["t_pred"][i]),
+                    float(cols["t_pred_lo"][i]) if hq[i] else None,
+                    float(cols["t_pred_hi"][i]) if hq[i] else None,
+                )
+        else:
+            # scalar reference: process triggers in time order across
+            # all chains, pricing each one at a time
+            triggers: List[Tuple[int, CorrelationChain]] = []
+            for chain in self.chains:
+                for s in outliers.get(chain.anchor, ()):  # sample indices
+                    triggers.append((int(s), chain))
+            triggers.sort(key=lambda t: t[0])
+            sp["triggers"] = len(triggers)
+
+            for s, chain in triggers:
+                t_trigger = signals.sample_time(s) + period  # sample closes
+                t_emit = t_trigger + float(analysis[s])
+                t_anchor = signals.sample_time(s)
+                ckey = self._chain_key(chain)
+                quantiles = self.span_quantiles.get(ckey)
+                if quantiles is not None:
+                    q_lo, q_med, q_hi = quantiles
+                    t_pred = t_anchor + q_med * period + period
+                    t_pred_lo = t_anchor + q_lo * period + period
+                    t_pred_hi = t_anchor + q_hi * period + period
+                else:
+                    t_pred = t_anchor + chain.span * period + period
+                    t_pred_lo = t_pred_hi = None
+                if (
+                    t_pred - t_emit < cfg.min_visible_window
+                    or t_pred <= t_emit
+                ):
+                    self.n_too_late += 1
+                    continue
+                emit(
+                    s, chain, ckey, quantiles,
+                    t_trigger, t_emit, t_pred, t_pred_lo, t_pred_hi,
+                )
 
         predictions.sort(key=lambda p: p.emitted_at)
         sp["predictions"] = len(predictions)

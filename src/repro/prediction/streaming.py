@@ -29,12 +29,28 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro import obs
+from repro.columnar import RecordBatch
 from repro.lifecycle.ladder import Rung
+from repro.mining.prefix import ChainPrefixIndex
 from repro.prediction.analysis_time import AnalysisTimeModel
 from repro.prediction.engine import HybridPredictor, Prediction
 from repro.signals.bank import BankLayoutError, VectorizedDetectorBank
 from repro.signals.outliers import restore_detector
 from repro.simulation.trace import LogRecord
+
+
+def _location_accessor(records):
+    """Index → location string, without materializing ``LogRecord``s.
+
+    The feed loops only ever touch ``records[i].location``; on a
+    :class:`RecordBatch` that is one pool lookup, on a record sequence
+    it is the plain attribute.
+    """
+    if isinstance(records, RecordBatch):
+        pool = records.loc_pool
+        lids = records.loc_ids
+        return lambda i: pool[lids[i]]
+    return lambda i: records[i].location
 
 #: bump when the serialized layout changes incompatibly
 STATE_VERSION = 1
@@ -71,6 +87,7 @@ class StreamingHybridPredictor(HybridPredictor):
         self._anchor_arr = np.asarray(self._anchors, dtype=np.int64)
         self._detectors = {tid: self._make_detector(tid) for tid in self._anchors}
         self._rebuild_bank()
+        self._rebuild_chain_index()
         # mutable stream state -------------------------------------------------
         self._k = 0  # sample currently accumulating
         self._n_fed = 0  # records consumed so far
@@ -116,6 +133,19 @@ class StreamingHybridPredictor(HybridPredictor):
         except BankLayoutError:
             self._bank = None
 
+    def _rebuild_chain_index(self) -> None:
+        """Chain positions grouped by anchor, in ``self.chains`` order.
+
+        Rebuilds the shared :class:`ChainPrefixIndex` (the batch engine
+        inherits one from construction; ``swap_model`` re-arms chains so
+        the streaming engine refreshes it).  :meth:`_trigger_chains`
+        walks only the chains whose anchor flagged, merging groups back
+        into original-index order so the suppression/emission sequence
+        is identical to the full scan.
+        """
+        self.prefix = ChainPrefixIndex(self.chains, self.span_quantiles)
+        self._chains_by_anchor = self.prefix.by_anchor
+
     # -- feeding -------------------------------------------------------------
 
     def feed(
@@ -127,6 +157,12 @@ class StreamingHybridPredictor(HybridPredictor):
 
         ``event_ids`` parallels ``records`` (``None`` = unclassified),
         exactly as in :class:`~repro.prediction.engine.TestStream`.
+
+        ``records`` may also be a :class:`~repro.columnar.RecordBatch`
+        (with ``event_ids`` optionally an int64 array, ``-1`` =
+        unclassified): the fast path then reads the timestamp/id arrays
+        directly — no per-record object or iterator work at all — and
+        materializes location strings only for flagged samples.
 
         On the fast path chunks are validated and grouped per sampling
         interval with numpy and accumulated in bulk; the resulting state
@@ -144,6 +180,12 @@ class StreamingHybridPredictor(HybridPredictor):
         if len(records) > 1 and getattr(self.config, "fast_path", True):
             self._feed_batched(records, event_ids)
         else:
+            if isinstance(records, RecordBatch):
+                records = records.to_records()
+            if isinstance(event_ids, np.ndarray):
+                event_ids = [
+                    None if e < 0 else e for e in event_ids.tolist()
+                ]
             self._feed_scalar(records, event_ids)
 
     def _feed_scalar(
@@ -188,9 +230,12 @@ class StreamingHybridPredictor(HybridPredictor):
         minus the per-record interpreter work.
         """
         n = len(records)
-        ts = np.fromiter(
-            (r.timestamp for r in records), dtype=np.float64, count=n
-        )
+        if isinstance(records, RecordBatch):
+            ts = records.timestamps
+        else:
+            ts = np.fromiter(
+                (r.timestamp for r in records), dtype=np.float64, count=n
+            )
         bad = (ts < self.t_start) | (ts >= self.t_end)
         if bad.any():
             i = int(np.argmax(bad))
@@ -200,11 +245,14 @@ class StreamingHybridPredictor(HybridPredictor):
         s_arr = ((ts - self.t_start) / self.sampling_period).astype(np.int64)
         if s_arr[0] < self._k or (s_arr[1:] < s_arr[:-1]).any():
             raise ValueError("records must arrive in sample order")
-        tids = np.fromiter(
-            (-1 if e is None else e for e in event_ids),
-            dtype=np.int64,
-            count=n,
-        )
+        if isinstance(event_ids, np.ndarray):
+            tids = event_ids.astype(np.int64, copy=False)
+        else:
+            tids = np.fromiter(
+                (-1 if e is None else e for e in event_ids),
+                dtype=np.int64,
+                count=n,
+            )
         if self._bank is not None and int(s_arr[-1]) > self._k:
             self._feed_batched_bank(records, s_arr, tids)
         else:
@@ -220,6 +268,7 @@ class StreamingHybridPredictor(HybridPredictor):
         """Per-sample-run accumulation; every sample closes via
         :meth:`_close_sample` (one detector tick each)."""
         n = len(records)
+        loc_of = _location_accessor(records)
         hit_idx = np.flatnonzero(np.isin(tids, self._anchor_arr))
         cuts = np.flatnonzero(s_arr[1:] != s_arr[:-1]) + 1
         starts = np.concatenate(([0], cuts))
@@ -238,7 +287,7 @@ class StreamingHybridPredictor(HybridPredictor):
                 j = int(hit_idx[h])
                 t = int(tids[j])
                 counts[t] = counts.get(t, 0) + 1
-                locs.setdefault(t, []).append(records[j].location)
+                locs.setdefault(t, []).append(loc_of(j))
                 h += 1
             if drift:
                 seg = tids[a:b]
@@ -267,6 +316,7 @@ class StreamingHybridPredictor(HybridPredictor):
         materialized lazily, only for samples that need them.
         """
         n = len(records)
+        loc_of = _location_accessor(records)
         k0 = self._k
         m = int(s_arr[-1]) - k0
         rel = s_arr - k0
@@ -317,7 +367,7 @@ class StreamingHybridPredictor(HybridPredictor):
                 for idx in range(a, b):
                     if hit_mask[idx]:
                         locs.setdefault(int(tids[idx]), []).append(
-                            records[idx].location
+                            loc_of(idx)
                         )
                 self._trigger_chains(
                     k0 + j, flagged, counts, locs, analysis_t
@@ -365,7 +415,7 @@ class StreamingHybridPredictor(HybridPredictor):
                 for idx in range(a, b):
                     if hit_mask[idx]:
                         locs.setdefault(int(tids[idx]), []).append(
-                            records[idx].location
+                            loc_of(idx)
                         )
                 self._trigger_chains(s, flagged, counts, locs, analysis_t)
             if drift:
@@ -405,13 +455,14 @@ class StreamingHybridPredictor(HybridPredictor):
         self._cur_type_counts = {}
         a = int(np.searchsorted(rel, m, "left"))
         if a < n:
+            loc_of = _location_accessor(records)
             self._cur_msg_count = n - a
             counts = self._cur_anchor_counts
             locs = self._cur_anchor_locs
             for idx in np.flatnonzero(hit_mask[a:]) + a:
                 t = int(tids[idx])
                 counts[t] = counts.get(t, 0) + 1
-                locs.setdefault(t, []).append(records[int(idx)].location)
+                locs.setdefault(t, []).append(loc_of(int(idx)))
             if self.drift_detector is not None:
                 seg = tids[a:]
                 seg = seg[seg >= 0]
@@ -500,6 +551,7 @@ class StreamingHybridPredictor(HybridPredictor):
             tid: self._make_detector(tid) for tid in self._anchors
         }
         self._rebuild_bank()
+        self._rebuild_chain_index()
         obs.counter("lifecycle.predictor_swaps").inc()
 
     # -- per-sample engine -----------------------------------------------------
@@ -599,7 +651,17 @@ class StreamingHybridPredictor(HybridPredictor):
         t_anchor = self.t_start + s * period
         t_trigger = t_anchor + period
         t_emit = t_trigger + analysis_t
-        for chain in self.chains:
+        by_anchor = self._chains_by_anchor
+        if len(flagged) == 1:
+            idxs = by_anchor.get(next(iter(flagged)), [])
+        else:
+            # merge the flagged anchors' groups back into original chain
+            # order — identical iteration sequence to the full scan
+            idxs = sorted(
+                i for a in flagged for i in by_anchor.get(a, ())
+            )
+        for ci in idxs:
+            chain = self.chains[ci]
             if not flagged.get(chain.anchor):
                 continue
             ckey = self._chain_key(chain)

@@ -48,7 +48,10 @@ from pathlib import Path
 from time import perf_counter
 from typing import List, Optional, Sequence
 
+import numpy as np
+
 from repro import obs
+from repro.columnar import RecordBatch
 from repro.prediction.engine import Prediction
 from repro.prediction.streaming import StreamingHybridPredictor
 from repro.simulation.trace import LogRecord
@@ -216,9 +219,12 @@ class ResumableRun:
 
     # -- driving ---------------------------------------------------------------
 
-    def _classify(self, records: Sequence[LogRecord]) -> List[Optional[int]]:
+    def _classify(self, records: Sequence[LogRecord]):
         ids = self.elsa._classify(records, online=True)
         n_types = self.elsa.model.n_types
+        if isinstance(ids, np.ndarray):
+            # columnar route: -1 plays the role of None
+            return np.where((ids >= 0) & (ids < n_types), ids, -1)
         return [
             i if (i is not None and i < n_types) else None for i in ids
         ]
@@ -343,9 +349,15 @@ class ResumableRun:
         chosen point; checkpoints land every ``checkpoint_every``
         records regardless.
         """
-        window = [
-            r for r in records if self.t_start <= r.timestamp < self.t_end
-        ]
+        if isinstance(records, RecordBatch):
+            ts = records.timestamps
+            mask = (ts >= self.t_start) & (ts < self.t_end)
+            window = records if bool(mask.all()) else records.take(mask)
+        else:
+            window = [
+                r for r in records
+                if self.t_start <= r.timestamp < self.t_end
+            ]
         done = self.predictor.n_records_fed
         todo = window[done:]
         if limit is not None:

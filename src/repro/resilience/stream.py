@@ -312,3 +312,208 @@ def sanitize_records(
     """
     stream = ResilientStream(records, config)
     return list(stream), stream
+
+
+def sanitize_batch(
+    batch,
+    config: Optional[ResilienceConfig] = None,
+    dead_letters: Optional[List[DeadLetter]] = None,
+):
+    """Columnar :func:`sanitize_records`: one array pass over a batch.
+
+    Semantically identical to running ``batch.to_records()`` through a
+    :class:`ResilientStream` — same output records in the same order,
+    same stats — but every stage is an array operation:
+
+    - **late quarantine**: a record is a dropped straggler iff it is
+      older than the *running maximum* timestamp minus the skew window;
+      the running max is an exclusive ``np.maximum.accumulate``.
+    - **dedupe**: the dedupe key includes the timestamp, so duplicates
+      can only hide among rows whose timestamp repeats — ``np.unique``
+      narrows the candidate set and a dict scan settles only those rows
+      (any same-key row far enough apart to age out of the object
+      stream's key window is *provably* late-quarantined first, so
+      "seen anywhere earlier" is exact, not an approximation).
+    - **reorder**: one stable argsort by timestamp (ties keep arrival
+      order), replacing the heap-and-watermark dance.
+    - **gap/clock sentinels**: ``np.diff`` over the sorted output finds
+      silences; markers are built row-wise (there are few) and merged
+      with ``np.insert``.
+
+    Returns ``(clean_batch, stats)``; ``stats`` has exactly the keys of
+    :attr:`ResilientStream.stats`.  ``dead_letters``, when given, takes
+    the quarantined payloads (up to ``dead_letter_cap``).
+
+    Rate limiting has per-bucket counter state that is inherently
+    sequential, so when ``max_rate_per_second > 0`` the call transparently
+    falls back to the object stream (callers keep one entry point).
+    ``strict`` raises on the first (arrival-order) straggler, exactly
+    like the object path.
+    """
+    from repro.columnar import RecordBatch
+
+    cfg = config or ResilienceConfig()
+    if cfg.max_rate_per_second > 0:
+        clean, stream = sanitize_records(batch.to_records(), cfg)
+        if dead_letters is not None:
+            dead_letters.extend(stream.dead_letters)
+        return RecordBatch.from_records(clean), dict(stream.stats)
+
+    n = len(batch)
+    stats: Dict[str, int] = {
+        "records_in": n,
+        "records_out": 0,
+        "markers_emitted": 0,
+    }
+    for key in _DEGRADED_KEYS:
+        stats[key] = 0
+    if n == 0:
+        _flush_batch_metrics(stats, 0)
+        return batch, stats
+
+    import numpy as np
+
+    ts = batch.timestamps
+    cm = np.maximum.accumulate(ts)
+    prev = np.empty(n, dtype=np.float64)
+    prev[0] = -np.inf
+    prev[1:] = cm[:-1]
+    late = ts < prev - cfg.skew_window_seconds
+    keep = ~late
+    if late.any():
+        late_idx = np.flatnonzero(late)
+        if cfg.strict:
+            line = batch.record(int(late_idx[0])).format_line()
+            raise ValueError(f"strict ingestion: late: {line[:120]!r}")
+        stats["dropped_late"] = int(late_idx.size)
+        if dead_letters is not None:
+            cap = max(0, cfg.dead_letter_cap)
+            for i in late_idx[-cap:].tolist() if cap else []:
+                dead_letters.append(
+                    DeadLetter(
+                        reason="late",
+                        payload=batch.record(i).format_line(),
+                    )
+                )
+    stats["reordered"] = int((keep & (ts < prev)).sum())
+    if n > 1:
+        stats["clock_jumps"] = int(
+            (ts[1:] - cm[:-1] > cfg.clock_jump_seconds).sum()
+        )
+
+    if cfg.deduplicate:
+        kept_idx = np.flatnonzero(keep)
+        _, inv, counts = np.unique(
+            ts[kept_idx], return_inverse=True, return_counts=True
+        )
+        cand = kept_idx[counts[inv] > 1]
+        if cand.size:
+            lids = batch.loc_ids
+            sevs = batch.severities
+            msgs = batch.messages
+            seen = set()
+            n_dup = 0
+            for i in cand.tolist():
+                key = (ts[i], int(lids[i]), int(sevs[i]), msgs[i])
+                if key in seen:
+                    keep[i] = False
+                    n_dup += 1
+                else:
+                    seen.add(key)
+            stats["deduplicated"] = n_dup
+
+    kept_idx = np.flatnonzero(keep)
+    order = kept_idx[np.argsort(ts[kept_idx], kind="stable")]
+    out = batch.take(order)
+    stats["records_out"] = int(order.size)
+
+    if cfg.emit_gap_markers and len(out) > 1:
+        ots = out.timestamps
+        gaps = np.flatnonzero(np.diff(ots) > cfg.gap_threshold_seconds) + 1
+        if gaps.size:
+            stats["gaps_detected"] = int(gaps.size)
+            stats["markers_emitted"] = int(gaps.size)
+            out = _insert_gap_markers(out, gaps, cfg)
+
+    _flush_batch_metrics(
+        stats,
+        min(stats["dropped_late"], max(0, cfg.dead_letter_cap)),
+    )
+    return out, stats
+
+
+def _insert_gap_markers(out, gaps, cfg: ResilienceConfig):
+    """Merge synthetic sensor-silent rows into a sorted clean batch.
+
+    ``gaps`` indexes the records that *revealed* each silence; the
+    marker lands where the silence became provable (previous record
+    plus the gap threshold), which keeps the merged batch sorted.
+    """
+    import numpy as np
+
+    from repro.columnar import RecordBatch
+
+    ots = out.timestamps
+    mts = ots[gaps - 1] + cfg.gap_threshold_seconds
+    mloc = out.intern(GAP_MARKER_LOCATION)
+    new_ts = np.insert(ots, gaps, mts)
+    new_lids = np.insert(out.loc_ids, gaps, np.int32(mloc))
+    new_sevs = np.insert(out.severities, gaps, np.int8(int(Severity.WARNING)))
+    tids = out.template_ids
+    new_tids = (
+        None if tids is None else np.insert(tids, gaps, np.int64(-1))
+    )
+    msgs = out.messages
+    ets = out.event_types
+    fids = out.fault_ids
+    toks = out.token_lists
+    new_msgs: List[str] = []
+    new_ets: Optional[list] = None if ets is None else []
+    new_fids: Optional[list] = None if fids is None else []
+    new_toks: Optional[list] = None if toks is None else []
+    prev_end = 0
+    for g in gaps.tolist():
+        gap = float(ots[g] - ots[g - 1])
+        msg = GAP_MARKER_MESSAGE.format(gap=gap)
+        new_msgs.extend(msgs[prev_end:g])
+        new_msgs.append(msg)
+        if new_ets is not None:
+            new_ets.extend(ets[prev_end:g])
+            new_ets.append(None)
+        if new_fids is not None:
+            new_fids.extend(fids[prev_end:g])
+            new_fids.append(None)
+        if new_toks is not None:
+            new_toks.extend(toks[prev_end:g])
+            new_toks.append(msg.split())
+        prev_end = g
+    new_msgs.extend(msgs[prev_end:])
+    if new_ets is not None:
+        new_ets.extend(ets[prev_end:])
+    if new_fids is not None:
+        new_fids.extend(fids[prev_end:])
+    if new_toks is not None:
+        new_toks.extend(toks[prev_end:])
+    return RecordBatch(
+        new_ts,
+        new_lids,
+        new_sevs,
+        new_msgs,
+        out.loc_pool,
+        template_ids=new_tids,
+        event_types=new_ets,
+        fault_ids=new_fids,
+        loc_index=out._loc_index,
+        token_lists=new_toks,
+    )
+
+
+def _flush_batch_metrics(stats: Dict[str, int], dead_letter_size: int) -> None:
+    """One-shot obs flush mirroring :meth:`ResilientStream._flush_metrics`."""
+    for key, value in stats.items():
+        if value:
+            obs.counter(f"resilience.{key}").inc(value)
+    obs.gauge("resilience.dead_letter_size").set(dead_letter_size)
+    obs.gauge("resilience.degraded").set(
+        1.0 if any(stats[k] for k in _DEGRADED_KEYS) else 0.0
+    )

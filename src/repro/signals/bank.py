@@ -380,95 +380,21 @@ class VectorizedDetectorBank:
         r0 = self._raw_len
         c0 = self._corr_len
         if act.size:
-            va = v[act]
-            na = act.size
-            q = va.astype(np.int64)
-            raw_idx = (self._raw_start + np.arange(r0)) % (W + 1)
-            corr_idx = (self._corr_start + np.arange(c0)) % W
-            raw_prev = self._raw_ring[act][:, raw_idx]
-            corr_prev = self._corr_ring[act][:, corr_idx]
-            raw_seq = np.concatenate([raw_prev, va], axis=1)
-            corr_seq = np.concatenate([corr_prev, va], axis=1)
-            # every involved value is on the integer grid, so the live
-            # bins are [0, G); medians can never leave that range
-            G = int(max(raw_seq.max(), corr_seq.max(initial=0.0))) + 1
-            rows = np.arange(na)[:, None]
-            cols = np.arange(m)[None, :]
-            # per-tick deltas of the combined raw+corrected histogram:
-            # raw insert/evict land at their own tick, the corrected
-            # push/evict of tick j-1 become visible at tick j's median
-            D = np.zeros((na, m, G), dtype=np.int32)
-            np.add.at(D, (rows, cols, q), 1)
-            j0r = max(0, (W + 1) - r0)
-            if j0r < m:
-                ev = raw_seq[:, r0 + j0r - (W + 1): r0 + m - (W + 1)]
-                np.add.at(D, (rows, cols[:, j0r:], ev.astype(np.int64)), -1)
-            if m > 1:
-                np.add.at(D, (rows, cols[:, 1:], q[:, :-1]), 1)
-            j0c = max(1, (W + 1) - c0)
-            if j0c < m:
-                ev = corr_seq[:, c0 + j0c - 1 - W: c0 + m - 1 - W]
-                np.add.at(D, (rows, cols[:, j0c:], ev.astype(np.int64)), -1)
-            hist0 = self._hist[act, :G].astype(np.int32)
-            js = np.arange(m)
-            n_win = np.minimum(r0 + js + 1, W + 1) + np.minimum(c0 + js, W)
-            k = (n_win >> 1).astype(np.int32)
-            warm = (self._seen + js) >= self.warmup
-            thr = self._thr[act][:, None]
-            # C[r, t, g]: how many window values of row r at tick t are
-            # <= g — the median is the first bin whose count exceeds k
-            C = (hist0[:, None, :] + D.cumsum(axis=1)).cumsum(axis=2)
-            med = np.argmax(C > k[None, :, None], axis=2).astype(np.float64)
-            fl = warm[None, :] & (np.abs(va - med) > thr)
-            # patch each flagged row exactly from its first correction
-            # on: the optimistic pass pushed the raw value where tick()
-            # would have pushed the median, so replacing that one element
-            # shifts the cumulative counts by +-1 between the two bins —
-            # from tick j+1 (the push) until tick j+W+1 (its eviction)
-            for r in np.flatnonzero(fl.any(axis=1)).tolist():
-                start = 0
-                while True:
-                    nxt = np.flatnonzero(fl[r, start:])
-                    if not nxt.size:
-                        break
-                    j = start + int(nxt[0])
-                    if j + 1 >= m:
-                        break
-                    mj = int(med[r, j])
-                    vj = int(q[r, j])
-                    je = min(j + W + 1, m)
-                    if mj < vj:
-                        C[r, j + 1: je, mj:vj] += 1
-                    else:
-                        C[r, j + 1: je, vj:mj] -= 1
-                    med[r, j + 1:] = np.argmax(
-                        C[r, j + 1:] > k[j + 1:, None], axis=1
-                    )
-                    fl[r, j + 1:] = warm[j + 1:] & (
-                        np.abs(va[r, j + 1:] - med[r, j + 1:])
-                        > self._thr[act[r]]
-                    )
-                    start = j + 1
-            co = np.where(fl, med, va)
-            flags[act] = fl
-            corrected[act] = co
-            # commit: rewrite the rings canonically and rebuild histograms
-            new_rl = min(r0 + m, W + 1)
-            new_cl = min(c0 + m, W)
-            raw_win = raw_seq[:, r0 + m - new_rl:]
-            corr_full = np.concatenate([corr_prev, co], axis=1)
-            corr_win = corr_full[:, c0 + m - new_cl:]
-            self._raw_ring[act, :new_rl] = raw_win
-            if new_cl:
-                self._corr_ring[act, :new_cl] = corr_win
-            self._raw_start = 0
-            self._corr_start = 0
-            for i, row in enumerate(act.tolist()):
-                self._hist[row] = np.bincount(
-                    np.concatenate([raw_win[i], corr_win[i]]).astype(
-                        np.int64
-                    ),
-                    minlength=self.grid_limit,
+            if (
+                self._raw_start == 0
+                and self._corr_start == 0
+                and r0 + m <= W + 1
+                and c0 + m <= W
+            ):
+                # insert-only block (no ring evictions): the two-point
+                # row kernel decides every flag exactly from two
+                # cumulative-count probes per tick — no per-tick median
+                self._tick_median_rows_insert_only(
+                    v, act, flags, corrected, r0, c0, m
+                )
+            else:
+                self._tick_median_many_exact(
+                    v, act, flags, corrected, r0, c0, m
                 )
         else:
             # no vector rows left: advance the shared cursors exactly as
@@ -486,6 +412,221 @@ class VectorizedDetectorBank:
                 flags[row, j] = out
                 corrected[row, j] = cv
         return flags, corrected
+
+    def _tick_median_rows_insert_only(
+        self,
+        v: np.ndarray,
+        act: np.ndarray,
+        flags: np.ndarray,
+        corrected: np.ndarray,
+        r0: int,
+        c0: int,
+        m: int,
+    ) -> None:
+        """Exact per-row kernel for insert-only blocks (no evictions).
+
+        The flag test ``|va - med| > thr`` never needs the median itself
+        — only whether it falls outside ``[va - thr, va + thr]``, which
+        two probes of the combined cumulative count decide exactly: with
+        ``C[j, g]`` counting window values ``<= g`` at tick ``j`` and
+        medians living on the integer grid,
+        ``med > va + thr  <=>  C[j, floor(va + thr)] <= k_j`` and
+        ``med < va - thr  <=>  C[j, ceil(va - thr) - 1] > k_j``.
+        In an insert-only block ``C[j, g]`` is the base histogram plus
+        this block's own pushes, so one per-row ``(m, G_row)``
+        double-cumsum table answers every probe — ``G_row`` being the
+        row's value range, far below the shared grid.  Actual medians
+        are computed only at flagged ticks (rare); each correction
+        shifts later counts by ±1, an O(m) probe update, after which the
+        remaining flags are re-decided — reproducing the sequential
+        semantics exactly.
+
+        Rows commit incrementally (rings extended in place, histogram
+        bumped by this block's pushes); the caller advances the shared
+        lengths/seen counters once per block.
+        """
+        G = self.grid_limit
+        js = np.arange(m)
+        warm = (self._seen + js) >= self.warmup
+        any_warm = bool(warm.any())
+        k = (r0 + c0 + 2 * js + 1) >> 1
+        for row in act.tolist():
+            va = v[row]
+            q = va.astype(np.int64)
+            co = va  # copied lazily at the first flag
+            cq = q
+            if any_warm:
+                thr = float(self._thr[row])
+                ghi = np.floor(va + thr).astype(np.int64)
+                glo = np.ceil(va - thr).astype(np.int64) - 1
+                glo_ok = glo >= 0
+                # probe bins above the row's own values count the whole
+                # block, so the table never needs more columns than Gq
+                Gq = int(q.max()) + 1
+                ghi_ix = np.minimum(ghi, Gq - 1)
+                glo_ix = np.minimum(np.maximum(glo, 0), Gq - 1)
+                one = np.zeros((m, Gq), dtype=np.int32)
+                one[js, q] = 1
+                # A[j, g] = this block's raw pushes <= g at ticks <= j
+                A = one.cumsum(axis=0).cumsum(axis=1)
+                hist_row = self._hist[row]
+                base_cum = hist_row.cumsum()
+                # combined count at the probe bins: base window + raw
+                # pushes (ticks <= j) + corrected pushes (ticks < j,
+                # optimistically equal to the raw values)
+                Chi = base_cum[np.minimum(ghi, G - 1)] + A[js, ghi_ix]
+                Chi[1:] += A[js[:-1], ghi_ix[1:]]
+                Clo = base_cum[glo_ix] + A[js, glo_ix]
+                Clo[1:] += A[js[:-1], glo_ix[1:]]
+                flag = warm & ((Chi <= k) | (glo_ok & (Clo > k)))
+                while True:
+                    nz = np.flatnonzero(flag)
+                    if not nz.size:
+                        break
+                    j = int(nz[0])
+                    if co is va:
+                        co = va.copy()
+                        cq = q.copy()
+                    # exact median at the flagged tick only
+                    hj = (
+                        hist_row
+                        + np.bincount(q[: j + 1], minlength=G)
+                        + np.bincount(cq[:j], minlength=G)
+                    )
+                    med = int(
+                        np.searchsorted(hj.cumsum(), k[j], side="right")
+                    )
+                    flags[row, j] = True
+                    co[j] = med
+                    cq[j] = med
+                    flag[j] = False
+                    if j + 1 < m:
+                        # the corrected push at j replaces the
+                        # optimistic raw one in every later tick's count
+                        Chi[j + 1:] += (med <= ghi[j + 1:]).astype(
+                            np.int64
+                        ) - (q[j] <= ghi[j + 1:])
+                        Clo[j + 1:] += (med <= glo[j + 1:]).astype(
+                            np.int64
+                        ) - (q[j] <= glo[j + 1:])
+                        flag[j + 1:] = warm[j + 1:] & (
+                            (Chi[j + 1:] <= k[j + 1:])
+                            | (glo_ok[j + 1:] & (Clo[j + 1:] > k[j + 1:]))
+                        )
+            corrected[row] = co
+            self._raw_ring[row, r0: r0 + m] = va
+            self._corr_ring[row, c0: c0 + m] = co
+            self._hist[row] += np.bincount(q, minlength=G) + np.bincount(
+                cq, minlength=G
+            )
+
+    def _tick_median_many_exact(
+        self,
+        v: np.ndarray,
+        act: np.ndarray,
+        flags: np.ndarray,
+        corrected: np.ndarray,
+        r0: int,
+        c0: int,
+        m: int,
+    ) -> None:
+        """The optimistic-with-patches exact kernel for ``act`` rows.
+
+        Writes flags/corrected in place and commits the rows' rings and
+        histograms canonically (cursor reset to 0); the caller advances
+        the shared lengths/seen counters once per block.
+        """
+        W = self.window
+        va = v[act]
+        na = act.size
+        q = va.astype(np.int64)
+        raw_idx = (self._raw_start + np.arange(r0)) % (W + 1)
+        corr_idx = (self._corr_start + np.arange(c0)) % W
+        raw_prev = self._raw_ring[act][:, raw_idx]
+        corr_prev = self._corr_ring[act][:, corr_idx]
+        raw_seq = np.concatenate([raw_prev, va], axis=1)
+        corr_seq = np.concatenate([corr_prev, va], axis=1)
+        # every involved value is on the integer grid, so the live
+        # bins are [0, G); medians can never leave that range
+        G = int(max(raw_seq.max(), corr_seq.max(initial=0.0))) + 1
+        rows = np.arange(na)[:, None]
+        cols = np.arange(m)[None, :]
+        # per-tick deltas of the combined raw+corrected histogram:
+        # raw insert/evict land at their own tick, the corrected
+        # push/evict of tick j-1 become visible at tick j's median
+        D = np.zeros((na, m, G), dtype=np.int32)
+        np.add.at(D, (rows, cols, q), 1)
+        j0r = max(0, (W + 1) - r0)
+        if j0r < m:
+            ev = raw_seq[:, r0 + j0r - (W + 1): r0 + m - (W + 1)]
+            np.add.at(D, (rows, cols[:, j0r:], ev.astype(np.int64)), -1)
+        if m > 1:
+            np.add.at(D, (rows, cols[:, 1:], q[:, :-1]), 1)
+        j0c = max(1, (W + 1) - c0)
+        if j0c < m:
+            ev = corr_seq[:, c0 + j0c - 1 - W: c0 + m - 1 - W]
+            np.add.at(D, (rows, cols[:, j0c:], ev.astype(np.int64)), -1)
+        hist0 = self._hist[act, :G].astype(np.int32)
+        js = np.arange(m)
+        n_win = np.minimum(r0 + js + 1, W + 1) + np.minimum(c0 + js, W)
+        k = (n_win >> 1).astype(np.int32)
+        warm = (self._seen + js) >= self.warmup
+        thr = self._thr[act][:, None]
+        # C[r, t, g]: how many window values of row r at tick t are
+        # <= g — the median is the first bin whose count exceeds k
+        C = (hist0[:, None, :] + D.cumsum(axis=1)).cumsum(axis=2)
+        med = np.argmax(C > k[None, :, None], axis=2).astype(np.float64)
+        fl = warm[None, :] & (np.abs(va - med) > thr)
+        # patch each flagged row exactly from its first correction
+        # on: the optimistic pass pushed the raw value where tick()
+        # would have pushed the median, so replacing that one element
+        # shifts the cumulative counts by +-1 between the two bins —
+        # from tick j+1 (the push) until tick j+W+1 (its eviction)
+        for r in np.flatnonzero(fl.any(axis=1)).tolist():
+            start = 0
+            while True:
+                nxt = np.flatnonzero(fl[r, start:])
+                if not nxt.size:
+                    break
+                j = start + int(nxt[0])
+                if j + 1 >= m:
+                    break
+                mj = int(med[r, j])
+                vj = int(q[r, j])
+                je = min(j + W + 1, m)
+                if mj < vj:
+                    C[r, j + 1: je, mj:vj] += 1
+                else:
+                    C[r, j + 1: je, vj:mj] -= 1
+                med[r, j + 1:] = np.argmax(
+                    C[r, j + 1:] > k[j + 1:, None], axis=1
+                )
+                fl[r, j + 1:] = warm[j + 1:] & (
+                    np.abs(va[r, j + 1:] - med[r, j + 1:])
+                    > self._thr[act[r]]
+                )
+                start = j + 1
+        co = np.where(fl, med, va)
+        flags[act] = fl
+        corrected[act] = co
+        # commit: rewrite the rings canonically and rebuild histograms
+        new_rl = min(r0 + m, W + 1)
+        new_cl = min(c0 + m, W)
+        raw_win = raw_seq[:, r0 + m - new_rl:]
+        corr_full = np.concatenate([corr_prev, co], axis=1)
+        corr_win = corr_full[:, c0 + m - new_cl:]
+        self._raw_ring[act, :new_rl] = raw_win
+        if new_cl:
+            self._corr_ring[act, :new_cl] = corr_win
+        self._raw_start = 0
+        self._corr_start = 0
+        for i, row in enumerate(act.tolist()):
+            self._hist[row] = np.bincount(
+                np.concatenate([raw_win[i], corr_win[i]]).astype(
+                    np.int64
+                ),
+                minlength=self.grid_limit,
+            )
 
     def _tick_periodic_many(
         self, v: np.ndarray
